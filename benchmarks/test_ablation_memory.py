@@ -1,0 +1,62 @@
+"""Ablation A2: accuracy versus the shared-array memory budget (fill fraction β).
+
+VOS corrects contaminated reads through the ``(1 - 2β)²`` factor, so its
+accuracy depends on how full the shared array is.  This ablation shrinks the
+memory budget (the baseline register count k that defines ``m = 32·k·|U|``)
+and shows β rising and the error growing as the array saturates — the
+memory-headroom guidance DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import render_table
+from repro.evaluation.runner import AccuracyExperiment
+
+from conftest import accuracy_config
+
+REGISTER_BUDGETS = (2, 8, 32)
+
+
+@pytest.fixture(scope="module")
+def memory_sweep_results(youtube_stream):
+    results = {}
+    for registers in REGISTER_BUDGETS:
+        config = accuracy_config(
+            methods=("VOS",), baseline_registers=registers, num_checkpoints=2
+        )
+        results[registers] = AccuracyExperiment(config).run(youtube_stream)
+    return results
+
+
+def test_run_memory_sweep_point(benchmark, youtube_stream):
+    config = accuracy_config(methods=("VOS",), baseline_registers=4, num_checkpoints=2)
+    experiment = AccuracyExperiment(config)
+    result = benchmark.pedantic(lambda: experiment.run(youtube_stream), rounds=1, iterations=1)
+    assert result.checkpoints["VOS"]
+
+
+def test_ablation_memory_shape(benchmark, memory_sweep_results):
+    benchmark.pedantic(
+        lambda: {k: res.final_checkpoint("VOS").beta for k, res in memory_sweep_results.items()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    betas = {}
+    errors = {}
+    for registers, result in sorted(memory_sweep_results.items()):
+        final = result.final_checkpoint("VOS")
+        betas[registers] = final.beta
+        errors[registers] = final.armse
+        rows.append([registers, 32 * registers, final.beta, final.aape, final.armse])
+    print()
+    print("# Ablation A2 — VOS accuracy vs memory budget (synthetic YouTube)")
+    print(render_table(["k (baseline)", "bits/user", "beta", "AAPE", "ARMSE"], rows))
+    # Smaller budgets load the shared array more heavily.
+    assert betas[2] > betas[32]
+    # The largest budget must not be less accurate than the smallest one.
+    assert errors[32] <= errors[2] + 0.02
+    # All runs stay clear of estimator breakdown at beta = 0.5.
+    assert all(beta < 0.5 for beta in betas.values())

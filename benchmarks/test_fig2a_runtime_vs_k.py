@@ -1,0 +1,65 @@
+"""Figure 2(a): per-stream update runtime as the sketch size k grows (YouTube).
+
+The paper's finding: VOS and OPH process each edge in O(1) — their total
+runtime is flat in k — while MinHash and RP touch all k registers per edge and
+slow down linearly.  The benchmark times each (method, k) combination on the
+scaled synthetic YouTube stream and the shape test asserts the ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import runtime_table
+from repro.evaluation.runtime import RuntimeExperiment
+
+SKETCH_SIZES = (4, 32, 256)
+METHODS = ("MinHash", "OPH", "RP", "VOS")
+
+
+@pytest.fixture(scope="module")
+def runtime_stream(youtube_stream):
+    # A prefix keeps each timed run short while preserving the update mix.
+    return youtube_stream.prefix(2000)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("sketch_size", SKETCH_SIZES)
+def test_update_runtime(benchmark, runtime_stream, method, sketch_size):
+    """Time one full pass of the stream through one sketch configuration."""
+    experiment = RuntimeExperiment(methods=(method,), seed=1)
+
+    def run():
+        return experiment.time_method(method, runtime_stream, sketch_size)
+
+    measurement = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert measurement.elements == len(runtime_stream)
+
+
+def test_figure2a_shape(benchmark, runtime_stream):
+    """VOS/OPH stay flat in k; MinHash/RP grow with k (the Figure 2(a) shape)."""
+    experiment = RuntimeExperiment(seed=1)
+    result = benchmark.pedantic(
+        lambda: experiment.run_sketch_size_sweep(
+            runtime_stream, [SKETCH_SIZES[0], SKETCH_SIZES[-1]]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("# Figure 2(a) — runtime (seconds) vs sketch size k, synthetic YouTube")
+    print(runtime_table(result))
+    timings = {
+        method: {m.sketch_size: m.seconds for m in result.for_method(method)}
+        for method in METHODS
+    }
+    small, large = SKETCH_SIZES[0], SKETCH_SIZES[-1]
+    growth = {method: timings[method][large] / timings[method][small] for method in METHODS}
+    # O(k) methods must grow markedly; O(1) methods must grow far less.
+    assert growth["MinHash"] > 4.0
+    assert growth["VOS"] < growth["MinHash"] / 2
+    assert growth["OPH"] < growth["MinHash"] / 2
+    # At the large sketch size the O(1) methods are the fastest.
+    assert timings["VOS"][large] < timings["MinHash"][large]
+    assert timings["OPH"][large] < timings["MinHash"][large]
+    assert timings["VOS"][large] < timings["RP"][large]

@@ -1,0 +1,62 @@
+"""Figure 2(b): runtime of all methods at a large sketch size across all datasets.
+
+The paper fixes k = 10^5 and compares the four methods on YouTube, Flickr,
+Orkut and LiveJournal: VOS and OPH finish far sooner than MinHash and RP on
+every dataset.  The scaled reproduction uses a proportionally large k relative
+to the synthetic streams and asserts the same per-dataset ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import runtime_table
+from repro.evaluation.runtime import RuntimeExperiment
+
+#: Large sketch size (the paper's 10^5, scaled to the synthetic stream sizes).
+LARGE_SKETCH_SIZE = 512
+METHODS = ("MinHash", "OPH", "RP", "VOS")
+PREFIX_ELEMENTS = 1200
+
+
+@pytest.fixture(scope="module")
+def prefixed_streams(all_streams):
+    return {name: stream.prefix(PREFIX_ELEMENTS) for name, stream in all_streams.items()}
+
+
+@pytest.mark.parametrize("dataset", ("youtube", "flickr", "livejournal", "orkut"))
+@pytest.mark.parametrize("method", METHODS)
+def test_update_runtime_per_dataset(benchmark, prefixed_streams, dataset, method):
+    """Time one pass of each dataset through each method at the large k."""
+    stream = prefixed_streams[dataset]
+    experiment = RuntimeExperiment(methods=(method,), seed=1)
+    measurement = benchmark.pedantic(
+        lambda: experiment.time_method(method, stream, LARGE_SKETCH_SIZE),
+        rounds=1,
+        iterations=1,
+    )
+    assert measurement.dataset.startswith(dataset)
+
+
+def test_figure2b_shape(benchmark, prefixed_streams):
+    """On every dataset the O(1) methods beat the O(k) methods at large k."""
+    experiment = RuntimeExperiment(seed=1)
+    result = benchmark.pedantic(
+        lambda: experiment.run_dataset_sweep(
+            list(prefixed_streams.values()), LARGE_SKETCH_SIZE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"# Figure 2(b) — runtime (seconds) at k = {LARGE_SKETCH_SIZE}, all datasets")
+    print(runtime_table(result))
+    for dataset in prefixed_streams:
+        timings = {
+            m.method: m.seconds
+            for m in result.measurements
+            if m.dataset.startswith(dataset)
+        }
+        assert timings["VOS"] < timings["MinHash"], dataset
+        assert timings["OPH"] < timings["MinHash"], dataset
+        assert timings["VOS"] < timings["RP"], dataset

@@ -1,0 +1,43 @@
+"""Figure 3(a): AAPE of the common-item estimate over time on YouTube (k = 100).
+
+The paper tracks the average absolute percentage error of ŝ_uv for the
+selected user pairs as the fully dynamic stream progresses.  VOS's error stays
+low across the whole stream, whereas the deletion-biased baselines degrade as
+deletions accumulate.  The benchmark times the full experiment and the shape
+test asserts the end-of-stream ordering and prints the series.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.reporting import accuracy_over_time_table
+from repro.evaluation.runner import AccuracyExperiment
+
+from conftest import accuracy_config
+
+
+def test_run_accuracy_experiment(benchmark, youtube_stream):
+    """Time the full Figure-3(a) experiment (all methods, all checkpoints)."""
+    experiment = AccuracyExperiment(accuracy_config())
+    result = benchmark.pedantic(lambda: experiment.run(youtube_stream), rounds=1, iterations=1)
+    assert result.checkpoints["VOS"]
+
+
+def test_figure3a_shape(benchmark, youtube_accuracy_result):
+    """AAPE series exists for every method, is finite, and VOS ends at or
+    below the deletion-biased baselines."""
+    result = youtube_accuracy_result
+    benchmark.pedantic(
+        lambda: {m: result.series(m, "aape") for m in result.methods()}, rounds=1, iterations=1
+    )
+    print()
+    print("# Figure 3(a) — AAPE of common-item estimates over time, synthetic YouTube")
+    print(accuracy_over_time_table(result, metric="aape"))
+    for method in ("MinHash", "OPH", "RP", "VOS"):
+        series = result.series(method, "aape")
+        assert len(series) >= 2
+        assert all(value >= 0 or math.isnan(value) for _, value in series)
+    final = {method: result.final_checkpoint(method).aape for method in result.methods()}
+    assert final["VOS"] <= final["MinHash"] + 0.05
+    assert final["VOS"] <= final["OPH"] + 0.05

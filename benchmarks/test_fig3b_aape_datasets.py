@@ -1,0 +1,44 @@
+"""Figure 3(b): end-of-stream AAPE of the common-item estimate on all datasets.
+
+The paper reports, for each of the four graphs, the AAPE of every method once
+the whole fully dynamic stream has been processed; VOS has the lowest error on
+each.  The benchmark times one full-dataset experiment and the shape test
+prints the cross-dataset table and asserts VOS's standing on every dataset.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.reporting import accuracy_final_table
+from repro.evaluation.runner import AccuracyExperiment
+
+from conftest import accuracy_config
+
+
+def test_run_accuracy_all_datasets(benchmark, all_streams):
+    """Time the end-of-stream accuracy experiment on the largest dataset (orkut)."""
+    experiment = AccuracyExperiment(accuracy_config(num_checkpoints=2))
+    result = benchmark.pedantic(
+        lambda: experiment.run(all_streams["orkut"]), rounds=1, iterations=1
+    )
+    assert result.dataset == "orkut"
+
+
+def test_figure3b_shape(benchmark, all_datasets_accuracy_results):
+    results = all_datasets_accuracy_results
+    benchmark.pedantic(
+        lambda: {name: result.final_checkpoint("VOS").aape for name, result in results.items()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("# Figure 3(b) — end-of-stream AAPE across datasets")
+    print(accuracy_final_table(results, metric="aape"))
+    for dataset, result in results.items():
+        final = {method: result.final_checkpoint(method).aape for method in result.methods()}
+        assert all(math.isfinite(v) or math.isnan(v) for v in final.values())
+        # VOS at or below the deletion-biased baselines on every dataset
+        # (small slack accounts for the reduced synthetic scale).
+        assert final["VOS"] <= final["MinHash"] + 0.1, dataset
+        assert final["VOS"] <= final["OPH"] + 0.1, dataset

@@ -1,0 +1,32 @@
+"""Figure 3(c): ARMSE of the Jaccard estimate over time on YouTube (k = 100).
+
+Same protocol as Figure 3(a) but the metric is the root mean square error of
+the Jaccard coefficient estimates.  VOS's ARMSE stays below the deletion-biased
+baselines as the stream progresses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.reporting import accuracy_over_time_table
+
+
+def test_figure3c_shape(youtube_accuracy_result, benchmark):
+    result = youtube_accuracy_result
+
+    def extract_series():
+        return {method: result.series(method, "armse") for method in result.methods()}
+
+    series_by_method = benchmark.pedantic(extract_series, rounds=1, iterations=1)
+    print()
+    print("# Figure 3(c) — ARMSE of Jaccard estimates over time, synthetic YouTube")
+    print(accuracy_over_time_table(result, metric="armse"))
+    for method, series in series_by_method.items():
+        assert len(series) >= 2
+        assert all(math.isfinite(value) and value >= 0 for _, value in series)
+    final = {method: result.final_checkpoint(method).armse for method in result.methods()}
+    assert final["VOS"] <= final["MinHash"] + 0.02
+    assert final["VOS"] <= final["OPH"] + 0.02
+    # ARMSE is a probability-scale error; sanity-bound it.
+    assert all(value <= 1.0 for value in final.values())

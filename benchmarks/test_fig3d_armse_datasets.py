@@ -1,0 +1,34 @@
+"""Figure 3(d): end-of-stream ARMSE of the Jaccard estimate on all datasets.
+
+Cross-dataset counterpart of Figure 3(c): once each fully dynamic stream has
+been fully processed, VOS's Jaccard ARMSE is the lowest (or tied lowest) of
+the four methods on every dataset.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.reporting import accuracy_final_table
+
+
+def test_figure3d_shape(all_datasets_accuracy_results, benchmark):
+    results = all_datasets_accuracy_results
+
+    def final_metrics():
+        return {
+            dataset: {
+                method: result.final_checkpoint(method).armse for method in result.methods()
+            }
+            for dataset, result in results.items()
+        }
+
+    finals = benchmark.pedantic(final_metrics, rounds=1, iterations=1)
+    print()
+    print("# Figure 3(d) — end-of-stream ARMSE across datasets")
+    print(accuracy_final_table(results, metric="armse"))
+    for dataset, final in finals.items():
+        assert all(math.isfinite(value) and 0 <= value <= 1 for value in final.values()), dataset
+        assert final["VOS"] <= final["MinHash"] + 0.03, dataset
+        assert final["VOS"] <= final["OPH"] + 0.03, dataset
+        assert final["VOS"] <= final["RP"] + 0.05, dataset

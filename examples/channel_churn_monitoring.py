@@ -1,0 +1,101 @@
+"""Monitoring audience similarity between channels as subscriptions churn.
+
+A platform operator wants to watch, in near real time, how similar the
+audiences of competing channels are — e.g. to detect when two channels start
+serving the same community or when a massive unsubscription wave decouples
+them.  The item sets change constantly (subscribe and unsubscribe events), so
+this is exactly the fully dynamic setting of the paper.
+
+The example:
+
+1. builds a stream in which two "channels" (modelled as users of the bipartite
+   graph; the graph is symmetric in that respect) start with different
+   audiences, gradually converge as they gain common subscribers, and then
+   diverge again after a churn wave;
+2. tracks their common-subscriber count and Jaccard similarity continuously
+   with a VOS sketch, comparing against the exact values at every checkpoint;
+3. prints the timeline, demonstrating that the sketch follows both the upward
+   and the downward (deletion-driven) trend — the regime where MinHash/OPH
+   style sketches drift because of their sampling bias.
+
+Run with::
+
+    python examples/channel_churn_monitoring.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import VirtualOddSketch
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.minhash import DynamicMinHash
+from repro.core.memory import MemoryBudget
+from repro.evaluation.reporting import render_table
+from repro.streams import Action, StreamElement
+
+CHANNEL_A = 0
+CHANNEL_B = 1
+PHASE_LENGTH = 400
+
+
+def build_churn_scenario(seed: int = 11):
+    """Three phases: disjoint growth, convergence, churn-driven divergence."""
+    rng = random.Random(seed)
+    elements: list[StreamElement] = []
+    # Phase 1: each channel gains its own audience.
+    for subscriber in range(PHASE_LENGTH):
+        elements.append(StreamElement(CHANNEL_A, subscriber, Action.INSERT))
+        elements.append(StreamElement(CHANNEL_B, 10_000 + subscriber, Action.INSERT))
+    # Phase 2: a shared audience subscribes to both channels.
+    for subscriber in range(20_000, 20_000 + PHASE_LENGTH):
+        elements.append(StreamElement(CHANNEL_A, subscriber, Action.INSERT))
+        elements.append(StreamElement(CHANNEL_B, subscriber, Action.INSERT))
+    # Phase 3: a churn wave — most of the shared audience unsubscribes from
+    # channel B, while channel B picks up fresh exclusive subscribers.
+    for subscriber in range(20_000, 20_000 + PHASE_LENGTH):
+        if rng.random() < 0.8:
+            elements.append(StreamElement(CHANNEL_B, subscriber, Action.DELETE))
+        elements.append(StreamElement(CHANNEL_B, 30_000 + subscriber, Action.INSERT))
+    return elements
+
+
+def main() -> None:
+    elements = build_churn_scenario()
+    budget = MemoryBudget(baseline_registers=24, num_users=16)
+    vos = VirtualOddSketch.from_budget(budget, seed=2)
+    minhash = DynamicMinHash(24, seed=2)
+    exact = ExactSimilarityTracker()
+
+    checkpoints = {len(elements) * fraction // 12 for fraction in range(1, 13)}
+    rows = []
+    for position, element in enumerate(elements, start=1):
+        vos.process(element)
+        minhash.process(element)
+        exact.process(element)
+        if position in checkpoints:
+            rows.append(
+                [
+                    position,
+                    f"{exact.estimate_common_items(CHANNEL_A, CHANNEL_B):.0f}",
+                    f"{vos.estimate_common_items(CHANNEL_A, CHANNEL_B):.1f}",
+                    f"{exact.estimate_jaccard(CHANNEL_A, CHANNEL_B):.3f}",
+                    f"{vos.estimate_jaccard(CHANNEL_A, CHANNEL_B):.3f}",
+                    f"{minhash.estimate_jaccard(CHANNEL_A, CHANNEL_B):.3f}",
+                ]
+            )
+    print("audience similarity between two channels over a churn scenario")
+    print(
+        render_table(
+            ["t", "common (exact)", "common (VOS)", "J (exact)", "J (VOS)", "J (MinHash)"],
+            rows,
+        )
+    )
+    print()
+    print("phases: 1) disjoint growth  2) shared audience joins  3) churn wave hits channel B")
+    print("note how the MinHash column drifts after the churn wave (sampling bias under")
+    print("deletions) while VOS tracks the exact Jaccard in both directions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Near-duplicate account detection over a subscription stream.
+
+Motivation (from the paper's introduction): similarity estimation over graph
+streams powers duplicate detection — accounts that subscribe to nearly the
+same set of channels are likely duplicates, bots, or sock puppets.  Scanning
+all item sets exactly is too expensive when the stream is large and fully
+dynamic, so we use the VOS sketch to screen candidate pairs cheaply and verify
+only the screened pairs exactly.
+
+The example:
+
+1. generates a subscription stream and injects a few "duplicate" accounts that
+   copy an existing user's subscriptions with small perturbations, including
+   some unsubscriptions (so the static-sketch baselines are at a disadvantage);
+2. feeds the stream through a VOS sketch;
+3. ranks candidate pairs by the sketch's Jaccard estimate and reports
+   precision against the known ground-truth duplicates.
+
+Run with::
+
+    python examples/duplicate_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from repro import VirtualOddSketch
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.core.memory import MemoryBudget
+from repro.evaluation.reporting import render_table
+from repro.streams import Action, StreamElement, load_dataset
+
+NUM_DUPLICATES = 6
+PERTURBATION = 0.15  # fraction of the cloned subscriptions that are changed
+
+
+def build_stream_with_duplicates(seed: int = 7):
+    """Append duplicate accounts (with churn) to a synthetic subscription stream."""
+    rng = random.Random(seed)
+    base = load_dataset("youtube", scale=0.4)
+    elements = list(base)
+    item_sets = base.item_sets_at(None)
+    # Clone the largest accounts into fresh user ids.
+    originals = sorted(item_sets, key=lambda u: len(item_sets[u]), reverse=True)[:NUM_DUPLICATES]
+    next_user = max(base.users()) + 1
+    duplicates = {}
+    for original in originals:
+        clone = next_user
+        next_user += 1
+        duplicates[clone] = original
+        items = sorted(item_sets[original])
+        for item in items:
+            elements.append(StreamElement(clone, item, Action.INSERT))
+        # Perturb: unsubscribe a few cloned items and subscribe a few others.
+        for item in items:
+            if rng.random() < PERTURBATION:
+                elements.append(StreamElement(clone, item, Action.DELETE))
+        for _ in range(int(len(items) * PERTURBATION)):
+            elements.append(StreamElement(clone, 10_000 + rng.randrange(500), Action.INSERT))
+    return elements, duplicates
+
+
+def main() -> None:
+    elements, duplicates = build_stream_with_duplicates()
+    users = {element.user for element in elements}
+
+    budget = MemoryBudget(baseline_registers=24, num_users=len(users))
+    vos = VirtualOddSketch.from_budget(budget, seed=3)
+    exact = ExactSimilarityTracker()
+    for element in elements:
+        vos.process(element)
+        exact.process(element)
+
+    # Screen: consider pairs among the largest accounts only (as the paper's
+    # evaluation does) and rank them by the sketched Jaccard estimate.
+    largest = sorted(users, key=lambda u: exact.cardinality(u), reverse=True)[:40]
+    scored = []
+    for user_a, user_b in combinations(sorted(largest), 2):
+        scored.append((vos.estimate_jaccard(user_a, user_b), user_a, user_b))
+    scored.sort(reverse=True)
+
+    truth_pairs = {tuple(sorted((clone, original))) for clone, original in duplicates.items()}
+    rows = []
+    hits = 0
+    for rank, (score, user_a, user_b) in enumerate(scored[: len(truth_pairs) + 4], start=1):
+        is_duplicate = tuple(sorted((user_a, user_b))) in truth_pairs
+        hits += int(is_duplicate)
+        rows.append(
+            [
+                rank,
+                f"({user_a}, {user_b})",
+                f"{score:.3f}",
+                f"{exact.estimate_jaccard(user_a, user_b):.3f}",
+                "yes" if is_duplicate else "",
+            ]
+        )
+    print("top sketched pairs (screening for duplicate accounts)")
+    print(render_table(["rank", "pair", "VOS Jaccard", "exact Jaccard", "planted duplicate"], rows))
+    print()
+    print(f"planted duplicate pairs: {len(truth_pairs)}; "
+          f"recovered in the top {len(rows)} screened pairs: {hits}")
+
+
+if __name__ == "__main__":
+    main()

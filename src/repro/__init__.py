@@ -1,0 +1,73 @@
+"""repro — VOS: virtual odd sketches for user similarity over fully dynamic graph streams.
+
+This package is a from-scratch reproduction of "A Fast Sketch Method for
+Mining User Similarities over Fully Dynamic Graph Streams" (Jia, Wang, Tao,
+Guan — ICDE 2019).  It provides:
+
+* the VOS sketch itself (:mod:`repro.core`);
+* the baselines the paper compares against — MinHash, OPH, Random Pairing,
+  odd sketches, b-bit minwise hashing (:mod:`repro.baselines`);
+* a fully dynamic bipartite graph-stream substrate with synthetic datasets and
+  Trièst-style massive deletions (:mod:`repro.streams`);
+* a similarity engine and pair-selection utilities (:mod:`repro.similarity`);
+* the evaluation harness regenerating the paper's figures (:mod:`repro.evaluation`);
+* analytical companions for bias/variance (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import SimilarityEngine, load_dataset
+>>> stream = load_dataset("youtube", scale=0.05)
+>>> engine = SimilarityEngine.with_default_sketches(expected_users=500)
+>>> _ = engine.consume(stream)
+"""
+
+from repro.baselines import (
+    BBitMinHash,
+    ConsistentWeightedSampler,
+    DynamicMinHash,
+    DynamicOPH,
+    ExactSimilarityTracker,
+    MinHashOddSketch,
+    OddSketch,
+    RandomPairingSketch,
+)
+from repro.core import MemoryBudget, SharedBitArray, VirtualOddSketch
+from repro.evaluation import AccuracyExperiment, ExperimentConfig, RuntimeExperiment
+from repro.similarity import SimilarityEngine, build_sketch, sketch_registry
+from repro.streams import (
+    Action,
+    GraphStream,
+    MassiveDeletionModel,
+    StreamElement,
+    build_dynamic_stream,
+    load_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VirtualOddSketch",
+    "SharedBitArray",
+    "MemoryBudget",
+    "DynamicMinHash",
+    "DynamicOPH",
+    "RandomPairingSketch",
+    "ExactSimilarityTracker",
+    "OddSketch",
+    "MinHashOddSketch",
+    "BBitMinHash",
+    "ConsistentWeightedSampler",
+    "SimilarityEngine",
+    "build_sketch",
+    "sketch_registry",
+    "Action",
+    "StreamElement",
+    "GraphStream",
+    "MassiveDeletionModel",
+    "build_dynamic_stream",
+    "load_dataset",
+    "AccuracyExperiment",
+    "ExperimentConfig",
+    "RuntimeExperiment",
+    "__version__",
+]

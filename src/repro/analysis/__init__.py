@@ -1,0 +1,28 @@
+"""Analytical companions to the sketch implementations.
+
+* :mod:`repro.analysis.odd_model` — the odd-sketch collision model: expected
+  xor load as a function of the symmetric-difference size, and its inversion;
+* :mod:`repro.analysis.variance` — the VOS estimator's analytical bias and
+  standard deviation (Section IV), plus helpers that validate them against
+  Monte-Carlo simulation;
+* :mod:`repro.analysis.bias` — an empirical demonstration of the sampling bias
+  dynamic MinHash/OPH incur under deletions, which motivates VOS (Section III).
+"""
+
+from repro.analysis.bias import SamplingBiasReport, measure_sampling_bias
+from repro.analysis.odd_model import expected_alpha, invert_expected_alpha
+from repro.analysis.variance import (
+    monte_carlo_estimator_moments,
+    predicted_bias,
+    predicted_standard_deviation,
+)
+
+__all__ = [
+    "expected_alpha",
+    "invert_expected_alpha",
+    "predicted_bias",
+    "predicted_standard_deviation",
+    "monte_carlo_estimator_moments",
+    "measure_sampling_bias",
+    "SamplingBiasReport",
+]

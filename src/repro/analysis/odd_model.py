@@ -1,0 +1,79 @@
+"""The odd-sketch collision model used by both the original odd sketch and VOS.
+
+For an odd sketch of ``k`` bits holding a set whose symmetric difference with
+another set has size ``n``, each bit of the xor of the two sketches is 1 with
+probability
+
+    p(n, k) = (1 - (1 - 2/k)^n) / 2  ≈  (1 - exp(-2 n / k)) / 2.
+
+VOS extends this with the contamination probability ``beta`` of reading the
+shared array:
+
+    p_vos(n, k, beta) = (1 - (1 - 2 beta)^2 (1 - 2/k)^n) / 2.
+
+These functions are used by the estimator tests (the estimators must be the
+inverse of this model) and by the analysis notebooks/examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def expected_alpha(
+    symmetric_difference: float,
+    sketch_size: int,
+    beta: float = 0.0,
+    *,
+    exact: bool = False,
+) -> float:
+    """Expected fraction of set bits in the xor of two (virtual) odd sketches.
+
+    Parameters
+    ----------
+    symmetric_difference:
+        ``n = |S_a Δ S_b|``.
+    sketch_size:
+        Odd-sketch length ``k``.
+    beta:
+        Contamination probability of each recovered bit (0 for a plain odd
+        sketch stored exactly; the shared-array fill fraction for VOS).
+    exact:
+        If ``True`` use the exact ``(1 - 2/k)^n`` form, otherwise the
+        exponential approximation ``exp(-2 n / k)`` used by the paper.
+    """
+    if sketch_size <= 0:
+        raise ConfigurationError("sketch_size must be positive")
+    if symmetric_difference < 0:
+        raise ConfigurationError("symmetric_difference must be non-negative")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError("beta must be in [0, 1]")
+    if exact:
+        decay = (1.0 - 2.0 / sketch_size) ** symmetric_difference
+    else:
+        decay = math.exp(-2.0 * symmetric_difference / sketch_size)
+    return (1.0 - (1.0 - 2.0 * beta) ** 2 * decay) / 2.0
+
+
+def invert_expected_alpha(alpha: float, sketch_size: int, beta: float = 0.0) -> float:
+    """Invert :func:`expected_alpha` (exponential form) back to ``n``.
+
+    This is the same inversion the VOS estimator applies; exposing it here lets
+    tests assert that ``invert_expected_alpha(expected_alpha(n)) == n`` for the
+    whole parameter range.
+    """
+    if sketch_size <= 0:
+        raise ConfigurationError("sketch_size must be positive")
+    if not 0.0 <= beta < 0.5:
+        raise ConfigurationError("beta must be in [0, 0.5)")
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError("alpha must be in [0, 1]")
+    saturation = 0.5 - 1e-12
+    alpha = min(alpha, saturation)
+    numerator = 1.0 - 2.0 * alpha
+    denominator = (1.0 - 2.0 * beta) ** 2
+    ratio = numerator / denominator
+    ratio = max(ratio, 1e-300)
+    return -sketch_size * math.log(ratio) / 2.0

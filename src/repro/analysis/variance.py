@@ -1,0 +1,102 @@
+"""Analytical moments of the VOS estimator and a Monte-Carlo validator.
+
+Section IV of the paper states closed forms for the expectation and variance
+of the common-item estimator ``ŝ_uv``.  This module exposes them in a form
+convenient for analysis (bias and standard deviation as functions of the true
+symmetric difference, the sketch size and the fill fraction) and provides a
+Monte-Carlo routine that simulates the VOS read-out model directly, which the
+test suite uses to check the closed forms are in the right ballpark.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.estimators import (
+    estimate_common_items,
+    estimator_expectation,
+    estimator_variance,
+)
+from repro.exceptions import ConfigurationError
+
+
+def predicted_bias(symmetric_difference: float, beta: float, sketch_size: int) -> float:
+    """The paper's predicted bias ``E[ŝ] - s`` of the common-item estimator."""
+    return estimator_expectation(symmetric_difference, beta, sketch_size)
+
+
+def predicted_standard_deviation(
+    symmetric_difference: float, beta: float, sketch_size: int
+) -> float:
+    """The paper's predicted standard deviation of the common-item estimator.
+
+    The closed-form variance can be slightly negative for tiny ``n_Δ`` because
+    it is an asymptotic expansion; it is floored at zero before the square
+    root.
+    """
+    variance = estimator_variance(symmetric_difference, beta, sketch_size)
+    return math.sqrt(max(0.0, variance))
+
+
+@dataclass(frozen=True)
+class MonteCarloMoments:
+    """Sample moments of the estimator under the VOS read-out model."""
+
+    mean_estimate: float
+    standard_deviation: float
+    trials: int
+
+
+def monte_carlo_estimator_moments(
+    *,
+    cardinality_a: int,
+    cardinality_b: int,
+    common: int,
+    sketch_size: int,
+    beta: float,
+    trials: int = 200,
+    seed: int = 0,
+) -> MonteCarloMoments:
+    """Simulate the VOS probabilistic model and return sample moments of ``ŝ``.
+
+    The simulation draws, for each trial, the xor sketch ``Ô_uv`` directly
+    from the model: each of the ``n_Δ`` symmetric-difference items lands in a
+    uniformly random position (parity flips), then every recovered bit is
+    independently flipped with probability ``2·beta·(1-beta)`` (two
+    contaminated reads).  This matches the model the paper derives its moments
+    from, so the sample moments should track the closed forms.
+    """
+    if min(cardinality_a, cardinality_b, common) < 0:
+        raise ConfigurationError("cardinalities and common count must be non-negative")
+    if common > min(cardinality_a, cardinality_b):
+        raise ConfigurationError("common cannot exceed either cardinality")
+    if not 0.0 <= beta < 0.5:
+        raise ConfigurationError("beta must be in [0, 0.5)")
+    if trials <= 0:
+        raise ConfigurationError("trials must be positive")
+    symmetric_difference = cardinality_a + cardinality_b - 2 * common
+    rng = random.Random(seed)
+    flip_probability = 2.0 * beta * (1.0 - beta)
+    estimates = []
+    for _ in range(trials):
+        bits = [0] * sketch_size
+        for _ in range(symmetric_difference):
+            bits[rng.randrange(sketch_size)] ^= 1
+        observed = [
+            bit ^ 1 if rng.random() < flip_probability else bit for bit in bits
+        ]
+        alpha = sum(observed) / sketch_size
+        estimates.append(
+            estimate_common_items(
+                alpha, beta, sketch_size, cardinality_a, cardinality_b, clamp=False
+            )
+        )
+    mean = sum(estimates) / len(estimates)
+    variance = sum((e - mean) ** 2 for e in estimates) / len(estimates)
+    return MonteCarloMoments(
+        mean_estimate=mean,
+        standard_deviation=math.sqrt(variance),
+        trials=trials,
+    )

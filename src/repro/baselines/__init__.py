@@ -1,0 +1,53 @@
+"""Baseline similarity sketches the paper compares VOS against.
+
+All sketches — baselines and VOS alike — implement the common interface
+defined in :mod:`repro.baselines.base`:
+
+* ``process(element)`` consumes one stream element;
+* ``estimate_common_items(u, v)`` returns an estimate of ``|S_u ∩ S_v|``;
+* ``estimate_jaccard(u, v)`` returns an estimate of the Jaccard coefficient;
+* ``memory_bits()`` reports the memory the sketch accounts for under the
+  paper's cost model, so all methods can be placed under the same budget.
+
+Provided baselines:
+
+* :class:`~repro.baselines.exact.ExactSimilarityTracker` — exact per-user item
+  sets; the ground truth for every experiment.
+* :class:`~repro.baselines.minhash.DynamicMinHash` — the paper's dynamic
+  extension of MinHash (register invalidation on deleting the sampled item).
+* :class:`~repro.baselines.oph.DynamicOPH` — one-permutation hashing with the
+  analogous dynamic extension and optional densification.
+* :class:`~repro.baselines.random_pairing.RandomPairingSketch` — bounded-size
+  uniform samples maintained with Random Pairing (Gemulla et al.).
+* :class:`~repro.baselines.odd_sketch.MinHashOddSketch` — the original odd
+  sketch construction over MinHash samples (static setting).
+* :class:`~repro.baselines.bbit.BBitMinHash` — b-bit minwise hashing.
+* :class:`~repro.baselines.weighted.ConsistentWeightedSampler` — ICWS for the
+  generalised (weighted) Jaccard coefficient from the related-work discussion.
+"""
+
+from repro.baselines.base import PairEstimate, SimilaritySketch
+from repro.baselines.bbit import BBitMinHash
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.minhash import DynamicMinHash, StaticMinHash
+from repro.baselines.odd_sketch import MinHashOddSketch, OddSketch
+from repro.baselines.oph import DensificationStrategy, DynamicOPH
+from repro.baselines.random_pairing import IndependentRandomPairingSketch, RandomPairingSketch
+from repro.baselines.weighted import ConsistentWeightedSampler, weighted_jaccard
+
+__all__ = [
+    "SimilaritySketch",
+    "PairEstimate",
+    "ExactSimilarityTracker",
+    "DynamicMinHash",
+    "StaticMinHash",
+    "DynamicOPH",
+    "DensificationStrategy",
+    "RandomPairingSketch",
+    "IndependentRandomPairingSketch",
+    "OddSketch",
+    "MinHashOddSketch",
+    "BBitMinHash",
+    "ConsistentWeightedSampler",
+    "weighted_jaccard",
+]

@@ -1,0 +1,164 @@
+"""Common interface shared by every similarity sketch in the library.
+
+The evaluation harness (and downstream users) should be able to swap VOS,
+MinHash, OPH, RP and the exact tracker freely.  :class:`SimilaritySketch`
+defines the contract; :class:`PairEstimate` is the uniform result record.
+
+The contract mirrors the quantities in the paper:
+
+* ``estimate_common_items(u, v)``  ->  estimate of ``s_uv = |S_u ∩ S_v|``
+* ``estimate_jaccard(u, v)``       ->  estimate of ``J(S_u, S_v)``
+* ``cardinality(u)``               ->  the exact counter ``n_u = |S_u|`` that
+  every method maintains (the paper notes a plain counter tracks it).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import UnknownUserError
+from repro.streams.edge import StreamElement, UserId
+
+
+@dataclass(frozen=True)
+class PairEstimate:
+    """Estimates a sketch produced for one user pair at one point in time.
+
+    Attributes
+    ----------
+    user_a, user_b:
+        The pair of users.
+    common_items:
+        Estimated number of common items ``s_uv``.
+    jaccard:
+        Estimated Jaccard coefficient.
+    """
+
+    user_a: UserId
+    user_b: UserId
+    common_items: float
+    jaccard: float
+
+
+def jaccard_from_common(common: float, size_a: float, size_b: float) -> float:
+    """Convert a common-item estimate into a Jaccard estimate.
+
+    Uses ``J = s / (|A| + |B| - s)`` and clamps the result into ``[0, 1]`` so
+    noisy estimates never produce out-of-range similarities.
+    """
+    union = size_a + size_b - common
+    if union <= 0:
+        # Either both sets are empty (identical -> 1) or the common-item
+        # estimate overshoots the union entirely (clamp at full similarity
+        # when there is anything in common, and at 0 for an all-empty guess).
+        return 1.0 if (common > 0 or (size_a == 0 and size_b == 0)) else 0.0
+    return min(1.0, max(0.0, common / union))
+
+
+def common_from_jaccard(jaccard: float, size_a: float, size_b: float) -> float:
+    """Convert a Jaccard estimate into a common-item estimate.
+
+    Uses ``s = J * (|A| + |B|) / (J + 1)`` (the identity from Section II of
+    the paper) and clamps into ``[0, min(|A|, |B|)]``.
+    """
+    if jaccard <= 0:
+        return 0.0
+    common = jaccard * (size_a + size_b) / (jaccard + 1.0)
+    return min(common, float(min(size_a, size_b)))
+
+
+class SimilaritySketch(abc.ABC):
+    """Abstract base class for all streaming similarity sketches.
+
+    Subclasses implement :meth:`_process_insertion`, :meth:`_process_deletion`
+    and the two estimators.  The base class maintains the exact per-user item
+    counters ``n_u`` (the paper explicitly keeps these as plain counters for
+    every method) and tracks the set of users ever seen.
+    """
+
+    #: Human-readable method name used in reports; subclasses override.
+    name: str = "sketch"
+
+    def __init__(self) -> None:
+        self._cardinalities: dict[UserId, int] = {}
+
+    # -- stream consumption --------------------------------------------------------
+
+    def process(self, element: StreamElement) -> None:
+        """Consume one stream element, updating counters and the sketch."""
+        user = element.user
+        if element.is_insertion:
+            self._cardinalities[user] = self._cardinalities.get(user, 0) + 1
+            self._process_insertion(element)
+        else:
+            self._cardinalities[user] = max(0, self._cardinalities.get(user, 0) - 1)
+            self._process_deletion(element)
+
+    def process_stream(self, elements: Iterable[StreamElement]) -> None:
+        """Consume every element of an iterable (convenience wrapper)."""
+        for element in elements:
+            self.process(element)
+
+    @abc.abstractmethod
+    def _process_insertion(self, element: StreamElement) -> None:
+        """Handle a subscription event."""
+
+    @abc.abstractmethod
+    def _process_deletion(self, element: StreamElement) -> None:
+        """Handle an unsubscription event."""
+
+    # -- queries --------------------------------------------------------------------
+
+    def cardinality(self, user: UserId) -> int:
+        """Exact number of items currently subscribed by ``user`` (``n_u``)."""
+        if user not in self._cardinalities:
+            raise UnknownUserError(user)
+        return self._cardinalities[user]
+
+    def has_user(self, user: UserId) -> bool:
+        """Whether ``user`` has ever appeared in the stream."""
+        return user in self._cardinalities
+
+    def users(self) -> set[UserId]:
+        """All users ever observed."""
+        return set(self._cardinalities)
+
+    @abc.abstractmethod
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        """Estimate ``s_uv``, the number of items both users currently subscribe to."""
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        """Estimate the Jaccard coefficient between the two users' item sets.
+
+        The default implementation derives Jaccard from the common-item
+        estimate via the identity in Section II; subclasses with a more
+        natural direct Jaccard estimator (MinHash, OPH) override this.
+        """
+        common = self.estimate_common_items(user_a, user_b)
+        return jaccard_from_common(
+            common, self.cardinality(user_a), self.cardinality(user_b)
+        )
+
+    def estimate_pair(self, user_a: UserId, user_b: UserId) -> PairEstimate:
+        """Return both estimates for a pair as a :class:`PairEstimate`."""
+        return PairEstimate(
+            user_a=user_a,
+            user_b=user_b,
+            common_items=self.estimate_common_items(user_a, user_b),
+            jaccard=self.estimate_jaccard(user_a, user_b),
+        )
+
+    # -- accounting -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Memory the sketch accounts for under the paper's cost model (in bits).
+
+        The per-user cardinality counters are excluded: the paper keeps them
+        for every method, so they cancel out of the comparison.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} users={len(self._cardinalities)}>"

@@ -1,0 +1,71 @@
+"""b-bit minwise hashing (Li & König, WWW 2010).
+
+b-bit minwise hashing compresses each 32/64-bit MinHash register down to its
+lowest ``b`` bits.  Registers of two sets still agree whenever the underlying
+MinHash registers agree, but they may now also agree *accidentally* with
+probability about ``2^-b``; the estimator corrects for that collision floor:
+
+    E[match fraction] = C + (1 - C) * J        with  C ≈ 2^-b
+    =>  Ĵ = (match fraction - C) / (1 - C).
+
+The class below is a streaming sketch sharing the :class:`DynamicMinHash`
+update rules (including the deletion-invalidation bias), so it can be used as
+an additional memory-reduced baseline in the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import common_from_jaccard
+from repro.baselines.minhash import DynamicMinHash
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import UserId
+
+
+class BBitMinHash(DynamicMinHash):
+    """Dynamic MinHash whose registers are compared on their lowest ``b`` bits only.
+
+    Parameters
+    ----------
+    num_registers:
+        Number of registers ``k``.
+    bits:
+        Number of low-order bits kept per register (``b``), typically 1-8.
+    seed:
+        Hash family seed.
+    """
+
+    name = "bBitMinHash"
+
+    def __init__(self, num_registers: int, bits: int = 1, *, seed: int = 0) -> None:
+        if not 1 <= bits <= 32:
+            raise ConfigurationError(f"bits must be in [1, 32], got {bits}")
+        super().__init__(num_registers, seed=seed, register_bits=bits)
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        values_a, _ = self._registers_for(user_a)
+        values_b, _ = self._registers_for(user_b)
+        matches = 0
+        occupied = 0
+        for a, b in zip(values_a, values_b):
+            if a is None or b is None:
+                continue
+            occupied += 1
+            if (a & self._mask) == (b & self._mask):
+                matches += 1
+        if occupied == 0:
+            return 0.0
+        match_fraction = matches / occupied
+        collision_floor = 2.0 ** (-self.bits)
+        estimate = (match_fraction - collision_floor) / (1.0 - collision_floor)
+        return min(1.0, max(0.0, estimate))
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        jaccard = self.estimate_jaccard(user_a, user_b)
+        return common_from_jaccard(
+            jaccard, self.cardinality(user_a), self.cardinality(user_b)
+        )
+
+    def memory_bits(self) -> int:
+        return len(self._min_values) * self.num_registers * self.bits

@@ -1,0 +1,63 @@
+"""Exact per-user item sets: the ground truth for every experiment.
+
+The exact tracker simply maintains ``S_u`` for every user and answers
+similarity queries by direct set intersection.  Its memory is linear in the
+number of live edges, which is precisely what the sketches avoid — but it is
+indispensable as the reference all error metrics are computed against.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import SimilaritySketch, jaccard_from_common
+from repro.streams.edge import ItemId, StreamElement, UserId
+
+
+class ExactSimilarityTracker(SimilaritySketch):
+    """Maintains exact item sets ``S_u`` and answers exact similarity queries.
+
+    Examples
+    --------
+    >>> from repro.streams import Action, StreamElement
+    >>> exact = ExactSimilarityTracker()
+    >>> exact.process(StreamElement(1, 7, Action.INSERT))
+    >>> exact.process(StreamElement(2, 7, Action.INSERT))
+    >>> exact.estimate_common_items(1, 2)
+    1.0
+    """
+
+    name = "Exact"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._item_sets: dict[UserId, set[ItemId]] = {}
+
+    def _process_insertion(self, element: StreamElement) -> None:
+        self._item_sets.setdefault(element.user, set()).add(element.item)
+
+    def _process_deletion(self, element: StreamElement) -> None:
+        self._item_sets.setdefault(element.user, set()).discard(element.item)
+
+    def item_set(self, user: UserId) -> set[ItemId]:
+        """The exact current item set of ``user`` (empty set if never seen)."""
+        return set(self._item_sets.get(user, set()))
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        set_a = self._item_sets.get(user_a, set())
+        set_b = self._item_sets.get(user_b, set())
+        return float(len(set_a & set_b))
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        set_a = self._item_sets.get(user_a, set())
+        set_b = self._item_sets.get(user_b, set())
+        common = len(set_a & set_b)
+        return jaccard_from_common(common, len(set_a), len(set_b))
+
+    def symmetric_difference(self, user_a: UserId, user_b: UserId) -> int:
+        """Exact ``n_{uΔv} = |S_u Δ S_v|`` (used to validate VOS internals)."""
+        set_a = self._item_sets.get(user_a, set())
+        set_b = self._item_sets.get(user_b, set())
+        return len(set_a ^ set_b)
+
+    def memory_bits(self) -> int:
+        """Accounted as 64 bits per stored (user, item) pair."""
+        return 64 * sum(len(items) for items in self._item_sets.values())

@@ -1,0 +1,168 @@
+"""MinHash sketches, static and dynamically extended.
+
+Classic MinHash keeps, for each user ``u`` and each of ``k`` independent hash
+functions ``h_j``, the item of ``S_u`` with the smallest hash value.  The
+fraction of registers on which two users agree is an unbiased estimator of
+their Jaccard coefficient.  Updating one insertion costs ``O(k)``.
+
+Section III of the paper extends MinHash to fully dynamic streams:
+
+* on insertion of ``(u, i)``: update register ``j`` if ``h_j(i)`` is smaller
+  than the current minimum (or the register is empty);
+* on deletion of ``(u, i)``: if the register currently samples exactly item
+  ``i`` the sample is lost and the register becomes empty — the sketch has no
+  way to recover the second-smallest item without rescanning ``S_u``.
+
+That invalidation is exactly the source of the *sampling bias* the paper
+measures: after deletions the surviving registers are no longer uniform
+samples of the current ``S_u``.  :class:`DynamicMinHash` implements this
+faithfully (bias included) because it is the baseline the evaluation needs.
+
+:class:`StaticMinHash` is a conventional set-at-a-time MinHash used by the odd
+sketch baseline and by tests that need unbiased behaviour on static sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.baselines.base import SimilaritySketch, common_from_jaccard
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.hashing import HashFamily
+from repro.streams.edge import ItemId, StreamElement, UserId
+
+#: Sentinel hash value meaning "register empty".
+_EMPTY = None
+
+
+class DynamicMinHash(SimilaritySketch):
+    """MinHash with the paper's dynamic extension (Section III, cases 1-3).
+
+    Parameters
+    ----------
+    num_registers:
+        Number of hash functions / registers per user (``k``).
+    seed:
+        Seed for the hash family.
+    register_bits:
+        Nominal width of one register for memory accounting (32 in the
+        paper's evaluation).
+
+    Notes
+    -----
+    The update cost per stream element is ``O(k)`` because every register's
+    hash of the item must be examined.  When an unsubscribed item happens to
+    be the sampled minimum of a register, the register is cleared and stays
+    empty until a later insertion refills it; this models the bias the paper
+    analyses and does **not** attempt to correct it.
+    """
+
+    name = "MinHash"
+
+    def __init__(self, num_registers: int, *, seed: int = 0, register_bits: int = 32) -> None:
+        super().__init__()
+        if num_registers <= 0:
+            raise ConfigurationError(
+                f"num_registers must be positive, got {num_registers}"
+            )
+        self.num_registers = num_registers
+        self.register_bits = register_bits
+        # Wide output range so hash collisions between distinct items are
+        # negligible; minima are compared on the wide value.
+        self._family = HashFamily(size=num_registers, range_size=1 << 61, seed=seed)
+        # Per user: parallel lists of (min hash value, sampled item) per register.
+        self._min_values: dict[UserId, list[int | None]] = {}
+        self._min_items: dict[UserId, list[ItemId | None]] = {}
+
+    def _registers_for(self, user: UserId) -> tuple[list[int | None], list[ItemId | None]]:
+        if user not in self._min_values:
+            self._min_values[user] = [_EMPTY] * self.num_registers
+            self._min_items[user] = [_EMPTY] * self.num_registers
+        return self._min_values[user], self._min_items[user]
+
+    def _process_insertion(self, element: StreamElement) -> None:
+        values, items = self._registers_for(element.user)
+        item = element.item
+        for j, hash_function in enumerate(self._family):
+            hashed = hash_function.value64(item)
+            current = values[j]
+            if current is None or hashed < current:
+                values[j] = hashed
+                items[j] = item
+
+    def _process_deletion(self, element: StreamElement) -> None:
+        if element.user not in self._min_items:
+            return
+        values, items = self._registers_for(element.user)
+        for j in range(self.num_registers):
+            if items[j] == element.item:
+                # Case 2 of the paper: the sampled item disappeared and the
+                # register cannot be repaired from the sketch alone.
+                values[j] = _EMPTY
+                items[j] = _EMPTY
+
+    # -- estimation -----------------------------------------------------------------
+
+    def register_items(self, user: UserId) -> list[ItemId | None]:
+        """The sampled item of each register (``None`` where empty)."""
+        if user not in self._min_items:
+            raise UnknownUserError(user)
+        return list(self._min_items[user])
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        values_a, items_a = self._registers_for(user_a)
+        values_b, items_b = self._registers_for(user_b)
+        matches = 0
+        for j in range(self.num_registers):
+            if items_a[j] is not None and items_a[j] == items_b[j]:
+                matches += 1
+        return matches / self.num_registers
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        jaccard = self.estimate_jaccard(user_a, user_b)
+        return common_from_jaccard(
+            jaccard, self.cardinality(user_a), self.cardinality(user_b)
+        )
+
+    def memory_bits(self) -> int:
+        return len(self._min_values) * self.num_registers * self.register_bits
+
+
+class StaticMinHash:
+    """Conventional MinHash over a complete, static item set.
+
+    This is not a streaming sketch: it is built from a fully known set and is
+    used (a) by the odd-sketch baseline, which first MinHash-samples a set and
+    then builds an odd sketch of the samples, and (b) in tests as an unbiased
+    reference for the dynamic variant on insertion-only streams.
+    """
+
+    def __init__(self, num_registers: int, *, seed: int = 0) -> None:
+        if num_registers <= 0:
+            raise ConfigurationError(
+                f"num_registers must be positive, got {num_registers}"
+            )
+        self.num_registers = num_registers
+        self._family = HashFamily(size=num_registers, range_size=1 << 61, seed=seed)
+
+    def signature(self, items: Iterable[ItemId]) -> list[ItemId | None]:
+        """Return the sampled item per register for the given set."""
+        materialized = list(items)
+        if not materialized:
+            return [None] * self.num_registers
+        signature: list[ItemId | None] = []
+        for hash_function in self._family:
+            best_item = min(materialized, key=hash_function.value64)
+            signature.append(best_item)
+        return signature
+
+    def estimate_jaccard(self, items_a: Iterable[ItemId], items_b: Iterable[ItemId]) -> float:
+        """Estimate the Jaccard coefficient of two static sets."""
+        signature_a = self.signature(items_a)
+        signature_b = self.signature(items_b)
+        matches = sum(
+            1
+            for a, b in zip(signature_a, signature_b)
+            if a is not None and a == b
+        )
+        return matches / self.num_registers

@@ -1,0 +1,207 @@
+"""One Permutation Hashing (OPH) with densification and a dynamic extension.
+
+OPH (Li, Owen, Zhang, NIPS 2012) hashes every item *once* with a single
+permutation-like hash, partitions the hash range into ``k`` equal bins, and
+keeps the minimum hash value within each bin.  Updating one item therefore
+costs ``O(1)`` — only the item's own bin is touched — compared with MinHash's
+``O(k)``.
+
+Bins that receive no item remain *empty*.  The plain OPH estimator simply
+ignores jointly-empty bins; the densification strategies referenced by the
+paper fill empty bins by borrowing from neighbouring non-empty bins:
+
+* ``ROTATION_RIGHT`` — borrow from the closest non-empty bin to the right
+  (Shrivastava & Li, ICML 2014);
+* ``RANDOM_DIRECTION`` — borrow left or right with probability 1/2 each
+  (Shrivastava & Li, UAI 2014);
+* ``NONE`` — no densification (plain OPH; the estimator skips empty bins).
+
+The dynamic extension mirrors the MinHash one: deleting an item that is the
+current minimum of its bin clears the bin, which re-introduces the sampling
+bias the paper analyses.  Densification is applied at *estimation* time on a
+copy of the registers, so it never interferes with streaming updates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.baselines.base import SimilaritySketch, common_from_jaccard
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.hashing import UniversalHash
+from repro.hashing.universal import stable_hash64
+from repro.streams.edge import ItemId, StreamElement, UserId
+
+
+class DensificationStrategy(enum.Enum):
+    """How empty OPH bins are filled before comparison.
+
+    ``OPTIMAL`` follows Shrivastava (ICML 2017): every empty bin borrows from a
+    non-empty bin chosen by an independent universal hash of the bin index
+    (re-hashed until a non-empty bin is hit), which removes the neighbouring-bin
+    correlation of the rotation schemes.
+    """
+
+    NONE = "none"
+    ROTATION_RIGHT = "rotation-right"
+    RANDOM_DIRECTION = "random-direction"
+    OPTIMAL = "optimal"
+
+
+class DynamicOPH(SimilaritySketch):
+    """One Permutation Hashing over a fully dynamic stream.
+
+    Parameters
+    ----------
+    num_bins:
+        Number of bins ``k``.
+    seed:
+        Seed for the single item hash.
+    densification:
+        Strategy used to fill empty bins at estimation time.
+    register_bits:
+        Nominal register width for memory accounting (32 in the paper).
+
+    Notes
+    -----
+    Each user keeps ``k`` registers holding the minimum hash value seen in the
+    corresponding bin, plus the identity of the item achieving it (needed to
+    detect when a deletion invalidates the bin).  Updates are ``O(1)``.
+    """
+
+    name = "OPH"
+
+    def __init__(
+        self,
+        num_bins: int,
+        *,
+        seed: int = 0,
+        densification: DensificationStrategy = DensificationStrategy.NONE,
+        register_bits: int = 32,
+    ) -> None:
+        super().__init__()
+        if num_bins <= 0:
+            raise ConfigurationError(f"num_bins must be positive, got {num_bins}")
+        self.num_bins = num_bins
+        self.densification = densification
+        self.register_bits = register_bits
+        self._seed = seed
+        self._item_hash = UniversalHash(range_size=1 << 61, seed=stable_hash64(("oph", seed)))
+        self._min_values: dict[UserId, list[int | None]] = {}
+        self._min_items: dict[UserId, list[ItemId | None]] = {}
+
+    # -- internal helpers -----------------------------------------------------------
+
+    def _bin_and_value(self, item: ItemId) -> tuple[int, int]:
+        """Map an item to ``(bin index, within-bin hash value)``.
+
+        The wide hash value is split: the low bits choose the bin uniformly,
+        the full value orders items within the bin.  This matches the OPH
+        construction of partitioning one permutation's range into k intervals.
+        """
+        hashed = self._item_hash.value64(item)
+        return hashed % self.num_bins, hashed
+
+    def _registers_for(self, user: UserId) -> tuple[list[int | None], list[ItemId | None]]:
+        if user not in self._min_values:
+            self._min_values[user] = [None] * self.num_bins
+            self._min_items[user] = [None] * self.num_bins
+        return self._min_values[user], self._min_items[user]
+
+    # -- streaming updates ----------------------------------------------------------
+
+    def _process_insertion(self, element: StreamElement) -> None:
+        values, items = self._registers_for(element.user)
+        bin_index, hashed = self._bin_and_value(element.item)
+        current = values[bin_index]
+        if current is None or hashed < current:
+            values[bin_index] = hashed
+            items[bin_index] = element.item
+
+    def _process_deletion(self, element: StreamElement) -> None:
+        if element.user not in self._min_items:
+            return
+        values, items = self._registers_for(element.user)
+        bin_index, _ = self._bin_and_value(element.item)
+        if items[bin_index] == element.item:
+            # The bin's sampled minimum disappeared; the sketch cannot recover
+            # the runner-up, so the bin becomes empty (sampling bias source).
+            values[bin_index] = None
+            items[bin_index] = None
+
+    # -- densification ----------------------------------------------------------------
+
+    def _densified_registers(self, user: UserId) -> list[ItemId | None]:
+        """Return per-bin sampled items after applying the densification strategy."""
+        if user not in self._min_items:
+            raise UnknownUserError(user)
+        items = list(self._min_items[user])
+        if self.densification is DensificationStrategy.NONE:
+            return items
+        if all(value is None for value in items):
+            return items
+        k = self.num_bins
+        filled = list(items)
+        for j in range(k):
+            if filled[j] is not None:
+                continue
+            if self.densification is DensificationStrategy.OPTIMAL:
+                # Optimal densification: probe bins by an independent hash of
+                # (bin, attempt) until a non-empty one is found.  The probe
+                # sequence depends only on the bin index and the seed, so both
+                # users of a pair densify identically.
+                attempt = 0
+                while True:
+                    probe = stable_hash64(("oph-opt", self._seed, j, attempt)) % k
+                    if items[probe] is not None:
+                        filled[j] = items[probe]
+                        break
+                    attempt += 1
+                continue
+            if self.densification is DensificationStrategy.ROTATION_RIGHT:
+                direction = 1
+            else:
+                # Direction chosen by a hash of (user-independent) bin index so
+                # that both users of a pair densify the same way, which the
+                # randomized densification schemes require for unbiasedness.
+                direction = 1 if stable_hash64(("oph-dir", self._seed, j)) & 1 else -1
+            offset = 1
+            while offset < k:
+                candidate = items[(j + direction * offset) % k]
+                if candidate is not None:
+                    filled[j] = candidate
+                    break
+                offset += 1
+        return filled
+
+    # -- estimation -------------------------------------------------------------------
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        items_a = self._densified_registers(user_a)
+        items_b = self._densified_registers(user_b)
+        matches = 0
+        occupied = 0
+        for a, b in zip(items_a, items_b):
+            if a is None and b is None:
+                continue
+            occupied += 1
+            if a is not None and a == b:
+                matches += 1
+        if occupied == 0:
+            return 0.0
+        return matches / occupied
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        jaccard = self.estimate_jaccard(user_a, user_b)
+        return common_from_jaccard(
+            jaccard, self.cardinality(user_a), self.cardinality(user_b)
+        )
+
+    def bin_items(self, user: UserId) -> list[ItemId | None]:
+        """The raw (un-densified) sampled item per bin — exposed for tests."""
+        if user not in self._min_items:
+            raise UnknownUserError(user)
+        return list(self._min_items[user])
+
+    def memory_bits(self) -> int:
+        return len(self._min_values) * self.num_bins * self.register_bits

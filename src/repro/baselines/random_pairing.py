@@ -1,0 +1,240 @@
+"""Random Pairing (RP): bounded-size uniform samples under insertions and deletions.
+
+Random Pairing (Gemulla, Lehner, Haas, VLDB Journal 2008) maintains a
+bounded-size uniform random sample of an evolving multiset.  The key idea is
+that a deletion is not compensated immediately; instead it is remembered in
+one of two counters and "paired" with a future insertion, which then either
+refills the sample (if the deletion had removed a sampled element) or is
+skipped (if it had removed an unsampled one).  The resulting sample is uniform
+over the current set at all times.
+
+The paper uses RP as a baseline: keep an RP sample of up to ``k`` items for
+every user and estimate the number of common items from the overlap of the two
+samples.  Because the two samples are *independent* (unlike MinHash, where the
+same hash functions coordinate the samples), a common item appears in both
+samples only with probability ``(k/|S_u|)(k/|S_v|)``, so the estimator scales
+the observed overlap back up by the inverse of that probability (the
+``|S_u||S_v|`` factor in Section III).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.base import SimilaritySketch, jaccard_from_common
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.streams.edge import ItemId, StreamElement, UserId
+
+
+class _UserReservoir:
+    """Random-pairing sample of one user's item set, capacity ``capacity``.
+
+    Attributes
+    ----------
+    sample:
+        The current sample (a set of items, size <= capacity).
+    uncompensated_in_sample:
+        The counter ``c1``: deletions of sampled items not yet paired.
+    uncompensated_outside:
+        The counter ``c2``: deletions of unsampled items not yet paired.
+    """
+
+    __slots__ = ("capacity", "sample", "uncompensated_in_sample", "uncompensated_outside", "population")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.sample: set[ItemId] = set()
+        self.uncompensated_in_sample = 0
+        self.uncompensated_outside = 0
+        self.population = 0
+
+    def insert(self, item: ItemId, rng: random.Random) -> None:
+        self.population += 1
+        pending = self.uncompensated_in_sample + self.uncompensated_outside
+        if pending == 0:
+            # Classic reservoir-sampling step.
+            if len(self.sample) < self.capacity:
+                self.sample.add(item)
+            elif rng.random() < self.capacity / self.population:
+                evicted = rng.choice(tuple(self.sample))
+                self.sample.discard(evicted)
+                self.sample.add(item)
+            return
+        # Pair this insertion with one of the outstanding deletions: with
+        # probability c1 / (c1 + c2) the deletion had removed a sampled item,
+        # in which case the new item takes its place in the sample.
+        if rng.random() < self.uncompensated_in_sample / pending:
+            self.sample.add(item)
+            self.uncompensated_in_sample -= 1
+        else:
+            self.uncompensated_outside -= 1
+
+    def delete(self, item: ItemId) -> None:
+        self.population = max(0, self.population - 1)
+        if item in self.sample:
+            self.sample.discard(item)
+            self.uncompensated_in_sample += 1
+        else:
+            self.uncompensated_outside += 1
+
+
+class RandomPairingSketch(SimilaritySketch):
+    """Per-user Random Pairing samples with an intersection-scaling similarity estimator.
+
+    Parameters
+    ----------
+    sample_size:
+        Maximum number of items kept per user (``k``).
+    seed:
+        Seed for the internal random generator.
+    register_bits:
+        Nominal width of one stored item for memory accounting (32 bits, as
+        for the other baselines in the paper's budget model).
+    """
+
+    name = "RP-pooled"
+
+    def __init__(self, sample_size: int, *, seed: int = 0, register_bits: int = 32) -> None:
+        super().__init__()
+        if sample_size <= 0:
+            raise ConfigurationError(f"sample_size must be positive, got {sample_size}")
+        self.sample_size = sample_size
+        self.register_bits = register_bits
+        self._rng = random.Random(seed)
+        self._reservoirs: dict[UserId, _UserReservoir] = {}
+
+    def _reservoir_for(self, user: UserId) -> _UserReservoir:
+        reservoir = self._reservoirs.get(user)
+        if reservoir is None:
+            reservoir = _UserReservoir(self.sample_size)
+            self._reservoirs[user] = reservoir
+        return reservoir
+
+    def _process_insertion(self, element: StreamElement) -> None:
+        self._reservoir_for(element.user).insert(element.item, self._rng)
+
+    def _process_deletion(self, element: StreamElement) -> None:
+        self._reservoir_for(element.user).delete(element.item)
+
+    def sample(self, user: UserId) -> set[ItemId]:
+        """The current RP sample of ``user`` (exposed for tests and diagnostics)."""
+        if user not in self._reservoirs:
+            raise UnknownUserError(user)
+        return set(self._reservoirs[user].sample)
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        size_a = self.cardinality(user_a)
+        size_b = self.cardinality(user_b)
+        reservoir_a = self._reservoirs.get(user_a)
+        reservoir_b = self._reservoirs.get(user_b)
+        if reservoir_a is None or reservoir_b is None:
+            return 0.0
+        sample_a = reservoir_a.sample
+        sample_b = reservoir_b.sample
+        if not sample_a or not sample_b:
+            return 0.0
+        overlap = len(sample_a & sample_b)
+        # Each common item is present in sample_a with probability
+        # |sample_a| / |S_a| and independently in sample_b with probability
+        # |sample_b| / |S_b|; invert that inclusion probability.
+        inclusion_a = len(sample_a) / max(size_a, 1)
+        inclusion_b = len(sample_b) / max(size_b, 1)
+        if inclusion_a <= 0 or inclusion_b <= 0:
+            return 0.0
+        estimate = overlap / (inclusion_a * inclusion_b)
+        return min(estimate, float(min(size_a, size_b)))
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        common = self.estimate_common_items(user_a, user_b)
+        return jaccard_from_common(
+            common, self.cardinality(user_a), self.cardinality(user_b)
+        )
+
+    def memory_bits(self) -> int:
+        return len(self._reservoirs) * self.sample_size * self.register_bits
+
+
+class IndependentRandomPairingSketch(SimilaritySketch):
+    """The paper's RP baseline: ``k`` independent single-item RP samples per user.
+
+    Section III of the paper extends Random Pairing by drawing, for each user,
+    ``k`` items ``(phi_j(S_u))`` with *independent* samplers (one per register,
+    each a capacity-1 RP reservoir).  Because the samples of two users are not
+    coordinated by shared hash functions, a register matches only with
+    probability ``s_uv / (|S_u| |S_v|)``, and the common-item estimator scales
+    the observed match count back up by ``|S_u| |S_v| / k``.
+
+    This is the exact construction the paper benchmarks: its per-element
+    update cost is ``O(k)`` (every register's sampler sees the element), and
+    its estimates are far noisier than the hash-coordinated sketches — both
+    properties the evaluation figures rely on.
+
+    :class:`RandomPairingSketch` (a single pooled size-``k`` reservoir) is the
+    stronger engineering variant kept alongside for comparison; the experiment
+    registry uses this class for the name ``"RP"`` to stay faithful to the
+    paper.
+    """
+
+    name = "RP"
+
+    def __init__(self, num_samples: int, *, seed: int = 0, register_bits: int = 32) -> None:
+        super().__init__()
+        if num_samples <= 0:
+            raise ConfigurationError(f"num_samples must be positive, got {num_samples}")
+        self.num_samples = num_samples
+        self.register_bits = register_bits
+        self._rng = random.Random(seed)
+        # Per user: one capacity-1 reservoir per register.
+        self._registers: dict[UserId, list[_UserReservoir]] = {}
+
+    def _registers_for(self, user: UserId) -> list[_UserReservoir]:
+        registers = self._registers.get(user)
+        if registers is None:
+            registers = [_UserReservoir(1) for _ in range(self.num_samples)]
+            self._registers[user] = registers
+        return registers
+
+    def _process_insertion(self, element: StreamElement) -> None:
+        rng = self._rng
+        for reservoir in self._registers_for(element.user):
+            reservoir.insert(element.item, rng)
+
+    def _process_deletion(self, element: StreamElement) -> None:
+        for reservoir in self._registers_for(element.user):
+            reservoir.delete(element.item)
+
+    def sampled_items(self, user: UserId) -> list[ItemId | None]:
+        """The item currently sampled by each register (``None`` if empty)."""
+        if user not in self._registers:
+            raise UnknownUserError(user)
+        return [
+            next(iter(reservoir.sample)) if reservoir.sample else None
+            for reservoir in self._registers[user]
+        ]
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        size_a = self.cardinality(user_a)
+        size_b = self.cardinality(user_b)
+        if size_a == 0 or size_b == 0:
+            return 0.0
+        if user_a not in self._registers or user_b not in self._registers:
+            return 0.0
+        samples_a = self.sampled_items(user_a)
+        samples_b = self.sampled_items(user_b)
+        matches = sum(
+            1 for a, b in zip(samples_a, samples_b) if a is not None and a == b
+        )
+        # P(match per register) = s / (|S_u| |S_v|); inverting keeps the
+        # estimator unbiased (as in the paper) at the price of huge variance —
+        # a single lucky match contributes |S_u||S_v|/k.  No clamping is
+        # applied so the bias/variance trade-off matches Section III.
+        return matches * size_a * size_b / self.num_samples
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        common = self.estimate_common_items(user_a, user_b)
+        return jaccard_from_common(
+            common, self.cardinality(user_a), self.cardinality(user_b)
+        )
+
+    def memory_bits(self) -> int:
+        return len(self._registers) * self.num_samples * self.register_bits

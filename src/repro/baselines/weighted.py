@@ -1,0 +1,117 @@
+"""Consistent weighted sampling for the generalised (weighted) Jaccard coefficient.
+
+The paper's related-work section points at a line of methods (Ioffe 2010 and
+successors) that estimate the generalised Jaccard coefficient between
+non-negative weight vectors,
+
+    J(x, y) = sum_j min(x_j, y_j) / sum_j max(x_j, y_j).
+
+This module implements Improved Consistent Weighted Sampling (ICWS) so the
+library also covers that extension: :class:`ConsistentWeightedSampler` draws,
+for each of ``k`` repetitions, a (feature, discretised weight) pair such that
+two vectors draw the *same* pair with probability exactly their generalised
+Jaccard coefficient.  :func:`weighted_jaccard` computes the exact value for
+validation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.hashing import UniversalHash
+from repro.hashing.universal import stable_hash64
+
+WeightVector = Mapping[object, float]
+
+
+def weighted_jaccard(vector_a: WeightVector, vector_b: WeightVector) -> float:
+    """Exact generalised Jaccard coefficient between two non-negative weight vectors."""
+    keys = set(vector_a) | set(vector_b)
+    numerator = 0.0
+    denominator = 0.0
+    for key in keys:
+        a = float(vector_a.get(key, 0.0))
+        b = float(vector_b.get(key, 0.0))
+        if a < 0 or b < 0:
+            raise ConfigurationError("weighted Jaccard requires non-negative weights")
+        numerator += min(a, b)
+        denominator += max(a, b)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+class ConsistentWeightedSampler:
+    """Improved Consistent Weighted Sampling (Ioffe, ICDM 2010).
+
+    For each repetition ``j`` and feature ``f`` the sampler derives three
+    uniform variates from the hash of ``(j, f)`` and computes the ICWS
+    quantities; the repetition's sample is the feature minimising the derived
+    key ``a``.  Two vectors produce an identical ``(feature, t)`` pair in
+    repetition ``j`` with probability equal to their generalised Jaccard
+    coefficient, so matching pairs across the ``k`` repetitions gives an
+    unbiased estimator.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of repetitions ``k``.
+    seed:
+        Seed making the sampler deterministic.
+    """
+
+    def __init__(self, num_samples: int, *, seed: int = 0) -> None:
+        if num_samples <= 0:
+            raise ConfigurationError(f"num_samples must be positive, got {num_samples}")
+        self.num_samples = num_samples
+        self._seed = seed
+        self._uniform = UniversalHash(range_size=1 << 61, seed=stable_hash64(("icws", seed)))
+
+    def _variates(self, repetition: int, feature: object) -> tuple[float, float, float]:
+        """Three independent uniforms in (0, 1) for a (repetition, feature) pair."""
+        def uniform(tag: str) -> float:
+            value = self._uniform.unit_interval((tag, repetition, feature, self._seed))
+            # Guard against exact 0 which would break the logarithms below.
+            return min(max(value, 1e-12), 1.0 - 1e-12)
+
+        return uniform("u1"), uniform("u2"), uniform("b")
+
+    def signature(self, vector: WeightVector) -> list[tuple[object, int]]:
+        """Return the ICWS signature: one ``(feature, t)`` pair per repetition."""
+        positive = {key: float(w) for key, w in vector.items() if float(w) > 0.0}
+        if not positive:
+            return [(None, 0)] * self.num_samples
+        signature: list[tuple[object, int]] = []
+        for repetition in range(self.num_samples):
+            best_key: object = None
+            best_t = 0
+            best_a = math.inf
+            for feature, weight in positive.items():
+                u1, u2, beta = self._variates(repetition, feature)
+                # Gamma(2, 1)-distributed r and the ICWS discretisation of log-weight.
+                r = -math.log(u1) - math.log(u2)
+                t = math.floor(math.log(weight) / r + beta)
+                y = math.exp(r * (t - beta))
+                # The competing key: smaller is better; c = exp(r) * y is the
+                # "upper" sample and a = c / (r * exp(r)) reproduces Ioffe's
+                # a_k = c_k / r_k construction up to monotone transforms.
+                a = -math.log(self._variates(repetition, (feature, "x"))[0]) / (y * math.exp(r))
+                if a < best_a:
+                    best_a = a
+                    best_key = feature
+                    best_t = t
+            signature.append((best_key, best_t))
+        return signature
+
+    def estimate(self, vector_a: WeightVector, vector_b: WeightVector) -> float:
+        """Estimate the generalised Jaccard coefficient between two vectors."""
+        signature_a = self.signature(vector_a)
+        signature_b = self.signature(vector_b)
+        matches = sum(
+            1
+            for a, b in zip(signature_a, signature_b)
+            if a[0] is not None and a == b
+        )
+        return matches / self.num_samples

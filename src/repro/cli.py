@@ -1,0 +1,259 @@
+"""Command-line interface: regenerate the paper's figures as text tables.
+
+Usage (after ``pip install -e .``)::
+
+    repro datasets                       # list the synthetic datasets
+    repro figure2a --scale 0.05          # runtime vs sketch size (YouTube)
+    repro figure2b --scale 0.05          # runtime across datasets
+    repro figure3a --scale 0.1           # AAPE over time (YouTube)
+    repro figure3b --scale 0.1           # AAPE across datasets (end of stream)
+    repro figure3c --scale 0.1           # ARMSE over time (YouTube)
+    repro figure3d --scale 0.1           # ARMSE across datasets
+    repro bias --rates 0.0 0.2 0.4       # sampling-bias ablation (A3)
+
+Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
+results can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.bias import measure_sampling_bias
+from repro.core.memory import MemoryBudget
+from repro.evaluation.reporting import (
+    accuracy_final_table,
+    accuracy_over_time_table,
+    render_csv,
+    render_table,
+    runtime_table,
+)
+from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
+from repro.evaluation.runtime import RuntimeExperiment
+from repro.similarity.engine import build_sketch
+from repro.similarity.pairs import top_cardinality_users
+from repro.similarity.search import top_k_similar_pairs
+from repro.streams.datasets import DATASET_SPECS, load_dataset
+
+_DEFAULT_DATASETS = ("youtube", "flickr", "livejournal", "orkut")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale factor (1.0 = full synthetic size; smaller is faster)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+
+def _accuracy_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        baseline_registers=args.registers,
+        top_users=args.top_users,
+        max_pairs=args.max_pairs,
+        num_checkpoints=args.checkpoints,
+        seed=args.seed,
+    )
+
+
+def _add_accuracy_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--registers", type=int, default=24, help="baseline sketch size k")
+    parser.add_argument("--top-users", type=int, default=40, help="users forming tracked pairs")
+    parser.add_argument("--max-pairs", type=int, default=150, help="cap on tracked pairs")
+    parser.add_argument("--checkpoints", type=int, default=6, help="metric checkpoints")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in DATASET_SPECS.values():
+        rows.append(
+            [
+                spec.name,
+                spec.num_users,
+                spec.num_items,
+                spec.num_edges,
+                spec.deletion_period,
+                spec.deletion_probability,
+            ]
+        )
+    headers = ["dataset", "users", "items", "edges", "deletion period", "d"]
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_figure2a(args: argparse.Namespace) -> int:
+    stream = load_dataset("youtube", scale=args.scale)
+    experiment = RuntimeExperiment(seed=args.seed)
+    result = experiment.run_sketch_size_sweep(stream, args.sketch_sizes)
+    print(f"# Figure 2(a): runtime vs sketch size on {stream.name} "
+          f"({len(stream)} elements)")
+    print(runtime_table(result))
+    return 0
+
+
+def _cmd_figure2b(args: argparse.Namespace) -> int:
+    streams = [load_dataset(name, scale=args.scale) for name in _DEFAULT_DATASETS]
+    experiment = RuntimeExperiment(seed=args.seed)
+    result = experiment.run_dataset_sweep(streams, args.sketch_size)
+    print(f"# Figure 2(b): runtime across datasets at k = {args.sketch_size}")
+    print(runtime_table(result))
+    return 0
+
+
+def _run_accuracy(dataset: str, args: argparse.Namespace):
+    stream = load_dataset(dataset, scale=args.scale)
+    experiment = AccuracyExperiment(_accuracy_config(args))
+    return experiment.run(stream)
+
+
+def _cmd_figure3_over_time(args: argparse.Namespace, metric: str, label: str) -> int:
+    result = _run_accuracy("youtube", args)
+    print(f"# Figure 3({label}): {metric.upper()} over time on youtube "
+          f"(k = {args.registers})")
+    print(accuracy_over_time_table(result, metric=metric))
+    return 0
+
+
+def _cmd_figure3_datasets(args: argparse.Namespace, metric: str, label: str) -> int:
+    results = {name: _run_accuracy(name, args) for name in _DEFAULT_DATASETS}
+    print(f"# Figure 3({label}): end-of-stream {metric.upper()} across datasets "
+          f"(k = {args.registers})")
+    print(accuracy_final_table(results, metric=metric))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Find the most similar user pairs of a dataset with a chosen sketch."""
+    stream = load_dataset(args.dataset, scale=args.scale)
+    budget = MemoryBudget(
+        baseline_registers=args.registers, num_users=len(stream.users())
+    )
+    sketch = build_sketch(args.method, budget, seed=args.seed)
+    exact = build_sketch("Exact", budget, seed=args.seed)
+    for element in stream:
+        sketch.process(element)
+        exact.process(element)
+    item_sets = stream.item_sets_at(None)
+    candidates = top_cardinality_users(item_sets, args.top_users)
+    pairs = top_k_similar_pairs(sketch, k=args.k, users=candidates)
+    rows = [
+        [
+            f"({pair.user_a}, {pair.user_b})",
+            pair.jaccard,
+            pair.common_items,
+            exact.estimate_jaccard(pair.user_a, pair.user_b),
+            exact.estimate_common_items(pair.user_a, pair.user_b),
+        ]
+        for pair in pairs
+    ]
+    headers = ["pair", f"J ({args.method})", f"s ({args.method})", "J (exact)", "s (exact)"]
+    print(f"# top-{args.k} similar pairs on {stream.name} "
+          f"(method {args.method}, k = {args.registers})")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_bias(args: argparse.Namespace) -> int:
+    rows = []
+    methods = ("MinHash", "OPH", "RP", "VOS")
+    for rate in args.rates:
+        report = measure_sampling_bias(rate, seed=args.seed)
+        rows.append(
+            [f"{rate:.2f}", report.deletion_fraction]
+            + [report.mean_signed_error[m] for m in methods]
+        )
+    headers = ["deletion rate", "deletion fraction"] + [f"bias({m})" for m in methods]
+    print("# Ablation A3: signed Jaccard-estimation bias vs deletion intensity")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the VOS paper's experiments (ICDE 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list synthetic datasets")
+    datasets_parser.add_argument("--csv", action="store_true")
+    datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    fig2a = subparsers.add_parser("figure2a", help="runtime vs sketch size (YouTube)")
+    _add_common_options(fig2a)
+    fig2a.add_argument(
+        "--sketch-sizes",
+        type=int,
+        nargs="+",
+        default=[10, 100, 1000, 10000],
+        help="sketch sizes k to sweep",
+    )
+    fig2a.set_defaults(handler=_cmd_figure2a)
+
+    fig2b = subparsers.add_parser("figure2b", help="runtime across datasets")
+    _add_common_options(fig2b)
+    fig2b.add_argument("--sketch-size", type=int, default=10000, help="sketch size k")
+    fig2b.set_defaults(handler=_cmd_figure2b)
+
+    for label, metric, over_time in (
+        ("a", "aape", True),
+        ("b", "aape", False),
+        ("c", "armse", True),
+        ("d", "armse", False),
+    ):
+        sub = subparsers.add_parser(
+            f"figure3{label}",
+            help=f"{metric.upper()} {'over time (YouTube)' if over_time else 'across datasets'}",
+        )
+        _add_common_options(sub)
+        _add_accuracy_options(sub)
+        if over_time:
+            sub.set_defaults(
+                handler=lambda args, metric=metric, label=label: _cmd_figure3_over_time(
+                    args, metric, label
+                )
+            )
+        else:
+            sub.set_defaults(
+                handler=lambda args, metric=metric, label=label: _cmd_figure3_datasets(
+                    args, metric, label
+                )
+            )
+
+    search_parser = subparsers.add_parser(
+        "search", help="find the most similar user pairs of a dataset"
+    )
+    _add_common_options(search_parser)
+    search_parser.add_argument("--dataset", default="youtube", help="dataset name")
+    search_parser.add_argument("--method", default="VOS", help="sketch to search with")
+    search_parser.add_argument("--registers", type=int, default=24, help="baseline sketch size k")
+    search_parser.add_argument("--top-users", type=int, default=40, help="candidate users")
+    search_parser.add_argument("-k", type=int, default=10, dest="k", help="pairs to return")
+    search_parser.set_defaults(handler=_cmd_search)
+
+    bias_parser = subparsers.add_parser("bias", help="sampling-bias ablation (A3)")
+    bias_parser.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.2, 0.4], help="deletion rates"
+    )
+    bias_parser.add_argument("--seed", type=int, default=0)
+    bias_parser.add_argument("--csv", action="store_true")
+    bias_parser.set_defaults(handler=_cmd_bias)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

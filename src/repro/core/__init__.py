@@ -1,0 +1,38 @@
+"""VOS — the virtual odd sketch, the paper's primary contribution.
+
+The core package contains:
+
+* :class:`~repro.core.bitarray.SharedBitArray` — the shared array ``A`` of
+  ``m`` bits together with the running fraction-of-ones tracker ``beta``;
+* :class:`~repro.core.vos.VirtualOddSketch` — the streaming sketch: item hash
+  ``psi``, user hash family ``f_1 ... f_k``, O(1) per-edge updates, and the
+  similarity estimators;
+* :mod:`repro.core.estimators` — the closed-form inversion formulas
+  (``n̂_Δ``, ``ŝ_uv``, ``Ĵ``) plus the analytical expectation and variance of
+  the estimator from Section IV;
+* :mod:`repro.core.memory` — helpers that translate the paper's memory budget
+  ``m = 32·k·|U|`` bits and the multiplier ``λ`` into concrete VOS parameters.
+"""
+
+from repro.core.bitarray import SharedBitArray
+from repro.core.estimators import (
+    estimate_common_items,
+    estimate_jaccard,
+    estimate_symmetric_difference,
+    estimator_expectation,
+    estimator_variance,
+)
+from repro.core.memory import MemoryBudget, vos_parameters_for_budget
+from repro.core.vos import VirtualOddSketch
+
+__all__ = [
+    "SharedBitArray",
+    "VirtualOddSketch",
+    "estimate_symmetric_difference",
+    "estimate_common_items",
+    "estimate_jaccard",
+    "estimator_expectation",
+    "estimator_variance",
+    "MemoryBudget",
+    "vos_parameters_for_budget",
+]

@@ -1,0 +1,79 @@
+"""The shared bit array ``A`` and its on-line fill-fraction tracker ``beta``.
+
+VOS does not store each user's odd sketch separately; every user's ``k``
+virtual bits live at hashed positions of one shared array of ``m`` bits.  The
+estimator needs to know the probability that a virtual bit read back from the
+array is *contaminated* (differs from the user's true odd-sketch bit), and the
+paper models that probability with the global fraction of set bits ``beta``.
+Maintaining ``beta`` incrementally is what keeps the per-edge update O(1).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.hashing import PackedBitArray
+
+
+class SharedBitArray:
+    """The shared array ``A`` with an O(1)-maintained fraction of set bits.
+
+    This is a thin wrapper around :class:`~repro.hashing.bitpack.PackedBitArray`
+    whose job is to expose exactly the operations VOS performs — xor a bit,
+    read a bit, read ``beta`` — and to account its memory as ``m`` bits.
+
+    Parameters
+    ----------
+    num_bits:
+        The array length ``m``.  The paper assumes ``m >> 1000`` so that the
+        fill fraction is essentially unchanged by a single update; the class
+        works for any positive size but the estimator's accuracy degrades for
+        tiny arrays.
+
+    Examples
+    --------
+    >>> array = SharedBitArray(num_bits=8)
+    >>> array.xor_bit(3, 1)
+    1
+    >>> array.beta
+    0.125
+    """
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits <= 0:
+            raise ConfigurationError(f"num_bits must be positive, got {num_bits}")
+        self.num_bits = num_bits
+        self._bits = PackedBitArray(num_bits)
+
+    def __len__(self) -> int:
+        return self.num_bits
+
+    def xor_bit(self, position: int, value: int = 1) -> int:
+        """Xor ``value`` (0 or 1) into ``A[position]`` and return the new bit.
+
+        This is the only write operation VOS performs; flipping a bit keeps
+        the running ones-count (and hence ``beta``) exact at O(1) cost, which
+        realises the paper's ``beta`` update rule.
+        """
+        return self._bits.xor_value(position, value)
+
+    def read_bit(self, position: int) -> int:
+        """Read ``A[position]``."""
+        return self._bits[position]
+
+    @property
+    def ones_count(self) -> int:
+        """Number of set bits in ``A``."""
+        return self._bits.ones_count
+
+    @property
+    def beta(self) -> float:
+        """The current fraction of set bits (the paper's ``beta^(t)``)."""
+        return self._bits.fraction_of_ones
+
+    def clear(self) -> None:
+        """Reset the array (used between experiment repetitions)."""
+        self._bits.clear()
+
+    def memory_bits(self) -> int:
+        """Memory accounted under the paper's model: exactly ``m`` bits."""
+        return self.num_bits

@@ -1,0 +1,193 @@
+"""Closed-form VOS estimators and their analytical moments (Section IV).
+
+Given a user pair ``(u, v)`` the sketch exposes three observed quantities:
+
+* ``alpha`` — the fraction of set bits in the xor of the two recovered virtual
+  odd sketches ``Ô_u`` and ``Ô_v``;
+* ``beta`` — the global fill fraction of the shared array ``A``;
+* ``n_u``, ``n_v`` — the exact per-user cardinalities.
+
+The paper derives
+
+    E[alpha] ≈ (1 - (1 - 2 beta)^2 * exp(-2 n_Δ / k)) / 2
+
+which inverts to the symmetric-difference estimate
+
+    n̂_Δ = -k * (ln(1 - 2 alpha) - 2 ln(1 - 2 beta)) / 2
+
+and, using ``s_uv = (n_u + n_v - n_Δ) / 2``, to
+
+    ŝ_uv = (n_u + n_v) / 2 + k * (ln|1 - 2 alpha| - 2 ln|1 - 2 beta|) / 4
+    Ĵ    = ŝ_uv / (n_u + n_v - ŝ_uv).
+
+The module also provides the analytical expectation and variance of ``ŝ_uv``
+stated in the paper, used by the analysis subpackage and its tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError, EstimationError
+
+
+def _validate_inputs(sketch_size: int, beta: float) -> None:
+    if sketch_size <= 0:
+        raise ConfigurationError(f"sketch_size must be positive, got {sketch_size}")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+
+
+def _safe_log_one_minus_two(value: float, *, floor: float, strict: bool) -> float:
+    """Compute ``ln|1 - 2*value|`` with saturation handling.
+
+    When ``value`` reaches 0.5 the argument hits zero and the estimator
+    diverges; strict mode raises :class:`EstimationError`, the default clamps
+    ``value`` to just below saturation which corresponds to "as large a
+    difference as the sketch can represent".
+    """
+    argument = abs(1.0 - 2.0 * value)
+    if argument <= floor:
+        if strict:
+            raise EstimationError(
+                f"sketch saturated (|1 - 2x| <= {floor}); cannot invert"
+            )
+        argument = floor
+    return math.log(argument)
+
+
+def estimate_symmetric_difference(
+    alpha: float,
+    beta: float,
+    sketch_size: int,
+    *,
+    strict: bool = False,
+) -> float:
+    """Estimate ``n_Δ = |S_u Δ S_v|`` from the observed ``alpha`` and ``beta``.
+
+    Parameters
+    ----------
+    alpha:
+        Fraction of set bits in the xor of the two recovered virtual sketches.
+    beta:
+        Fill fraction of the shared array at query time.
+    sketch_size:
+        Virtual sketch length ``k``.
+    strict:
+        If ``True``, raise :class:`EstimationError` when the sketch is
+        saturated instead of clamping.
+
+    Returns
+    -------
+    float
+        The (non-negative) symmetric-difference estimate ``n̂_Δ``.
+    """
+    _validate_inputs(sketch_size, beta)
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+    floor = 1.0 / (2.0 * sketch_size)
+    log_alpha_term = _safe_log_one_minus_two(alpha, floor=floor, strict=strict)
+    log_beta_term = _safe_log_one_minus_two(beta, floor=floor, strict=strict)
+    estimate = -sketch_size * (log_alpha_term - 2.0 * log_beta_term) / 2.0
+    return max(0.0, estimate)
+
+
+def estimate_common_items(
+    alpha: float,
+    beta: float,
+    sketch_size: int,
+    cardinality_a: int,
+    cardinality_b: int,
+    *,
+    strict: bool = False,
+    clamp: bool = True,
+) -> float:
+    """Estimate ``s_uv`` (the paper's ``ŝ_uv`` formula).
+
+    The raw formula is ``(n_u + n_v)/2 + k (ln|1-2α| - 2 ln|1-2β|)/4``.  With
+    ``clamp=True`` (default) the result is clipped into the feasible range
+    ``[max(0, n_u + n_v - n_u - n_v), min(n_u, n_v)]`` — i.e. ``[0, min(n_u, n_v)]`` —
+    which never hurts accuracy and avoids nonsensical negative estimates when
+    the sketch is noisy.
+    """
+    _validate_inputs(sketch_size, beta)
+    if cardinality_a < 0 or cardinality_b < 0:
+        raise ConfigurationError("cardinalities must be non-negative")
+    n_delta = estimate_symmetric_difference(alpha, beta, sketch_size, strict=strict)
+    estimate = (cardinality_a + cardinality_b - n_delta) / 2.0
+    if clamp:
+        estimate = min(float(min(cardinality_a, cardinality_b)), max(0.0, estimate))
+    return estimate
+
+
+def estimate_jaccard(
+    alpha: float,
+    beta: float,
+    sketch_size: int,
+    cardinality_a: int,
+    cardinality_b: int,
+    *,
+    strict: bool = False,
+) -> float:
+    """Estimate the Jaccard coefficient ``Ĵ = ŝ / (n_u + n_v - ŝ)``, clamped to [0, 1]."""
+    common = estimate_common_items(
+        alpha,
+        beta,
+        sketch_size,
+        cardinality_a,
+        cardinality_b,
+        strict=strict,
+        clamp=True,
+    )
+    union = cardinality_a + cardinality_b - common
+    if union <= 0:
+        return 1.0 if cardinality_a == 0 and cardinality_b == 0 else 0.0
+    return min(1.0, max(0.0, common / union))
+
+
+def estimator_expectation(
+    true_symmetric_difference: float, beta: float, sketch_size: int
+) -> float:
+    """Analytical ``E[ŝ_uv] - s_uv`` offset plus ``s_uv`` (Section IV of the paper).
+
+    Returns the expected value of the estimator given the true symmetric
+    difference ``n_Δ``, the fill fraction ``beta`` and the sketch size ``k``:
+
+        E[ŝ] ≈ s + 1/8 - k β e^{2 n_Δ / k} / (1 - 2β)^2 - e^{4 n_Δ / k} / (8 (1 - 2β)^4)
+
+    The caller supplies ``n_Δ`` and can add the true ``s`` separately; for
+    convenience this function returns only the *bias* term (everything except
+    ``s``), so ``E[ŝ] = s + estimator_expectation_bias``.
+    """
+    _validate_inputs(sketch_size, beta)
+    if beta >= 0.5:
+        raise EstimationError("expectation formula diverges for beta >= 0.5")
+    one_minus = 1.0 - 2.0 * beta
+    exp2 = math.exp(2.0 * true_symmetric_difference / sketch_size)
+    exp4 = math.exp(4.0 * true_symmetric_difference / sketch_size)
+    return (
+        1.0 / 8.0
+        - sketch_size * beta * exp2 / (one_minus**2)
+        - exp4 / (8.0 * one_minus**4)
+    )
+
+
+def estimator_variance(
+    true_symmetric_difference: float, beta: float, sketch_size: int
+) -> float:
+    """Analytical variance of ``ŝ_uv`` (Section IV of the paper).
+
+        Var[ŝ] ≈ -k/16 + k² β e^{2 n_Δ/k} / (2 (1-2β)²) + k e^{4 n_Δ/k} / (16 (1-2β)^4)
+    """
+    _validate_inputs(sketch_size, beta)
+    if beta >= 0.5:
+        raise EstimationError("variance formula diverges for beta >= 0.5")
+    one_minus = 1.0 - 2.0 * beta
+    exp2 = math.exp(2.0 * true_symmetric_difference / sketch_size)
+    exp4 = math.exp(4.0 * true_symmetric_difference / sketch_size)
+    k = float(sketch_size)
+    return (
+        -k / 16.0
+        + k * k * beta * exp2 / (2.0 * one_minus**2)
+        + k * exp4 / (16.0 * one_minus**4)
+    )

@@ -1,0 +1,101 @@
+"""Memory-budget helpers implementing the paper's equal-memory comparison.
+
+Section V compares all methods under the same total memory
+
+    m = 32 * k * |U|   bits,
+
+i.e. each baseline keeps ``k`` registers of 32 bits per user.  VOS spends the
+same ``m`` bits on the shared array ``A`` and chooses its *virtual* sketch
+size (bits per user) as ``k_VOS = λ * 32 * k`` with ``λ = 2`` in the paper's
+experiments.  :func:`vos_parameters_for_budget` performs exactly this
+translation so experiments cannot accidentally give VOS a different budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """The equal-memory budget of one experiment.
+
+    Attributes
+    ----------
+    baseline_registers:
+        ``k`` — registers per user given to MinHash / OPH / RP.
+    register_bits:
+        Width of one baseline register (32 in the paper).
+    num_users:
+        ``|U|`` — number of users the budget is provisioned for.
+    """
+
+    baseline_registers: int
+    num_users: int
+    register_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.baseline_registers <= 0:
+            raise ConfigurationError("baseline_registers must be positive")
+        if self.num_users <= 0:
+            raise ConfigurationError("num_users must be positive")
+        if self.register_bits <= 0:
+            raise ConfigurationError("register_bits must be positive")
+
+    @property
+    def total_bits(self) -> int:
+        """Total memory ``m = register_bits * k * |U|`` in bits."""
+        return self.register_bits * self.baseline_registers * self.num_users
+
+    def bits_per_user(self) -> int:
+        """Memory one baseline user sketch occupies (``register_bits * k``)."""
+        return self.register_bits * self.baseline_registers
+
+
+@dataclass(frozen=True)
+class VOSParameters:
+    """Concrete VOS parameters derived from a :class:`MemoryBudget`.
+
+    Attributes
+    ----------
+    shared_array_bits:
+        ``m`` — length of the shared bit array (equals the budget's total bits).
+    virtual_sketch_size:
+        ``k_VOS`` — number of virtual bits per user (``λ * register_bits * k``).
+    size_multiplier:
+        The λ that was applied.
+    """
+
+    shared_array_bits: int
+    virtual_sketch_size: int
+    size_multiplier: float
+
+
+def vos_parameters_for_budget(
+    budget: MemoryBudget, *, size_multiplier: float = 2.0
+) -> VOSParameters:
+    """Translate an equal-memory budget into VOS parameters (paper's λ rule).
+
+    Parameters
+    ----------
+    budget:
+        The shared memory budget.
+    size_multiplier:
+        The paper's λ — how many times larger the per-user *virtual* sketch is
+        than the memory one baseline sketch actually occupies.  λ = 2 in the
+        paper's experiments; the λ-ablation sweeps it.
+    """
+    if size_multiplier <= 0:
+        raise ConfigurationError("size_multiplier must be positive")
+    virtual_size = max(1, int(round(size_multiplier * budget.bits_per_user())))
+    # A virtual sketch larger than the shared array itself is never useful
+    # (positions would necessarily repeat); this only triggers for degenerate
+    # budgets with fewer users than the multiplier λ.
+    virtual_size = min(virtual_size, budget.total_bits)
+    return VOSParameters(
+        shared_array_bits=budget.total_bits,
+        virtual_sketch_size=virtual_size,
+        size_multiplier=size_multiplier,
+    )

@@ -1,0 +1,233 @@
+"""VOS — the Virtual Odd Sketch streaming similarity sketch (Section IV).
+
+The sketch consists of:
+
+* a shared bit array ``A`` of ``m`` bits (:class:`~repro.core.bitarray.SharedBitArray`);
+* an item hash ``psi : I -> {0, ..., k-1}`` selecting which virtual bit of a
+  user's odd sketch an item toggles;
+* a family of ``k`` user hashes ``f_0 ... f_{k-1} : U -> {0, ..., m-1}``
+  selecting where each virtual bit lives inside ``A``;
+* one exact cardinality counter ``n_u`` per user (inherited from
+  :class:`~repro.baselines.base.SimilaritySketch`).
+
+Processing an element ``(u, i, a)`` — regardless of whether ``a`` is a
+subscription or an unsubscription — xors one bit of ``A``:
+
+    A[f_{psi(i)}(u)]  ^=  1
+
+which costs O(1) and makes insert/delete of the same item cancel exactly
+(odd-sketch property), so deletions introduce no sampling bias.  The global
+fill fraction ``beta`` is maintained incrementally by the shared array.
+
+At query time the sketch recovers ``Ô_u[j] = A[f_j(u)]`` for the two users,
+xors them, measures the fraction of set bits ``alpha``, and applies the
+closed-form estimators in :mod:`repro.core.estimators`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SimilaritySketch
+from repro.core.bitarray import SharedBitArray
+from repro.core.estimators import (
+    estimate_common_items,
+    estimate_jaccard,
+    estimate_symmetric_difference,
+)
+from repro.core.memory import MemoryBudget, vos_parameters_for_budget
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.hashing import HashFamily, UniversalHash
+from repro.hashing.universal import stable_hash64
+from repro.streams.edge import StreamElement, UserId
+
+
+class VirtualOddSketch(SimilaritySketch):
+    """The VOS streaming sketch for user-pair similarity over dynamic graph streams.
+
+    Parameters
+    ----------
+    shared_array_bits:
+        Length ``m`` of the shared bit array ``A``.
+    virtual_sketch_size:
+        Number of virtual odd-sketch bits ``k`` assigned to every user.
+    seed:
+        Master seed for the item hash and the user hash family.
+
+    Notes
+    -----
+    *Update cost* is O(1) per stream element (one hash of the item, one hash
+    of the user, one xor).  *Query cost* is O(k) because the two virtual
+    sketches must be gathered from ``A``.
+
+    The per-user bit positions ``f_j(u)`` are cached the first time a user is
+    seen: this is a pure performance optimisation (positions are a
+    deterministic function of the user id) and is not counted towards the
+    sketch's memory under the paper's cost model, which charges only the
+    ``m``-bit array.  Pass ``cache_positions=False`` to disable the cache and
+    recompute positions on every access.
+
+    Examples
+    --------
+    >>> from repro.streams import Action, StreamElement
+    >>> vos = VirtualOddSketch(shared_array_bits=4096, virtual_sketch_size=256, seed=1)
+    >>> for item in range(20):
+    ...     vos.process(StreamElement(1, item, Action.INSERT))
+    ...     vos.process(StreamElement(2, item, Action.INSERT))
+    >>> round(vos.estimate_jaccard(1, 2), 1)
+    1.0
+    """
+
+    name = "VOS"
+
+    def __init__(
+        self,
+        shared_array_bits: int,
+        virtual_sketch_size: int,
+        *,
+        seed: int = 0,
+        cache_positions: bool = True,
+    ) -> None:
+        super().__init__()
+        if shared_array_bits <= 0:
+            raise ConfigurationError(
+                f"shared_array_bits must be positive, got {shared_array_bits}"
+            )
+        if virtual_sketch_size <= 0:
+            raise ConfigurationError(
+                f"virtual_sketch_size must be positive, got {virtual_sketch_size}"
+            )
+        if virtual_sketch_size > shared_array_bits:
+            raise ConfigurationError(
+                "virtual_sketch_size cannot exceed shared_array_bits "
+                f"({virtual_sketch_size} > {shared_array_bits})"
+            )
+        self.shared_array_bits = shared_array_bits
+        self.virtual_sketch_size = virtual_sketch_size
+        self.seed = seed
+        self._array = SharedBitArray(shared_array_bits)
+        self._item_hash = UniversalHash(
+            range_size=virtual_sketch_size, seed=stable_hash64(("vos-psi", seed))
+        )
+        self._user_hashes = HashFamily(
+            size=virtual_sketch_size,
+            range_size=shared_array_bits,
+            seed=stable_hash64(("vos-f", seed)),
+        )
+        self._cache_positions = cache_positions
+        self._position_cache: dict[UserId, np.ndarray] = {}
+
+    # -- construction helpers --------------------------------------------------------
+
+    @classmethod
+    def from_budget(
+        cls,
+        budget: MemoryBudget,
+        *,
+        size_multiplier: float = 2.0,
+        seed: int = 0,
+    ) -> "VirtualOddSketch":
+        """Build a VOS instance under the paper's equal-memory budget.
+
+        ``m`` is set to the budget's total bits and the virtual sketch size to
+        ``λ * register_bits * k`` (λ = ``size_multiplier``, 2 by default).
+        """
+        parameters = vos_parameters_for_budget(budget, size_multiplier=size_multiplier)
+        return cls(
+            shared_array_bits=parameters.shared_array_bits,
+            virtual_sketch_size=parameters.virtual_sketch_size,
+            seed=seed,
+        )
+
+    # -- position handling -------------------------------------------------------------
+
+    def _positions(self, user: UserId) -> np.ndarray:
+        """The shared-array positions of this user's ``k`` virtual bits."""
+        cached = self._position_cache.get(user)
+        if cached is not None:
+            return cached
+        positions = np.fromiter(
+            (self._user_hashes[j](user) for j in range(self.virtual_sketch_size)),
+            dtype=np.int64,
+            count=self.virtual_sketch_size,
+        )
+        if self._cache_positions:
+            self._position_cache[user] = positions
+        return positions
+
+    def _position_of(self, user: UserId, virtual_index: int) -> int:
+        """The shared-array position of one virtual bit (O(1), no full gather)."""
+        cached = self._position_cache.get(user)
+        if cached is not None:
+            return int(cached[virtual_index])
+        return self._user_hashes[virtual_index](user)
+
+    # -- streaming updates ----------------------------------------------------------------
+
+    def _toggle(self, element: StreamElement) -> None:
+        virtual_index = self._item_hash(element.item)
+        position = self._position_of(element.user, virtual_index)
+        self._array.xor_bit(position, 1)
+
+    def _process_insertion(self, element: StreamElement) -> None:
+        self._toggle(element)
+
+    def _process_deletion(self, element: StreamElement) -> None:
+        # Identical to insertion: xor cancels the earlier toggle of the same
+        # item, which is exactly why VOS has no deletion bias.
+        self._toggle(element)
+
+    # -- queries -----------------------------------------------------------------------------
+
+    @property
+    def beta(self) -> float:
+        """Current fill fraction of the shared array (the paper's ``beta^(t)``)."""
+        return self._array.beta
+
+    @property
+    def shared_array(self) -> SharedBitArray:
+        """The underlying shared array (exposed for analysis and tests)."""
+        return self._array
+
+    def virtual_sketch(self, user: UserId) -> np.ndarray:
+        """Recover the user's virtual odd sketch ``Ô_u`` as a uint8 vector."""
+        if not self.has_user(user):
+            raise UnknownUserError(user)
+        positions = self._positions(user)
+        return self._array._bits.gather(positions)
+
+    def pair_alpha(self, user_a: UserId, user_b: UserId) -> float:
+        """The observed xor load ``alpha`` for a user pair."""
+        sketch_a = self.virtual_sketch(user_a)
+        sketch_b = self.virtual_sketch(user_b)
+        return float(np.count_nonzero(sketch_a != sketch_b)) / self.virtual_sketch_size
+
+    def estimate_symmetric_difference(self, user_a: UserId, user_b: UserId) -> float:
+        """Estimate ``n_Δ = |S_u Δ S_v|`` for the pair."""
+        return estimate_symmetric_difference(
+            self.pair_alpha(user_a, user_b), self.beta, self.virtual_sketch_size
+        )
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        return estimate_common_items(
+            self.pair_alpha(user_a, user_b),
+            self.beta,
+            self.virtual_sketch_size,
+            self.cardinality(user_a),
+            self.cardinality(user_b),
+        )
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        return estimate_jaccard(
+            self.pair_alpha(user_a, user_b),
+            self.beta,
+            self.virtual_sketch_size,
+            self.cardinality(user_a),
+            self.cardinality(user_b),
+        )
+
+    # -- accounting ------------------------------------------------------------------------------
+
+    def memory_bits(self) -> int:
+        """The paper's cost model charges VOS exactly the ``m`` bits of ``A``."""
+        return self._array.memory_bits()

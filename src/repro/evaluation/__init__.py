@@ -1,0 +1,46 @@
+"""Evaluation harness: metrics, experiment runner, runtime measurement, reporting.
+
+This package regenerates the paper's evaluation (Section V):
+
+* :mod:`repro.evaluation.metrics` — AAPE (average absolute percentage error of
+  the common-item estimate) and ARMSE (average root mean square error of the
+  Jaccard estimate), plus general-purpose error metrics;
+* :mod:`repro.evaluation.runner` — the accuracy experiment: build all methods
+  under the same memory budget, replay a dynamic stream, record estimates for
+  the tracked user pairs at checkpoints, and compute metric time series
+  (Figure 3);
+* :mod:`repro.evaluation.runtime` — the update-throughput experiment
+  (Figure 2): time how long each method takes to process a stream for varying
+  sketch sizes;
+* :mod:`repro.evaluation.results` / :mod:`repro.evaluation.reporting` — result
+  containers and plain-text / CSV rendering used by the CLI and EXPERIMENTS.md.
+"""
+
+from repro.evaluation.metrics import (
+    average_absolute_percentage_error,
+    average_root_mean_square_error,
+    mean_absolute_error,
+    root_mean_square_error,
+)
+from repro.evaluation.results import (
+    AccuracyCheckpoint,
+    AccuracyResult,
+    RuntimeMeasurement,
+    RuntimeResult,
+)
+from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
+from repro.evaluation.runtime import RuntimeExperiment
+
+__all__ = [
+    "average_absolute_percentage_error",
+    "average_root_mean_square_error",
+    "mean_absolute_error",
+    "root_mean_square_error",
+    "AccuracyExperiment",
+    "ExperimentConfig",
+    "RuntimeExperiment",
+    "AccuracyResult",
+    "AccuracyCheckpoint",
+    "RuntimeResult",
+    "RuntimeMeasurement",
+]

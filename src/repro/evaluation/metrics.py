@@ -1,0 +1,72 @@
+"""Error metrics used in the paper's evaluation.
+
+The paper reports two metrics over a tracked set of user pairs ``P``:
+
+* **AAPE** — average absolute percentage error of the common-item estimate,
+  ``(1/|P|) Σ |s_uv - ŝ_uv| / s_uv`` (pairs with ``s_uv = 0`` are excluded,
+  matching the paper's protocol of only tracking pairs with at least one
+  common item);
+* **ARMSE** — root mean square error of the Jaccard estimate,
+  ``sqrt((1/|P|) Σ (Ĵ - J)²)``.
+
+Plain MAE/RMSE helpers are included for ablations and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_lengths(truth: Sequence[float], estimates: Sequence[float]) -> None:
+    if len(truth) != len(estimates):
+        raise ConfigurationError(
+            f"length mismatch: {len(truth)} true values vs {len(estimates)} estimates"
+        )
+    if len(truth) == 0:
+        raise ConfigurationError("metrics need at least one (truth, estimate) pair")
+
+
+def average_absolute_percentage_error(
+    truth: Sequence[float], estimates: Sequence[float]
+) -> float:
+    """AAPE over pairs with non-zero true value.
+
+    Pairs whose true value is zero are skipped (relative error is undefined
+    there); if every pair has a zero true value the result is ``nan``.
+    """
+    _check_lengths(truth, estimates)
+    total = 0.0
+    counted = 0
+    for true_value, estimate in zip(truth, estimates):
+        if true_value == 0:
+            continue
+        total += abs(true_value - estimate) / abs(true_value)
+        counted += 1
+    if counted == 0:
+        return math.nan
+    return total / counted
+
+
+def average_root_mean_square_error(
+    truth: Sequence[float], estimates: Sequence[float]
+) -> float:
+    """The paper's ARMSE: root of the mean squared error across pairs."""
+    _check_lengths(truth, estimates)
+    total = 0.0
+    for true_value, estimate in zip(truth, estimates):
+        total += (true_value - estimate) ** 2
+    return math.sqrt(total / len(truth))
+
+
+def mean_absolute_error(truth: Sequence[float], estimates: Sequence[float]) -> float:
+    """Plain mean absolute error."""
+    _check_lengths(truth, estimates)
+    return sum(abs(t - e) for t, e in zip(truth, estimates)) / len(truth)
+
+
+def root_mean_square_error(truth: Sequence[float], estimates: Sequence[float]) -> float:
+    """Plain RMSE (same as ARMSE; kept as an alias with a conventional name)."""
+    return average_root_mean_square_error(truth, estimates)

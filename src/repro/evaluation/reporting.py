@@ -1,0 +1,100 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The CLI prints these tables; EXPERIMENTS.md records them.  Rendering is kept
+deliberately free of plotting dependencies — the "figures" are reported as the
+numeric series behind them, which is what the reproduction needs to compare
+shapes against the paper.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping, Sequence
+
+from repro.evaluation.results import AccuracyResult, RuntimeResult
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    formatted_rows = [[_format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    buffer.write(",".join(headers) + "\n")
+    for row in rows:
+        buffer.write(",".join(_format_value(cell) for cell in row) + "\n")
+    return buffer.getvalue()
+
+
+def accuracy_over_time_table(result: AccuracyResult, metric: str = "aape") -> str:
+    """Figure 3(a)/(c): metric time series, one column per method."""
+    methods = result.methods()
+    times = sorted({point.time for series in result.checkpoints.values() for point in series})
+    rows = []
+    for time_value in times:
+        row: list[object] = [time_value]
+        for method in methods:
+            value = next(
+                (getattr(p, metric) for p in result.checkpoints[method] if p.time == time_value),
+                float("nan"),
+            )
+            row.append(value)
+        rows.append(row)
+    return render_table(["t"] + methods, rows)
+
+
+def accuracy_final_table(results: Mapping[str, AccuracyResult], metric: str = "aape") -> str:
+    """Figure 3(b)/(d): end-of-stream metric, datasets as rows, methods as columns."""
+    datasets = list(results)
+    methods: list[str] = []
+    for result in results.values():
+        for method in result.methods():
+            if method not in methods:
+                methods.append(method)
+    rows = []
+    for dataset in datasets:
+        result = results[dataset]
+        row: list[object] = [dataset]
+        for method in methods:
+            if method in result.checkpoints and result.checkpoints[method]:
+                row.append(getattr(result.final_checkpoint(method), metric))
+            else:
+                row.append(float("nan"))
+        rows.append(row)
+    return render_table(["dataset"] + methods, rows)
+
+
+def runtime_table(result: RuntimeResult) -> str:
+    """Figure 2: one row per (method, dataset, sketch size) measurement."""
+    rows = [
+        [m.method, m.dataset, m.sketch_size, m.elements, m.seconds, m.elements_per_second]
+        for m in result.measurements
+    ]
+    return render_table(
+        ["method", "dataset", "k", "elements", "seconds", "elements/s"], rows
+    )

@@ -1,0 +1,98 @@
+"""The runtime experiment (Figure 2 of the paper).
+
+Figure 2(a) measures, on one dataset, how long each method takes to process
+the whole stream as the sketch size ``k`` grows; Figure 2(b) fixes a large
+``k`` and compares the methods across datasets.  The expected *shape* is that
+VOS and OPH are flat in ``k`` (their per-edge update touches one register /
+one bit regardless of ``k``) while MinHash and RP grow with ``k``.
+
+Wall-clock numbers obviously depend on the host and on Python overheads; the
+benchmark suite asserts only the ordering/shape, not absolute values.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.base import SimilaritySketch
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.evaluation.results import RuntimeMeasurement, RuntimeResult
+from repro.exceptions import ConfigurationError
+from repro.similarity.engine import build_sketch
+from repro.streams.stream import GraphStream
+
+
+@dataclass
+class RuntimeExperiment:
+    """Measure stream-processing time for each method and sketch size.
+
+    Attributes
+    ----------
+    methods:
+        Method names to time (registry names).
+    register_bits:
+        Register width used when sizing budgets (32 as in the paper).
+    vos_size_multiplier:
+        λ applied to VOS's virtual sketch size.
+    seed:
+        Seed for all sketches.
+    """
+
+    methods: tuple[str, ...] = ("MinHash", "OPH", "RP", "VOS")
+    register_bits: int = 32
+    vos_size_multiplier: float = 2.0
+    seed: int = 0
+
+    def _build(self, method: str, sketch_size: int, num_users: int) -> SimilaritySketch:
+        budget = MemoryBudget(
+            baseline_registers=sketch_size,
+            num_users=max(1, num_users),
+            register_bits=self.register_bits,
+        )
+        if method == "VOS":
+            return VirtualOddSketch.from_budget(
+                budget, size_multiplier=self.vos_size_multiplier, seed=self.seed
+            )
+        return build_sketch(method, budget, seed=self.seed)
+
+    def time_method(
+        self, method: str, stream: GraphStream, sketch_size: int
+    ) -> RuntimeMeasurement:
+        """Time one method processing the full stream at one sketch size."""
+        if sketch_size <= 0:
+            raise ConfigurationError("sketch_size must be positive")
+        sketch = self._build(method, sketch_size, len(stream.users()))
+        start = time.perf_counter()
+        for element in stream:
+            sketch.process(element)
+        elapsed = time.perf_counter() - start
+        return RuntimeMeasurement(
+            method=method,
+            dataset=stream.name,
+            sketch_size=sketch_size,
+            elements=len(stream),
+            seconds=elapsed,
+        )
+
+    def run_sketch_size_sweep(
+        self, stream: GraphStream, sketch_sizes: Sequence[int]
+    ) -> RuntimeResult:
+        """Figure 2(a): every method timed at every sketch size on one stream."""
+        result = RuntimeResult()
+        for sketch_size in sketch_sizes:
+            for method in self.methods:
+                result.add(self.time_method(method, stream, sketch_size))
+        return result
+
+    def run_dataset_sweep(
+        self, streams: Sequence[GraphStream], sketch_size: int
+    ) -> RuntimeResult:
+        """Figure 2(b): every method timed on every dataset at one (large) sketch size."""
+        result = RuntimeResult()
+        for stream in streams:
+            for method in self.methods:
+                result.add(self.time_method(method, stream, sketch_size))
+        return result

@@ -1,0 +1,177 @@
+"""Compact bit arrays and fixed-width register arrays.
+
+Two storage primitives shared by the sketches:
+
+* :class:`PackedBitArray` — a dense array of single bits with O(1) get/flip
+  and an O(1) running count of set bits.  This backs both per-user odd
+  sketches and the VOS shared array ``A`` (where the running popcount is
+  exactly the paper's ``beta`` tracker, up to division by ``m``).
+* :class:`PackedRegisters` — an array of fixed-width unsigned registers
+  (e.g. 32-bit MinHash registers, b-bit fingerprints) stored in a numpy
+  vector, with explicit accounting of the memory they represent.  The
+  evaluation harness uses this accounting to put all methods under the same
+  memory budget ``m = 32 * k * |U|`` bits, mirroring Section V of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class PackedBitArray:
+    """A mutable array of bits with an O(1) running population count.
+
+    Bits are stored in a ``numpy.uint8`` vector (one byte per bit: on
+    CPython the byte-per-bit layout is faster for the single-bit random
+    access pattern of the sketches than real bit packing, while the
+    *accounted* memory reported by :meth:`memory_bits` remains one bit per
+    position, matching the paper's cost model).
+
+    Examples
+    --------
+    >>> bits = PackedBitArray(8)
+    >>> bits.flip(3)
+    1
+    >>> bits[3], bits.ones_count
+    (1, 1)
+    >>> bits.fraction_of_ones
+    0.125
+    """
+
+    __slots__ = ("_bits", "_ones")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"bit array size must be positive, got {size}")
+        self._bits = np.zeros(size, dtype=np.uint8)
+        self._ones = 0
+
+    def __len__(self) -> int:
+        return int(self._bits.shape[0])
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._bits[index])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(b) for b in self._bits)
+
+    @property
+    def ones_count(self) -> int:
+        """Number of bits currently set to 1."""
+        return self._ones
+
+    @property
+    def fraction_of_ones(self) -> float:
+        """Fraction of set bits — the quantity the paper calls ``beta``."""
+        return self._ones / len(self)
+
+    def set(self, index: int, value: int) -> None:
+        """Set bit ``index`` to ``value`` (0 or 1), updating the popcount."""
+        value = 1 if value else 0
+        old = int(self._bits[index])
+        if old != value:
+            self._bits[index] = value
+            self._ones += value - old
+
+    def flip(self, index: int) -> int:
+        """Xor bit ``index`` with 1 and return its new value."""
+        new = int(self._bits[index]) ^ 1
+        self._bits[index] = new
+        self._ones += 1 if new else -1
+        return new
+
+    def xor_value(self, index: int, value: int) -> int:
+        """Xor bit ``index`` with ``value`` (0 or 1) and return the new bit."""
+        if value & 1:
+            return self.flip(index)
+        return int(self._bits[index])
+
+    def gather(self, indices: Iterable[int]) -> np.ndarray:
+        """Return the bits at ``indices`` as a ``numpy.uint8`` vector."""
+        idx = np.fromiter(indices, dtype=np.int64)
+        return self._bits[idx]
+
+    def to_list(self) -> list[int]:
+        """Return the bit values as a plain Python list."""
+        return [int(b) for b in self._bits]
+
+    def clear(self) -> None:
+        """Reset every bit to zero."""
+        self._bits[:] = 0
+        self._ones = 0
+
+    def memory_bits(self) -> int:
+        """Memory this array accounts for under the paper's cost model (1 bit/position)."""
+        return len(self)
+
+
+class PackedRegisters:
+    """A fixed-size array of unsigned registers with explicit width accounting.
+
+    Parameters
+    ----------
+    count:
+        Number of registers (``k`` in the sketches).
+    width_bits:
+        Nominal width of each register in bits; used for memory accounting
+        (the backing store is a ``numpy.uint64`` vector regardless).
+    empty_value:
+        Sentinel stored in registers that have never been written (MinHash and
+        OPH both need an "empty register" notion).
+    """
+
+    __slots__ = ("_values", "_width_bits", "_empty_value")
+
+    def __init__(self, count: int, width_bits: int = 32, empty_value: int | None = None) -> None:
+        if count <= 0:
+            raise ConfigurationError(f"register count must be positive, got {count}")
+        if width_bits <= 0 or width_bits > 64:
+            raise ConfigurationError(
+                f"register width must be in (0, 64], got {width_bits}"
+            )
+        if empty_value is None:
+            empty_value = (1 << 64) - 1
+        self._values = np.full(count, empty_value, dtype=np.uint64)
+        self._width_bits = width_bits
+        self._empty_value = empty_value
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._values[index])
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._values[index] = value
+
+    @property
+    def empty_value(self) -> int:
+        return self._empty_value
+
+    @property
+    def width_bits(self) -> int:
+        return self._width_bits
+
+    def is_empty(self, index: int) -> bool:
+        """True if register ``index`` has never been written (or was reset)."""
+        return int(self._values[index]) == self._empty_value
+
+    def reset(self, index: int) -> None:
+        """Mark register ``index`` as empty again."""
+        self._values[index] = self._empty_value
+
+    def non_empty_count(self) -> int:
+        """Number of registers holding a real value."""
+        return int(np.count_nonzero(self._values != np.uint64(self._empty_value)))
+
+    def to_list(self) -> list[int | None]:
+        """Return register values with ``None`` in place of empty registers."""
+        return [None if v == self._empty_value else int(v) for v in self._values]
+
+    def memory_bits(self) -> int:
+        """Memory accounted under the paper's cost model (``count * width_bits``)."""
+        return len(self) * self._width_bits

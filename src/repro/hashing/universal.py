@@ -1,0 +1,138 @@
+"""Seeded, 2-universal hashing of arbitrary keys into bounded integer ranges.
+
+The paper's constructions need hash functions with two properties:
+
+1. they must behave like independent random functions across different seeds
+   (MinHash needs ``k`` independent functions; VOS needs ``psi`` for items and
+   ``f_1 ... f_k`` for users), and
+2. they must be *stable* across processes so experiments are reproducible
+   (Python's builtin :func:`hash` is salted per process and cannot be used).
+
+``stable_hash64`` provides a deterministic 64-bit fingerprint of any hashable
+key.  :class:`UniversalHash` composes that fingerprint with a seeded
+multiply-shift / modular affine step which is 2-universal over the 64-bit
+fingerprint domain, and finally reduces into the requested range.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+# Mersenne prime 2^61 - 1: the classic modulus for Carter-Wegman hashing.
+_MERSENNE_P = (1 << 61) - 1
+
+# Fixed 64-bit odd constants for the SplitMix64-style integer mixer.
+_MIX_C1 = 0xBF58476D1CE4E5B9
+_MIX_C2 = 0x94D049BB133111EB
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser: a fast, well-distributed 64-bit mixer."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX_C1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX_C2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def fingerprint64(key: object) -> int:
+    """Return a process-stable 64-bit fingerprint of ``key``.
+
+    Integers are mixed directly (fast path for the hot loops where keys are
+    item/user identifiers); every other hashable key goes through BLAKE2b of
+    its ``repr``.  Two distinct integers never collide through the fast path
+    because :func:`_mix64` is a bijection on 64-bit integers for keys that
+    already fit into 64 bits.
+    """
+    if isinstance(key, bool):
+        # bool is an int subclass, but "True" and 1 should still agree with
+        # the integer fast path for predictability.
+        key = int(key)
+    if isinstance(key, int):
+        return _mix64(key ^ _GOLDEN)
+    data = repr(key).encode("utf-8", "surrogatepass")
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def stable_hash64(key: object, seed: int = 0) -> int:
+    """Return a seeded, process-stable 64-bit hash of ``key``.
+
+    Different seeds give (empirically and by construction) independent-looking
+    outputs for the same key, which is what the sketch constructions rely on.
+    """
+    return _mix64(fingerprint64(key) ^ _mix64(seed ^ _GOLDEN))
+
+
+@dataclass(frozen=True)
+class UniversalHash:
+    """A seeded hash function mapping hashable keys into ``{0, ..., range_size - 1}``.
+
+    The function is a Carter-Wegman affine map ``(a * x + b) mod p`` over the
+    64-bit fingerprint of the key, with ``p`` the Mersenne prime ``2^61 - 1``,
+    followed by reduction modulo ``range_size``.  The coefficients ``a`` and
+    ``b`` are derived deterministically from ``seed`` so that a
+    ``UniversalHash`` can be reconstructed from ``(seed, range_size)`` alone.
+
+    Parameters
+    ----------
+    range_size:
+        Size of the output range; outputs lie in ``[0, range_size)``.
+    seed:
+        Any integer.  Hash functions with different seeds behave
+        independently.
+
+    Examples
+    --------
+    >>> h = UniversalHash(range_size=16, seed=7)
+    >>> 0 <= h("item-42") < 16
+    True
+    >>> h("item-42") == UniversalHash(range_size=16, seed=7)("item-42")
+    True
+    """
+
+    range_size: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.range_size <= 0:
+            raise ConfigurationError(
+                f"range_size must be positive, got {self.range_size}"
+            )
+
+    @property
+    def _coefficients(self) -> tuple[int, int]:
+        a = stable_hash64(("uh-a", self.seed)) % (_MERSENNE_P - 1) + 1
+        b = stable_hash64(("uh-b", self.seed)) % _MERSENNE_P
+        return a, b
+
+    def __call__(self, key: object) -> int:
+        """Hash ``key`` into ``[0, range_size)``."""
+        a, b = self._coefficients
+        x = fingerprint64(key)
+        return ((a * x + b) % _MERSENNE_P) % self.range_size
+
+    def value64(self, key: object) -> int:
+        """Hash ``key`` into the full 61-bit range (before range reduction).
+
+        MinHash compares hash values for minima; using the wide value avoids
+        the extra collisions that range reduction would introduce.
+        """
+        a, b = self._coefficients
+        x = fingerprint64(key)
+        return (a * x + b) % _MERSENNE_P
+
+    def unit_interval(self, key: object) -> float:
+        """Hash ``key`` to a float uniform in ``[0, 1)``.
+
+        Useful for consistent-weighted-sampling style constructions that need
+        uniform variates that are a deterministic function of the key.
+        """
+        return self.value64(key) / _MERSENNE_P

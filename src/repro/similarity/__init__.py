@@ -1,0 +1,48 @@
+"""Similarity measures, pair selection, and the streaming similarity engine.
+
+* :mod:`repro.similarity.measures` — exact set-similarity measures (Jaccard,
+  common-item count, Dice, overlap and cosine coefficients) used as ground
+  truth and in examples;
+* :mod:`repro.similarity.pairs` — the pair-selection protocol of the paper's
+  evaluation (take the highest-cardinality users, form pairs, keep those with
+  at least one common item) plus top-k similar-pair search helpers;
+* :mod:`repro.similarity.engine` — :class:`SimilarityEngine`, a convenience
+  facade that feeds a stream into one or more sketches and answers queries,
+  plus the sketch registry used by the CLI and the benchmarks.
+"""
+
+from repro.similarity.engine import SimilarityEngine, build_sketch, sketch_registry
+from repro.similarity.measures import (
+    common_items,
+    cosine_similarity,
+    dice_coefficient,
+    jaccard_coefficient,
+    overlap_coefficient,
+)
+from repro.similarity.pairs import select_evaluation_pairs, top_cardinality_users, top_similar_pairs
+from repro.similarity.search import (
+    ScoredPair,
+    nearest_neighbours,
+    pairs_above_threshold,
+    ranking_agreement,
+    top_k_similar_pairs,
+)
+
+__all__ = [
+    "jaccard_coefficient",
+    "common_items",
+    "dice_coefficient",
+    "overlap_coefficient",
+    "cosine_similarity",
+    "top_cardinality_users",
+    "select_evaluation_pairs",
+    "top_similar_pairs",
+    "SimilarityEngine",
+    "build_sketch",
+    "sketch_registry",
+    "ScoredPair",
+    "top_k_similar_pairs",
+    "nearest_neighbours",
+    "pairs_above_threshold",
+    "ranking_agreement",
+]

@@ -1,0 +1,188 @@
+"""The similarity engine: a facade that drives sketches over streams.
+
+:class:`SimilarityEngine` owns one or more sketches (by default VOS plus the
+exact tracker), feeds them every stream element, and exposes similarity
+queries against any of them.  It is the recommended entry point for library
+users who just want "stream in, similarities out" without assembling the
+pieces by hand, and it powers the example applications.
+
+The module also hosts the *sketch registry* — a mapping from method name to a
+factory building that sketch under the paper's equal-memory budget — which the
+CLI, the evaluation runner and the benchmarks all share so every component
+constructs methods identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.baselines.base import PairEstimate, SimilaritySketch
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.minhash import DynamicMinHash
+from repro.baselines.oph import DynamicOPH
+from repro.baselines.random_pairing import IndependentRandomPairingSketch, RandomPairingSketch
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import StreamElement, UserId
+from repro.streams.stream import GraphStream
+
+SketchFactory = Callable[[MemoryBudget, int], SimilaritySketch]
+
+
+def _build_minhash(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    return DynamicMinHash(
+        budget.baseline_registers, seed=seed, register_bits=budget.register_bits
+    )
+
+
+def _build_oph(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    return DynamicOPH(
+        budget.baseline_registers, seed=seed, register_bits=budget.register_bits
+    )
+
+
+def _build_rp(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    # The paper's RP baseline: k independent single-item samples per user.
+    return IndependentRandomPairingSketch(
+        budget.baseline_registers, seed=seed, register_bits=budget.register_bits
+    )
+
+
+def _build_rp_pooled(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    return RandomPairingSketch(
+        budget.baseline_registers, seed=seed, register_bits=budget.register_bits
+    )
+
+
+def _build_vos(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    return VirtualOddSketch.from_budget(budget, seed=seed)
+
+
+def _build_exact(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    return ExactSimilarityTracker()
+
+
+def sketch_registry() -> dict[str, SketchFactory]:
+    """The canonical name -> factory mapping for the paper's four methods (+ exact).
+
+    Keys are the names used throughout the paper and this repository's reports:
+    ``"MinHash"``, ``"OPH"``, ``"RP"``, ``"VOS"``, plus ``"Exact"``.
+    ``"RP-pooled"`` is an additional, stronger RP variant (one size-k reservoir
+    per user instead of the paper's k independent single-item samples).
+    """
+    return {
+        "MinHash": _build_minhash,
+        "OPH": _build_oph,
+        "RP": _build_rp,
+        "RP-pooled": _build_rp_pooled,
+        "VOS": _build_vos,
+        "Exact": _build_exact,
+    }
+
+
+def build_sketch(name: str, budget: MemoryBudget, *, seed: int = 0) -> SimilaritySketch:
+    """Build the named sketch under the given equal-memory budget."""
+    registry = sketch_registry()
+    if name not in registry:
+        known = ", ".join(sorted(registry))
+        raise ConfigurationError(f"unknown sketch {name!r}; known sketches: {known}")
+    return registry[name](budget, seed)
+
+
+class SimilarityEngine:
+    """Feed a fully dynamic graph stream into sketches and query similarities.
+
+    Parameters
+    ----------
+    sketches:
+        Mapping of display name to sketch instance.  If omitted, the engine
+        builds VOS and the exact tracker under a default budget sized for the
+        number of users given by ``expected_users``.
+    expected_users:
+        Used only when ``sketches`` is omitted, to size the default budget.
+    baseline_registers:
+        ``k`` for the default budget (100 as in the paper's accuracy plots).
+    seed:
+        Seed for default-constructed sketches.
+
+    Examples
+    --------
+    >>> from repro.streams import load_dataset
+    >>> stream = load_dataset("youtube", scale=0.05)
+    >>> engine = SimilarityEngine.with_default_sketches(expected_users=200)
+    >>> engine.consume(stream)                              # doctest: +ELLIPSIS
+    <repro.similarity.engine.SimilarityEngine object at ...>
+    """
+
+    def __init__(self, sketches: Mapping[str, SimilaritySketch]) -> None:
+        if not sketches:
+            raise ConfigurationError("SimilarityEngine needs at least one sketch")
+        self._sketches = dict(sketches)
+        self._elements_processed = 0
+
+    @classmethod
+    def with_default_sketches(
+        cls,
+        *,
+        expected_users: int,
+        baseline_registers: int = 100,
+        seed: int = 0,
+        include_baselines: bool = False,
+    ) -> "SimilarityEngine":
+        """Build an engine with VOS + Exact (and optionally all baselines)."""
+        budget = MemoryBudget(
+            baseline_registers=baseline_registers, num_users=max(1, expected_users)
+        )
+        names = ["VOS", "Exact"]
+        if include_baselines:
+            names = ["VOS", "MinHash", "OPH", "RP", "Exact"]
+        sketches = {name: build_sketch(name, budget, seed=seed) for name in names}
+        return cls(sketches)
+
+    # -- stream consumption ------------------------------------------------------------
+
+    def process(self, element: StreamElement) -> None:
+        """Feed one element to every sketch."""
+        for sketch in self._sketches.values():
+            sketch.process(element)
+        self._elements_processed += 1
+
+    def consume(self, stream: GraphStream | Iterable[StreamElement]) -> "SimilarityEngine":
+        """Feed an entire stream (returns ``self`` for chaining)."""
+        for element in stream:
+            self.process(element)
+        return self
+
+    @property
+    def elements_processed(self) -> int:
+        """Number of stream elements consumed so far."""
+        return self._elements_processed
+
+    # -- queries -------------------------------------------------------------------------
+
+    @property
+    def sketch_names(self) -> list[str]:
+        return list(self._sketches)
+
+    def sketch(self, name: str) -> SimilaritySketch:
+        """Access one of the engine's sketches by name."""
+        if name not in self._sketches:
+            known = ", ".join(sorted(self._sketches))
+            raise ConfigurationError(f"unknown sketch {name!r}; engine has: {known}")
+        return self._sketches[name]
+
+    def estimate(self, user_a: UserId, user_b: UserId, *, method: str = "VOS") -> PairEstimate:
+        """Estimate the similarity of a user pair with the named method."""
+        return self.sketch(method).estimate_pair(user_a, user_b)
+
+    def estimate_all(self, user_a: UserId, user_b: UserId) -> dict[str, PairEstimate]:
+        """Estimate the pair with every sketch the engine holds."""
+        return {
+            name: sketch.estimate_pair(user_a, user_b)
+            for name, sketch in self._sketches.items()
+        }
+
+    def memory_report(self) -> dict[str, int]:
+        """Memory (bits) accounted to each sketch under the paper's cost model."""
+        return {name: sketch.memory_bits() for name, sketch in self._sketches.items()}

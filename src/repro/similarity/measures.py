@@ -1,0 +1,51 @@
+"""Exact set-similarity measures.
+
+These operate on plain Python sets and serve three purposes: they are the
+ground truth the evaluation metrics compare sketch estimates against, they are
+used directly in the example applications, and they document the exact
+quantities each sketch estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Set
+
+
+def common_items(set_a: Set, set_b: Set) -> int:
+    """The number of common items ``s_uv = |A ∩ B|`` (the paper's primary target)."""
+    return len(set_a & set_b)
+
+
+def jaccard_coefficient(set_a: Set, set_b: Set) -> float:
+    """The Jaccard coefficient ``|A ∩ B| / |A ∪ B|``; two empty sets have Jaccard 1."""
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 0.0
+    return len(set_a & set_b) / union
+
+
+def dice_coefficient(set_a: Set, set_b: Set) -> float:
+    """The Sørensen-Dice coefficient ``2|A ∩ B| / (|A| + |B|)``."""
+    if not set_a and not set_b:
+        return 1.0
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / total
+
+
+def overlap_coefficient(set_a: Set, set_b: Set) -> float:
+    """The overlap (Szymkiewicz-Simpson) coefficient ``|A ∩ B| / min(|A|, |B|)``."""
+    if not set_a or not set_b:
+        return 1.0 if not set_a and not set_b else 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def cosine_similarity(set_a: Set, set_b: Set) -> float:
+    """The set-cosine (Ochiai) coefficient ``|A ∩ B| / sqrt(|A| |B|)``."""
+    if not set_a or not set_b:
+        return 1.0 if not set_a and not set_b else 0.0
+    return len(set_a & set_b) / math.sqrt(len(set_a) * len(set_b))

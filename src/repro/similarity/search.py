@@ -1,0 +1,204 @@
+"""Similar-pair search on top of a streaming sketch.
+
+The example applications (duplicate detection, collaborative filtering) both
+need more than a single pairwise query: they want "the most similar pairs
+among these users" or "this user's nearest neighbours".  This module provides
+those search primitives over any sketch implementing the common interface,
+with an optional cardinality pre-filter that prunes pairs whose size ratio
+already bounds their Jaccard coefficient below the requested threshold
+(``J(A, B) <= min(|A|,|B|) / max(|A|,|B|)`` for any two sets).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.baselines.base import SimilaritySketch
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import UserId
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """One scored candidate pair returned by the search functions."""
+
+    user_a: UserId
+    user_b: UserId
+    jaccard: float
+    common_items: float
+
+
+def _candidate_users(
+    sketch: SimilaritySketch, users: Iterable[UserId] | None, minimum_cardinality: int
+) -> list[UserId]:
+    if users is None:
+        pool = sketch.users()
+    else:
+        pool = [user for user in users if sketch.has_user(user)]
+    return sorted(
+        (user for user in pool if sketch.cardinality(user) >= minimum_cardinality)
+    )
+
+
+def _size_ratio_bound(size_a: int, size_b: int) -> float:
+    """An upper bound on the Jaccard coefficient implied by the set sizes alone."""
+    if size_a == 0 or size_b == 0:
+        return 0.0
+    smaller, larger = min(size_a, size_b), max(size_a, size_b)
+    return smaller / larger
+
+
+def top_k_similar_pairs(
+    sketch: SimilaritySketch,
+    *,
+    k: int = 10,
+    users: Iterable[UserId] | None = None,
+    minimum_cardinality: int = 1,
+    prefilter_threshold: float = 0.0,
+) -> list[ScoredPair]:
+    """Return the ``k`` most similar user pairs according to the sketch.
+
+    Parameters
+    ----------
+    sketch:
+        Any streaming similarity sketch (VOS, MinHash, ..., or the exact
+        tracker).
+    k:
+        Number of pairs to return.
+    users:
+        Candidate users; defaults to every user the sketch has seen.  For
+        large populations pass a pre-selected subset (e.g. the top-cardinality
+        users) — the search is quadratic in the candidate count.
+    minimum_cardinality:
+        Ignore users currently subscribing to fewer items than this.
+    prefilter_threshold:
+        If positive, skip pairs whose size-ratio bound
+        ``min(|A|,|B|)/max(|A|,|B|)`` is already below the threshold — those
+        pairs cannot reach it regardless of overlap, so no sketch query is
+        spent on them.
+
+    Returns
+    -------
+    list of :class:`ScoredPair`, sorted by descending Jaccard estimate.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if not 0.0 <= prefilter_threshold <= 1.0:
+        raise ConfigurationError("prefilter_threshold must be in [0, 1]")
+    candidates = _candidate_users(sketch, users, minimum_cardinality)
+    heap: list[tuple[float, UserId, UserId, float]] = []
+    for user_a, user_b in combinations(candidates, 2):
+        if prefilter_threshold > 0.0:
+            bound = _size_ratio_bound(sketch.cardinality(user_a), sketch.cardinality(user_b))
+            if bound < prefilter_threshold:
+                continue
+        jaccard = sketch.estimate_jaccard(user_a, user_b)
+        if len(heap) < k:
+            heapq.heappush(heap, (jaccard, user_a, user_b, jaccard))
+        elif jaccard > heap[0][0]:
+            heapq.heapreplace(heap, (jaccard, user_a, user_b, jaccard))
+    ranked = sorted(heap, key=lambda entry: (-entry[0], entry[1], entry[2]))
+    return [
+        ScoredPair(
+            user_a=user_a,
+            user_b=user_b,
+            jaccard=jaccard,
+            common_items=sketch.estimate_common_items(user_a, user_b),
+        )
+        for jaccard, user_a, user_b, _ in ranked
+    ]
+
+
+def nearest_neighbours(
+    sketch: SimilaritySketch,
+    target: UserId,
+    *,
+    k: int = 10,
+    candidates: Iterable[UserId] | None = None,
+    minimum_cardinality: int = 1,
+) -> list[ScoredPair]:
+    """Return the ``k`` users most similar to ``target`` according to the sketch.
+
+    ``candidates`` defaults to every other user the sketch has seen; pass a
+    subset (e.g. high-cardinality users) to bound the linear scan.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if not sketch.has_user(target):
+        raise ConfigurationError(f"target user {target!r} has never appeared in the stream")
+    pool = _candidate_users(sketch, candidates, minimum_cardinality)
+    scored = [
+        (sketch.estimate_jaccard(target, other), other)
+        for other in pool
+        if other != target
+    ]
+    scored.sort(key=lambda entry: (-entry[0], entry[1]))
+    return [
+        ScoredPair(
+            user_a=target,
+            user_b=other,
+            jaccard=jaccard,
+            common_items=sketch.estimate_common_items(target, other),
+        )
+        for jaccard, other in scored[:k]
+    ]
+
+
+def pairs_above_threshold(
+    sketch: SimilaritySketch,
+    threshold: float,
+    *,
+    users: Iterable[UserId] | None = None,
+    minimum_cardinality: int = 1,
+    use_prefilter: bool = True,
+) -> list[ScoredPair]:
+    """Return every candidate pair whose estimated Jaccard reaches ``threshold``.
+
+    This is the screening primitive used by the duplicate-detection example:
+    the sketch cheaply discards the vast majority of pairs and only the
+    returned candidates need exact verification.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError("threshold must be in [0, 1]")
+    candidates = _candidate_users(sketch, users, minimum_cardinality)
+    results: list[ScoredPair] = []
+    for user_a, user_b in combinations(candidates, 2):
+        if use_prefilter and threshold > 0.0:
+            bound = _size_ratio_bound(sketch.cardinality(user_a), sketch.cardinality(user_b))
+            if bound < threshold:
+                continue
+        jaccard = sketch.estimate_jaccard(user_a, user_b)
+        if jaccard >= threshold:
+            results.append(
+                ScoredPair(
+                    user_a=user_a,
+                    user_b=user_b,
+                    jaccard=jaccard,
+                    common_items=sketch.estimate_common_items(user_a, user_b),
+                )
+            )
+    results.sort(key=lambda pair: (-pair.jaccard, pair.user_a, pair.user_b))
+    return results
+
+
+def ranking_agreement(
+    reference: Sequence[ScoredPair], candidate: Sequence[ScoredPair], *, k: int | None = None
+) -> float:
+    """Fraction of the reference top-k pairs that also appear in the candidate top-k.
+
+    A simple overlap@k measure used by examples and tests to quantify how well
+    a sketch-based ranking reproduces the exact ranking.
+    """
+    if k is None:
+        k = min(len(reference), len(candidate))
+    if k == 0:
+        return 1.0
+    def key(pair: ScoredPair) -> tuple[UserId, UserId]:
+        return (min(pair.user_a, pair.user_b), max(pair.user_a, pair.user_b))
+
+    reference_keys = {key(pair) for pair in reference[:k]}
+    candidate_keys = {key(pair) for pair in candidate[:k]}
+    return len(reference_keys & candidate_keys) / k

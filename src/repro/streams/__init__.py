@@ -1,0 +1,64 @@
+"""Fully dynamic bipartite graph-stream substrate.
+
+This package models the input the paper operates on: a sequence of elements
+``(user, item, action)`` where ``action`` is a subscription (``+``) or an
+unsubscription (``-``).  It provides:
+
+* :class:`~repro.streams.edge.StreamElement` and the :class:`~repro.streams.edge.Action`
+  enum — the element model;
+* :class:`~repro.streams.stream.GraphStream` — an in-memory stream with
+  feasibility validation and exact state replay;
+* synthetic bipartite graph generators (:mod:`repro.streams.generators`) and
+  deletion models (:mod:`repro.streams.deletions`) that together build fully
+  dynamic streams following the Trièst-style massive-deletion protocol the
+  paper's evaluation uses;
+* named synthetic datasets standing in for the paper's YouTube / Flickr /
+  Orkut / LiveJournal crawls (:mod:`repro.streams.datasets`);
+* plain-text stream I/O (:mod:`repro.streams.io`).
+"""
+
+from repro.streams.datasets import DATASET_SPECS, DatasetSpec, load_dataset
+from repro.streams.deletions import (
+    MassiveDeletionModel,
+    NoDeletionModel,
+    SlidingWindowDeletionModel,
+    UniformDeletionModel,
+)
+from repro.streams.edge import Action, StreamElement
+from repro.streams.generators import (
+    BipartiteGraphGenerator,
+    ErdosRenyiBipartiteGenerator,
+    PowerLawBipartiteGenerator,
+)
+from repro.streams.io import read_stream, write_stream
+from repro.streams.regular import (
+    RegularEdge,
+    RegularGraphSimilarity,
+    bipartite_elements,
+    expand_regular_stream,
+)
+from repro.streams.stream import GraphStream, StreamStatistics, build_dynamic_stream
+
+__all__ = [
+    "Action",
+    "StreamElement",
+    "GraphStream",
+    "StreamStatistics",
+    "build_dynamic_stream",
+    "BipartiteGraphGenerator",
+    "PowerLawBipartiteGenerator",
+    "ErdosRenyiBipartiteGenerator",
+    "MassiveDeletionModel",
+    "UniformDeletionModel",
+    "SlidingWindowDeletionModel",
+    "NoDeletionModel",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "load_dataset",
+    "read_stream",
+    "write_stream",
+    "RegularEdge",
+    "RegularGraphSimilarity",
+    "bipartite_elements",
+    "expand_regular_stream",
+]

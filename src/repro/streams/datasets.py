@@ -1,0 +1,190 @@
+"""Named synthetic datasets standing in for the paper's four crawls.
+
+The paper evaluates on YouTube, Flickr, Orkut and LiveJournal crawls from
+Mislove et al. (IMC 2007).  Those datasets cannot be shipped with this
+repository, so each is replaced by a synthetic power-law bipartite graph whose
+*relative* scale ordering matches the originals (YouTube smallest, Orkut
+largest) while the absolute sizes are reduced so every experiment runs in
+seconds on a laptop.  The substitution is documented in DESIGN.md; the
+estimators only ever observe per-user item sets and their overlaps, which the
+synthetic graphs exercise in the same way.
+
+Each dataset also carries the massive-deletion parameters used to turn the
+static edge list into a fully dynamic stream (period scaled with the edge
+count; deletion probability ``d = 0.5`` as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+from repro.streams.deletions import MassiveDeletionModel, NoDeletionModel
+from repro.streams.generators import PowerLawBipartiteGenerator
+from repro.streams.stream import GraphStream, build_dynamic_stream
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Specification of a named synthetic dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (mirrors the paper's dataset names).
+    num_users, num_items, num_edges:
+        Size of the synthetic bipartite graph.
+    deletion_period:
+        Insertions between massive-deletion events (the paper's ``2,000,000``
+        scaled down proportionally to the synthetic edge count).
+    deletion_probability:
+        Probability each live edge is removed in a massive deletion (``d``).
+    user_exponent, item_exponent:
+        Power-law exponents of the generator.
+    seed:
+        Seed so the dataset is identical across runs and machines.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    num_edges: int
+    deletion_period: int
+    deletion_probability: float = 0.5
+    user_exponent: float = 0.8
+    item_exponent: float = 0.9
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """Return a copy with user/item/edge counts multiplied by ``factor``.
+
+        Benchmarks use this to run cheaper variants of the full synthetic
+        datasets while keeping their shape.
+        """
+        return DatasetSpec(
+            name=self.name,
+            num_users=max(10, int(self.num_users * factor)),
+            num_items=max(10, int(self.num_items * factor)),
+            num_edges=max(20, int(self.num_edges * factor)),
+            deletion_period=max(10, int(self.deletion_period * factor)),
+            deletion_probability=self.deletion_probability,
+            user_exponent=self.user_exponent,
+            item_exponent=self.item_exponent,
+            seed=self.seed,
+        )
+
+
+#: Synthetic stand-ins for the paper's four datasets.  Relative ordering of
+#: sizes mirrors the real crawls (YouTube < Flickr < LiveJournal < Orkut).
+#:
+#: The degree distribution is deliberately very heavy-tailed
+#: (``user_exponent = 1.1``): most users subscribe to a handful of items while
+#: the top users hold hundreds.  This mirrors the crawls' key property that the
+#: paper's evaluation exploits — the shared VOS array is sized by *all* users
+#: (mostly small, so its fill fraction stays low) while the tracked pairs are
+#: the large users.  The deletion period is ~45% of the edge count so two
+#: Trièst-style massive deletions occur and the stream keeps growing after the
+#: last one, as in the original protocol.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "youtube": DatasetSpec(
+        name="youtube",
+        num_users=500,
+        num_items=1000,
+        num_edges=9000,
+        deletion_period=4050,
+        user_exponent=1.1,
+        item_exponent=0.8,
+        seed=11,
+    ),
+    "flickr": DatasetSpec(
+        name="flickr",
+        num_users=650,
+        num_items=1300,
+        num_edges=12000,
+        deletion_period=5400,
+        user_exponent=1.1,
+        item_exponent=0.8,
+        seed=22,
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        num_users=800,
+        num_items=1600,
+        num_edges=15000,
+        deletion_period=6750,
+        user_exponent=1.1,
+        item_exponent=0.8,
+        seed=33,
+    ),
+    "orkut": DatasetSpec(
+        name="orkut",
+        num_users=950,
+        num_items=1900,
+        num_edges=18000,
+        deletion_period=8100,
+        user_exponent=1.1,
+        item_exponent=0.8,
+        seed=44,
+    ),
+}
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: float = 1.0,
+    dynamic: bool = True,
+    deletion_probability: float | None = None,
+) -> GraphStream:
+    """Build the named synthetic dataset as a (fully dynamic) graph stream.
+
+    Parameters
+    ----------
+    name:
+        One of ``"youtube"``, ``"flickr"``, ``"livejournal"``, ``"orkut"``
+        (case-insensitive).
+    scale:
+        Multiplier applied to users/items/edges/deletion-period; ``1.0`` is
+        the full synthetic size, smaller values give faster runs.
+    dynamic:
+        If ``True`` (default) interleave Trièst-style massive deletions; if
+        ``False`` produce an insertion-only stream.
+    deletion_probability:
+        Override the spec's deletion probability (used by ablations).
+
+    Returns
+    -------
+    GraphStream
+        The feasible stream, named after the dataset.
+    """
+    key = name.strip().lower()
+    if key not in DATASET_SPECS:
+        known = ", ".join(sorted(DATASET_SPECS))
+        raise DatasetError(f"unknown dataset {name!r}; known datasets: {known}")
+    spec = DATASET_SPECS[key]
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    generator = PowerLawBipartiteGenerator(
+        num_users=spec.num_users,
+        num_items=spec.num_items,
+        num_edges=spec.num_edges,
+        user_exponent=spec.user_exponent,
+        item_exponent=spec.item_exponent,
+        seed=spec.seed,
+    )
+    if dynamic:
+        probability = (
+            spec.deletion_probability
+            if deletion_probability is None
+            else deletion_probability
+        )
+        deletion_model = MassiveDeletionModel(
+            period=spec.deletion_period,
+            deletion_probability=probability,
+            seed=spec.seed + 1,
+        )
+    else:
+        deletion_model = NoDeletionModel()
+    return build_dynamic_stream(
+        generator.generate_edges(), deletion_model, name=spec.name
+    )

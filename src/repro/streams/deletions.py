@@ -1,0 +1,125 @@
+"""Deletion models that turn a static edge list into a fully dynamic stream.
+
+The paper's evaluation follows the Trièst (KDD'16) protocol: stream the graph's
+edges as insertions and, every ``period`` insertions, perform a *massive
+deletion* in which each currently live edge is deleted independently with
+probability ``d`` (the paper uses ``period = 2,000,000`` and ``d = 0.5``).
+:class:`MassiveDeletionModel` implements exactly that.  Two additional models —
+uniform per-insertion deletions and a sliding window — are provided for
+ablations and for users who want different churn patterns.
+
+All models implement a single method,
+``deletions_after_insertion(inserted, live_edges, time)``, which
+:func:`repro.streams.stream.build_dynamic_stream` calls after appending each
+insertion; the returned edges are deleted immediately (in order).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import ItemId, UserId
+
+Edge = tuple[UserId, ItemId]
+
+
+class NoDeletionModel:
+    """A deletion model that never deletes anything (insertion-only streams)."""
+
+    def deletions_after_insertion(
+        self, *, inserted: Edge, live_edges: Sequence[Edge], time: int
+    ) -> Iterable[Edge]:
+        return ()
+
+
+class MassiveDeletionModel:
+    """Trièst-style massive deletions: every ``period`` insertions, delete each live edge w.p. ``deletion_probability``.
+
+    Parameters
+    ----------
+    period:
+        Number of insertions between consecutive mass-deletion events.  The
+        paper uses 2,000,000 on the full crawls; the synthetic datasets in
+        this repository use proportionally smaller periods.
+    deletion_probability:
+        Probability that each currently live edge is deleted during a
+        mass-deletion event (``d = 0.5`` in the paper).
+    seed:
+        Seed for the internal random generator (reproducible streams).
+    """
+
+    def __init__(self, period: int, deletion_probability: float = 0.5, *, seed: int = 0) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if not 0.0 <= deletion_probability <= 1.0:
+            raise ConfigurationError(
+                f"deletion_probability must be in [0, 1], got {deletion_probability}"
+            )
+        self.period = period
+        self.deletion_probability = deletion_probability
+        self._rng = random.Random(seed)
+        self._insertions_seen = 0
+
+    def deletions_after_insertion(
+        self, *, inserted: Edge, live_edges: Sequence[Edge], time: int
+    ) -> Iterable[Edge]:
+        self._insertions_seen += 1
+        if self._insertions_seen % self.period != 0:
+            return ()
+        probability = self.deletion_probability
+        rng = self._rng
+        return [edge for edge in list(live_edges) if rng.random() < probability]
+
+
+class UniformDeletionModel:
+    """After every insertion, delete one uniformly random live edge with probability ``rate``.
+
+    This produces a steady trickle of deletions instead of periodic bursts and
+    is used by the deletion-bias ablation (A3 in DESIGN.md) to sweep the
+    overall deletion fraction smoothly.
+    """
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def deletions_after_insertion(
+        self, *, inserted: Edge, live_edges: Sequence[Edge], time: int
+    ) -> Iterable[Edge]:
+        if not live_edges or self._rng.random() >= self.rate:
+            return ()
+        victim = live_edges[self._rng.randrange(len(live_edges))]
+        return (victim,)
+
+
+class SlidingWindowDeletionModel:
+    """Keep only the ``window`` most recent edges alive (FIFO expiry).
+
+    Models subscription churn where old relationships expire: once more than
+    ``window`` edges are live, the oldest ones are deleted.  Useful as an
+    alternative churn pattern in examples and ablations.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive, got {window}")
+        self.window = window
+        self._fifo: list[Edge] = []
+        self._live: set[Edge] = set()
+
+    def deletions_after_insertion(
+        self, *, inserted: Edge, live_edges: Sequence[Edge], time: int
+    ) -> Iterable[Edge]:
+        self._fifo.append(inserted)
+        self._live.add(inserted)
+        victims: list[Edge] = []
+        while len(self._live) > self.window and self._fifo:
+            oldest = self._fifo.pop(0)
+            if oldest in self._live:
+                self._live.remove(oldest)
+                victims.append(oldest)
+        return victims

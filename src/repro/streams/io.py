@@ -1,0 +1,63 @@
+"""Plain-text persistence of graph streams.
+
+Streams are stored one element per line as ``<action> <user> <item>`` where
+``<action>`` is ``+`` or ``-``.  Lines starting with ``#`` and blank lines are
+ignored, so files can carry comments.  This is the usual exchange format for
+dynamic-graph experiments and allows users to bring their own streams.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import DatasetError
+from repro.streams.edge import Action, StreamElement
+from repro.streams.stream import GraphStream
+
+
+def write_stream(stream: GraphStream, path: str | Path) -> None:
+    """Write ``stream`` to ``path`` in the one-element-per-line text format."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write(f"# graph stream: {stream.name}\n")
+        handle.write("# format: <action> <user> <item>\n")
+        for element in stream:
+            handle.write(f"{element.action.symbol} {element.user} {element.item}\n")
+
+
+def read_stream(path: str | Path, *, name: str | None = None, validate: bool = True) -> GraphStream:
+    """Read a stream previously written by :func:`write_stream` (or hand-authored).
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    name:
+        Optional stream name; defaults to the file stem.
+    validate:
+        Whether to check feasibility while loading (recommended for
+        hand-authored files).
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"stream file not found: {source}")
+    elements: list[StreamElement] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise DatasetError(
+                    f"{source}:{line_number}: expected '<action> <user> <item>', got {line!r}"
+                )
+            action_token, user_token, item_token = parts
+            try:
+                action = Action.from_symbol(action_token)
+                user = int(user_token)
+                item = int(item_token)
+            except ValueError as error:
+                raise DatasetError(f"{source}:{line_number}: {error}") from error
+            elements.append(StreamElement(user, item, action))
+    return GraphStream(elements, name=name or source.stem, validate=validate)

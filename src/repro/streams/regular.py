@@ -1,0 +1,175 @@
+"""Regular (non-bipartite) graph streams: neighbour similarity between nodes.
+
+Section II of the paper notes that, although the presentation focuses on
+bipartite user-item graphs, "our method can be easily extended to regular
+graphs".  The extension is mechanical: in a regular graph each node's "item
+set" is its neighbour set, so one edge event ``(u, v, a)`` updates *two*
+user-item relations — ``v`` joins/leaves ``u``'s set and ``u`` joins/leaves
+``v``'s set.  Everything downstream (sketches, estimators, experiments) then
+works unchanged on the doubled stream.
+
+This module provides:
+
+* :class:`RegularEdge` — an undirected edge event between two nodes;
+* :func:`bipartite_elements` — the 2-element expansion of one regular event;
+* :func:`expand_regular_stream` — expand a whole sequence of regular events
+  into a feasible bipartite :class:`~repro.streams.stream.GraphStream`;
+* :class:`RegularGraphSimilarity` — a thin facade that feeds regular edge
+  events into any :class:`~repro.baselines.base.SimilaritySketch` and answers
+  neighbour-set similarity queries between nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import Action, StreamElement
+from repro.streams.stream import GraphStream
+
+if TYPE_CHECKING:  # imported lazily to avoid a streams <-> baselines import cycle
+    from repro.baselines.base import PairEstimate, SimilaritySketch
+
+NodeId = int
+
+
+@dataclass(frozen=True, slots=True)
+class RegularEdge:
+    """An undirected edge event ``{node_a, node_b}`` with an insert/delete action.
+
+    Self-loops are rejected: a node is never its own neighbour in the
+    similarity model the paper uses.
+    """
+
+    node_a: NodeId
+    node_b: NodeId
+    action: Action = Action.INSERT
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ConfigurationError(
+                f"self-loop ({self.node_a}, {self.node_b}) is not a valid regular edge"
+            )
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.action is Action.INSERT
+
+    def normalized(self) -> tuple[NodeId, NodeId]:
+        """The edge endpoints with the smaller id first (undirected identity)."""
+        if self.node_a <= self.node_b:
+            return (self.node_a, self.node_b)
+        return (self.node_b, self.node_a)
+
+
+def bipartite_elements(edge: RegularEdge) -> tuple[StreamElement, StreamElement]:
+    """Expand one regular edge event into its two bipartite stream elements.
+
+    The neighbour sets are kept in the same id space as the nodes themselves:
+    node ``v`` appears as an "item" in node ``u``'s set and vice versa.
+    """
+    return (
+        StreamElement(edge.node_a, edge.node_b, edge.action),
+        StreamElement(edge.node_b, edge.node_a, edge.action),
+    )
+
+
+def expand_regular_stream(
+    edges: Iterable[RegularEdge], *, name: str = "regular-stream", validate: bool = True
+) -> GraphStream:
+    """Expand a sequence of regular edge events into a bipartite graph stream.
+
+    The result contains two elements per input event and is validated for
+    feasibility by default (an insertion of an already-present undirected edge,
+    or a deletion of an absent one, is reported with the position of the
+    offending *regular* event through the underlying bipartite check).
+    """
+
+    def generate() -> Iterator[StreamElement]:
+        for edge in edges:
+            first, second = bipartite_elements(edge)
+            yield first
+            yield second
+
+    return GraphStream(generate(), name=name, validate=validate)
+
+
+class RegularGraphSimilarity:
+    """Neighbour-set similarity between nodes of a fully dynamic regular graph.
+
+    Wraps any sketch implementing the common interface: each regular edge
+    event is expanded into its two bipartite elements before being fed to the
+    sketch, and similarity queries are forwarded unchanged (a node's "items"
+    are its neighbours).
+
+    Parameters
+    ----------
+    sketch:
+        The underlying similarity sketch (e.g. a
+        :class:`~repro.core.vos.VirtualOddSketch` or an
+        :class:`~repro.baselines.exact.ExactSimilarityTracker`).
+
+    Examples
+    --------
+    >>> from repro.baselines.exact import ExactSimilarityTracker
+    >>> graph = RegularGraphSimilarity(ExactSimilarityTracker())
+    >>> graph.add_edge(1, 2)
+    >>> graph.add_edge(1, 3)
+    >>> graph.add_edge(2, 3)
+    >>> graph.estimate_common_neighbours(1, 2)   # both neighbour node 3
+    1.0
+    """
+
+    def __init__(self, sketch: "SimilaritySketch") -> None:
+        self._sketch = sketch
+        self._live_edges: set[tuple[NodeId, NodeId]] = set()
+
+    @property
+    def sketch(self) -> "SimilaritySketch":
+        """The wrapped sketch (exposed for memory accounting and diagnostics)."""
+        return self._sketch
+
+    @property
+    def live_edge_count(self) -> int:
+        """Number of undirected edges currently present."""
+        return len(self._live_edges)
+
+    def process(self, edge: RegularEdge) -> None:
+        """Feed one regular edge event, enforcing undirected feasibility."""
+        key = edge.normalized()
+        if edge.is_insertion:
+            if key in self._live_edges:
+                raise ConfigurationError(f"edge {key} is already present")
+            self._live_edges.add(key)
+        else:
+            if key not in self._live_edges:
+                raise ConfigurationError(f"edge {key} is not present and cannot be deleted")
+            self._live_edges.remove(key)
+        for element in bipartite_elements(edge):
+            self._sketch.process(element)
+
+    def add_edge(self, node_a: NodeId, node_b: NodeId) -> None:
+        """Insert the undirected edge ``{node_a, node_b}``."""
+        self.process(RegularEdge(node_a, node_b, Action.INSERT))
+
+    def remove_edge(self, node_a: NodeId, node_b: NodeId) -> None:
+        """Delete the undirected edge ``{node_a, node_b}``."""
+        self.process(RegularEdge(node_a, node_b, Action.DELETE))
+
+    def degree(self, node: NodeId) -> int:
+        """The node's current degree (size of its neighbour set)."""
+        return self._sketch.cardinality(node)
+
+    def estimate_common_neighbours(self, node_a: NodeId, node_b: NodeId) -> float:
+        """Estimate the number of common neighbours of the two nodes."""
+        return self._sketch.estimate_common_items(node_a, node_b)
+
+    def estimate_jaccard(self, node_a: NodeId, node_b: NodeId) -> float:
+        """Estimate the Jaccard coefficient of the two nodes' neighbour sets."""
+        return self._sketch.estimate_jaccard(node_a, node_b)
+
+    def estimate_pair(self, node_a: NodeId, node_b: NodeId) -> "PairEstimate":
+        """Both estimates for a node pair as a :class:`PairEstimate`."""
+        return self._sketch.estimate_pair(node_a, node_b)

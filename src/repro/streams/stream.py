@@ -1,0 +1,274 @@
+"""In-memory fully dynamic graph streams with feasibility checking.
+
+A :class:`GraphStream` wraps a sequence of :class:`~repro.streams.edge.StreamElement`
+and guarantees *feasibility* in the sense of Section II of the paper: an
+insertion ``(u, i, "+")`` only appears when the edge is currently absent and a
+deletion ``(u, i, "-")`` only appears when it is currently present.  The class
+also knows how to replay itself to recover the exact per-user item sets at any
+time, which is how all ground-truth similarities in the evaluation harness are
+computed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import InfeasibleStreamError
+from repro.streams.edge import Action, ItemId, StreamElement, UserId
+
+
+@dataclass(frozen=True)
+class StreamStatistics:
+    """Summary statistics of a stream, used in reports and dataset tables."""
+
+    length: int
+    insertions: int
+    deletions: int
+    distinct_users: int
+    distinct_items: int
+    live_edges: int
+
+    @property
+    def deletion_fraction(self) -> float:
+        """Fraction of stream elements that are deletions."""
+        if self.length == 0:
+            return 0.0
+        return self.deletions / self.length
+
+
+class GraphStream:
+    """A feasible fully dynamic bipartite graph stream.
+
+    Parameters
+    ----------
+    elements:
+        Stream elements in arrival order.  They are validated eagerly unless
+        ``validate=False`` (useful when the caller already guarantees
+        feasibility, e.g. streams produced by :func:`build_dynamic_stream`).
+    name:
+        Optional human-readable name (dataset name), used in reports.
+
+    Examples
+    --------
+    >>> from repro.streams import Action, StreamElement
+    >>> stream = GraphStream([
+    ...     StreamElement(1, 10, Action.INSERT),
+    ...     StreamElement(1, 11, Action.INSERT),
+    ...     StreamElement(1, 10, Action.DELETE),
+    ... ])
+    >>> stream.item_sets_at(3)[1]
+    {11}
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[StreamElement],
+        *,
+        name: str = "stream",
+        validate: bool = True,
+    ) -> None:
+        self._elements: list[StreamElement] = list(elements)
+        self.name = name
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        live: set[tuple[UserId, ItemId]] = set()
+        for position, element in enumerate(self._elements, start=1):
+            edge = element.edge
+            if element.is_insertion:
+                if edge in live:
+                    raise InfeasibleStreamError(
+                        f"insertion of already-present edge {edge} at time {position}",
+                        time=position,
+                    )
+                live.add(edge)
+            else:
+                if edge not in live:
+                    raise InfeasibleStreamError(
+                        f"deletion of absent edge {edge} at time {position}",
+                        time=position,
+                    )
+                live.remove(edge)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __getitem__(self, index: int) -> StreamElement:
+        return self._elements[index]
+
+    @property
+    def elements(self) -> Sequence[StreamElement]:
+        """The underlying elements (read-only view by convention)."""
+        return self._elements
+
+    # -- replay / state reconstruction --------------------------------------------
+
+    def item_sets_at(self, time: int | None = None) -> dict[UserId, set[ItemId]]:
+        """Return the exact per-user item sets after the first ``time`` elements.
+
+        ``time=None`` (or any value >= ``len(self)``) replays the whole stream.
+        Users whose item set became empty again are kept with an empty set so
+        that "user has appeared" information is preserved.
+        """
+        horizon = len(self._elements) if time is None else min(time, len(self._elements))
+        sets: dict[UserId, set[ItemId]] = {}
+        for element in self._elements[:horizon]:
+            items = sets.setdefault(element.user, set())
+            if element.is_insertion:
+                items.add(element.item)
+            else:
+                items.discard(element.item)
+        return sets
+
+    def users(self) -> set[UserId]:
+        """All users that appear anywhere in the stream."""
+        return {element.user for element in self._elements}
+
+    def items(self) -> set[ItemId]:
+        """All items that appear anywhere in the stream."""
+        return {element.item for element in self._elements}
+
+    def statistics(self) -> StreamStatistics:
+        """Compute :class:`StreamStatistics` for the full stream."""
+        insertions = sum(1 for e in self._elements if e.is_insertion)
+        deletions = len(self._elements) - insertions
+        final_sets = self.item_sets_at(None)
+        live_edges = sum(len(items) for items in final_sets.values())
+        return StreamStatistics(
+            length=len(self._elements),
+            insertions=insertions,
+            deletions=deletions,
+            distinct_users=len(self.users()),
+            distinct_items=len(self.items()),
+            live_edges=live_edges,
+        )
+
+    # -- transformation helpers ----------------------------------------------------
+
+    def prefix(self, length: int) -> "GraphStream":
+        """A new stream containing only the first ``length`` elements."""
+        return GraphStream(
+            self._elements[:length], name=f"{self.name}[:{length}]", validate=False
+        )
+
+    def insertions_only(self) -> "GraphStream":
+        """Drop all deletions (used when demonstrating insertion-only behaviour).
+
+        Note: the result is re-validated because removing deletions can make a
+        later re-insertion of the same edge infeasible; in that case the
+        duplicate insertion is silently dropped as well.
+        """
+        live: set[tuple[UserId, ItemId]] = set()
+        kept: list[StreamElement] = []
+        for element in self._elements:
+            if element.is_insertion and element.edge not in live:
+                live.add(element.edge)
+                kept.append(element)
+        return GraphStream(kept, name=f"{self.name}-insert-only", validate=False)
+
+    def checkpoints(self, count: int) -> list[int]:
+        """Return ``count`` evenly spaced times (1-based) ending at the stream length.
+
+        The evaluation harness estimates similarities at these times, matching
+        the "over time t" x-axis of Figure 3 in the paper.
+        """
+        if count <= 0 or len(self._elements) == 0:
+            return []
+        step = len(self._elements) / count
+        clamped = (
+            max(1, min(int(round(step * (index + 1))), len(self._elements)))
+            for index in range(count)
+        )
+        return sorted(set(clamped))
+
+
+@dataclass
+class _DynamicStreamState:
+    """Internal accumulator used by :func:`build_dynamic_stream`."""
+
+    elements: list[StreamElement] = field(default_factory=list)
+    live_edges: list[tuple[UserId, ItemId]] = field(default_factory=list)
+    live_index: dict[tuple[UserId, ItemId], int] = field(default_factory=dict)
+
+    def insert(self, edge: tuple[UserId, ItemId]) -> None:
+        self.elements.append(StreamElement(edge[0], edge[1], Action.INSERT))
+        self.live_index[edge] = len(self.live_edges)
+        self.live_edges.append(edge)
+
+    def delete(self, edge: tuple[UserId, ItemId]) -> None:
+        self.elements.append(StreamElement(edge[0], edge[1], Action.DELETE))
+        index = self.live_index.pop(edge)
+        last = self.live_edges.pop()
+        if last != edge:
+            self.live_edges[index] = last
+            self.live_index[last] = index
+
+
+def build_dynamic_stream(
+    edges: Iterable[tuple[UserId, ItemId]],
+    deletion_model: "DeletionModelProtocol | None" = None,
+    *,
+    name: str = "dynamic-stream",
+) -> GraphStream:
+    """Interleave base-graph edge insertions with deletions from a deletion model.
+
+    Parameters
+    ----------
+    edges:
+        The base graph's edges, streamed as insertions in the given order.
+        Duplicate edges are ignored (only the first insertion is kept), which
+        makes it safe to feed raw generator output.
+    deletion_model:
+        An object implementing the deletion-model protocol
+        (see :mod:`repro.streams.deletions`): after every insertion it is
+        offered the current live-edge list and returns the edges to delete
+        right away.  ``None`` produces an insertion-only stream.
+    name:
+        Name for the resulting :class:`GraphStream`.
+
+    Returns
+    -------
+    GraphStream
+        A feasible fully dynamic stream.
+    """
+    state = _DynamicStreamState()
+    seen: set[tuple[UserId, ItemId]] = set()
+    for edge in edges:
+        if edge in seen and edge not in state.live_index:
+            # A re-insertion of a previously deleted edge is feasible; a raw
+            # duplicate of a live edge is not, and is skipped.
+            pass
+        if edge in state.live_index:
+            continue
+        seen.add(edge)
+        state.insert(edge)
+        if deletion_model is None:
+            continue
+        for victim in deletion_model.deletions_after_insertion(
+            inserted=edge,
+            live_edges=state.live_edges,
+            time=len(state.elements),
+        ):
+            if victim in state.live_index:
+                state.delete(victim)
+    return GraphStream(state.elements, name=name, validate=False)
+
+
+class DeletionModelProtocol:
+    """Protocol documentation stub for deletion models (see :mod:`repro.streams.deletions`)."""
+
+    def deletions_after_insertion(
+        self,
+        *,
+        inserted: tuple[UserId, ItemId],
+        live_edges: Sequence[tuple[UserId, ItemId]],
+        time: int,
+    ) -> Iterable[tuple[UserId, ItemId]]:  # pragma: no cover - documentation only
+        raise NotImplementedError

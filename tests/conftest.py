@@ -1,0 +1,59 @@
+"""Shared pytest fixtures.
+
+Also makes the test suite runnable without an editable install by putting
+``src/`` on ``sys.path`` when the package is not already importable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - exercised implicitly by every import below
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import pytest
+
+from repro.streams import Action, GraphStream, StreamElement
+from repro.streams.deletions import MassiveDeletionModel
+from repro.streams.generators import PowerLawBipartiteGenerator
+from repro.streams.stream import build_dynamic_stream
+
+
+@pytest.fixture
+def tiny_stream() -> GraphStream:
+    """A hand-written feasible stream with insertions and deletions."""
+    return GraphStream(
+        [
+            StreamElement(1, 10, Action.INSERT),
+            StreamElement(1, 11, Action.INSERT),
+            StreamElement(2, 10, Action.INSERT),
+            StreamElement(2, 12, Action.INSERT),
+            StreamElement(1, 11, Action.DELETE),
+            StreamElement(3, 10, Action.INSERT),
+            StreamElement(2, 12, Action.DELETE),
+            StreamElement(1, 12, Action.INSERT),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dynamic_stream() -> GraphStream:
+    """A small synthetic fully dynamic stream (shared across the session for speed)."""
+    generator = PowerLawBipartiteGenerator(
+        num_users=80, num_items=300, num_edges=4000, seed=7
+    )
+    model = MassiveDeletionModel(period=1000, deletion_probability=0.5, seed=8)
+    return build_dynamic_stream(generator.generate_edges(), model, name="small-dynamic")
+
+
+@pytest.fixture(scope="session")
+def insertion_only_stream() -> GraphStream:
+    """A small synthetic insertion-only stream."""
+    generator = PowerLawBipartiteGenerator(
+        num_users=60, num_items=200, num_edges=2500, seed=21
+    )
+    return build_dynamic_stream(generator.generate_edges(), None, name="insert-only")

@@ -1,0 +1,134 @@
+"""Tests for the repro.analysis package."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bias import SamplingBiasReport, measure_sampling_bias
+from repro.analysis.odd_model import expected_alpha, invert_expected_alpha
+from repro.analysis.variance import (
+    monte_carlo_estimator_moments,
+    predicted_bias,
+    predicted_standard_deviation,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestOddModel:
+    def test_zero_difference_zero_beta(self):
+        assert expected_alpha(0, 128, 0.0) == 0.0
+
+    def test_zero_difference_with_beta_gives_contamination_floor(self):
+        beta = 0.1
+        expected = (1 - (1 - 2 * beta) ** 2) / 2
+        assert expected_alpha(0, 128, beta) == pytest.approx(expected)
+
+    def test_alpha_monotone_in_difference(self):
+        values = [expected_alpha(n, 256, 0.05) for n in (0, 10, 50, 200)]
+        assert values == sorted(values)
+
+    def test_alpha_saturates_below_half(self):
+        assert expected_alpha(10**6, 64, 0.0) <= 0.5
+
+    def test_exact_and_approximate_forms_agree_for_large_k(self):
+        approx = expected_alpha(100, 8192, 0.1, exact=False)
+        exact = expected_alpha(100, 8192, 0.1, exact=True)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_inversion_roundtrip(self):
+        for n in (5, 50, 500):
+            for beta in (0.0, 0.1, 0.3):
+                alpha = expected_alpha(n, 4096, beta)
+                assert invert_expected_alpha(alpha, 4096, beta) == pytest.approx(n, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            expected_alpha(-1, 64)
+        with pytest.raises(ConfigurationError):
+            expected_alpha(10, 0)
+        with pytest.raises(ConfigurationError):
+            invert_expected_alpha(0.2, 64, beta=0.6)
+
+
+class TestVarianceAnalysis:
+    def test_predicted_bias_beta_zero(self):
+        k, n = 2048, 100
+        expected = 1 / 8 - math.exp(4 * n / k) / 8
+        assert predicted_bias(n, 0.0, k) == pytest.approx(expected)
+
+    def test_predicted_std_nonnegative(self):
+        assert predicted_standard_deviation(10, 0.01, 512) >= 0.0
+
+    def test_monte_carlo_vs_closed_form_at_beta_zero(self):
+        """The closed-form standard deviation treats the k xor bits as
+        independent; under the true balls-into-bins model the bits are
+        negatively correlated, so the closed form is a (conservative) upper
+        bound.  The simulation must be unbiased and sit within that bound."""
+        k = 1024
+        cardinality_a = cardinality_b = 300
+        common = 200
+        n_delta = cardinality_a + cardinality_b - 2 * common
+        moments = monte_carlo_estimator_moments(
+            cardinality_a=cardinality_a,
+            cardinality_b=cardinality_b,
+            common=common,
+            sketch_size=k,
+            beta=0.0,
+            trials=400,
+            seed=3,
+        )
+        predicted_std = predicted_standard_deviation(n_delta, 0.0, k)
+        assert moments.mean_estimate == pytest.approx(common, abs=3.0)
+        assert 0.0 < moments.standard_deviation <= 1.2 * predicted_std
+
+    def test_monte_carlo_with_contamination_is_noisier(self):
+        kwargs = dict(
+            cardinality_a=200, cardinality_b=200, common=150, sketch_size=512, trials=150, seed=5
+        )
+        clean = monte_carlo_estimator_moments(beta=0.0, **kwargs)
+        noisy = monte_carlo_estimator_moments(beta=0.2, **kwargs)
+        assert noisy.standard_deviation > clean.standard_deviation
+
+    def test_monte_carlo_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_estimator_moments(
+                cardinality_a=5, cardinality_b=5, common=10, sketch_size=64, beta=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            monte_carlo_estimator_moments(
+                cardinality_a=5, cardinality_b=5, common=2, sketch_size=64, beta=0.7
+            )
+        with pytest.raises(ConfigurationError):
+            monte_carlo_estimator_moments(
+                cardinality_a=5, cardinality_b=5, common=2, sketch_size=64, beta=0.1, trials=0
+            )
+
+
+class TestSamplingBias:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            rate: measure_sampling_bias(
+                rate, baseline_registers=24, top_users=25, max_pairs=60, seed=2
+            )
+            for rate in (0.0, 0.5)
+        }
+
+    def test_report_structure(self, reports):
+        report = reports[0.0]
+        assert isinstance(report, SamplingBiasReport)
+        assert set(report.mean_signed_error) == {"MinHash", "OPH", "RP", "VOS"}
+        assert report.tracked_pairs > 0
+
+    def test_deletion_fraction_increases_with_rate(self, reports):
+        assert reports[0.5].deletion_fraction > reports[0.0].deletion_fraction
+
+    def test_vos_bias_stays_small_under_deletions(self, reports):
+        vos_bias = abs(reports[0.5].mean_signed_error["VOS"])
+        assert vos_bias < 0.2
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            measure_sampling_bias(1.5)

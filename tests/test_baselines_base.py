@@ -1,0 +1,78 @@
+"""Tests for repro.baselines.base (the shared sketch interface helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import PairEstimate, common_from_jaccard, jaccard_from_common
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.exceptions import UnknownUserError
+from repro.streams.edge import Action, StreamElement
+
+
+class TestConversionHelpers:
+    def test_jaccard_from_common_basic(self):
+        # |A| = 4, |B| = 6, common = 2 -> union = 8 -> J = 0.25
+        assert jaccard_from_common(2, 4, 6) == pytest.approx(0.25)
+
+    def test_jaccard_from_common_clamps_to_unit_interval(self):
+        assert jaccard_from_common(100, 4, 6) == 1.0
+        assert jaccard_from_common(-5, 4, 6) == 0.0
+
+    def test_jaccard_of_two_empty_sets_is_one(self):
+        assert jaccard_from_common(0, 0, 0) == 1.0
+
+    def test_common_from_jaccard_inverts_jaccard_from_common(self):
+        size_a, size_b, common = 30, 50, 10
+        jaccard = jaccard_from_common(common, size_a, size_b)
+        assert common_from_jaccard(jaccard, size_a, size_b) == pytest.approx(common)
+
+    def test_common_from_jaccard_clamps(self):
+        assert common_from_jaccard(0.0, 5, 5) == 0.0
+        assert common_from_jaccard(1.0, 5, 9) <= 5.0
+
+    def test_common_from_jaccard_negative_jaccard(self):
+        assert common_from_jaccard(-0.3, 5, 5) == 0.0
+
+
+class TestSimilaritySketchBase:
+    def test_cardinality_counters_track_insert_and_delete(self):
+        sketch = ExactSimilarityTracker()
+        sketch.process(StreamElement(1, 10, Action.INSERT))
+        sketch.process(StreamElement(1, 11, Action.INSERT))
+        sketch.process(StreamElement(1, 10, Action.DELETE))
+        assert sketch.cardinality(1) == 1
+
+    def test_cardinality_unknown_user_raises(self):
+        with pytest.raises(UnknownUserError):
+            ExactSimilarityTracker().cardinality(99)
+
+    def test_has_user_and_users(self):
+        sketch = ExactSimilarityTracker()
+        sketch.process(StreamElement(7, 1, Action.INSERT))
+        assert sketch.has_user(7)
+        assert not sketch.has_user(8)
+        assert sketch.users() == {7}
+
+    def test_process_stream_consumes_iterable(self, tiny_stream):
+        sketch = ExactSimilarityTracker()
+        sketch.process_stream(tiny_stream)
+        assert sketch.users() == {1, 2, 3}
+
+    def test_estimate_pair_returns_record(self, tiny_stream):
+        sketch = ExactSimilarityTracker()
+        sketch.process_stream(tiny_stream)
+        estimate = sketch.estimate_pair(1, 2)
+        assert isinstance(estimate, PairEstimate)
+        assert estimate.user_a == 1
+        assert estimate.user_b == 2
+        assert estimate.common_items == 1.0
+
+    def test_cardinality_never_negative(self):
+        sketch = ExactSimilarityTracker()
+        sketch.process(StreamElement(1, 10, Action.INSERT))
+        sketch.process(StreamElement(1, 10, Action.DELETE))
+        # A second (infeasible) delete fed directly to the sketch must not
+        # drive the counter negative.
+        sketch.process(StreamElement(1, 10, Action.DELETE))
+        assert sketch.cardinality(1) == 0

@@ -1,0 +1,79 @@
+"""Tests for repro.baselines.bbit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bbit import BBitMinHash
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import Action, StreamElement
+
+
+def _insert_sets(sketch, set_a, set_b):
+    for item in set_a:
+        sketch.process(StreamElement(1, item, Action.INSERT))
+    for item in set_b:
+        sketch.process(StreamElement(2, item, Action.INSERT))
+
+
+class TestBBitMinHash:
+    def test_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            BBitMinHash(8, bits=0)
+        with pytest.raises(ConfigurationError):
+            BBitMinHash(8, bits=33)
+
+    def test_identical_sets_estimate_one(self):
+        sketch = BBitMinHash(128, bits=2, seed=1)
+        items = set(range(150))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        sketch = BBitMinHash(256, bits=4, seed=2)
+        _insert_sets(sketch, set(range(0, 200)), set(range(200, 400)))
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(0.0, abs=0.15)
+
+    def test_collision_correction_improves_over_raw_fraction(self):
+        """With b=1 half of disagreeing registers collide by chance; the
+        corrected estimate must sit well below the raw match fraction."""
+        sketch = BBitMinHash(512, bits=1, seed=3)
+        _insert_sets(sketch, set(range(0, 300)), set(range(300, 600)))
+        raw_matches = 0
+        values_a, _ = sketch._registers_for(1)
+        values_b, _ = sketch._registers_for(2)
+        for a, b in zip(values_a, values_b):
+            if a is not None and b is not None and (a & 1) == (b & 1):
+                raw_matches += 1
+        raw_fraction = raw_matches / 512
+        assert raw_fraction > 0.3  # collisions inflate the raw fraction
+        assert sketch.estimate_jaccard(1, 2) < raw_fraction
+
+    def test_partial_overlap_estimate(self):
+        sketch = BBitMinHash(512, bits=8, seed=4)
+        set_a = set(range(0, 400))
+        set_b = set(range(200, 600))
+        _insert_sets(sketch, set_a, set_b)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(200 / 600, abs=0.12)
+
+    def test_estimate_common_items_uses_cardinalities(self):
+        sketch = BBitMinHash(256, bits=8, seed=5)
+        items = set(range(100))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_common_items(1, 2) == pytest.approx(100, rel=0.2)
+
+    def test_memory_is_b_bits_per_register(self):
+        sketch = BBitMinHash(64, bits=2, seed=6)
+        _insert_sets(sketch, {1}, {2})
+        assert sketch.memory_bits() == 2 * 64 * 2
+
+    def test_empty_users_estimate_zero(self):
+        sketch = BBitMinHash(16, bits=1, seed=7)
+        sketch.process(StreamElement(1, 5, Action.INSERT))
+        sketch.process(StreamElement(1, 5, Action.DELETE))
+        sketch.process(StreamElement(2, 6, Action.INSERT))
+        sketch.process(StreamElement(2, 6, Action.DELETE))
+        assert sketch.estimate_jaccard(1, 2) == 0.0
+
+    def test_name(self):
+        assert BBitMinHash(4).name == "bBitMinHash"

@@ -1,0 +1,69 @@
+"""Tests for repro.baselines.exact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.streams.edge import Action, StreamElement
+
+
+def _build(stream):
+    tracker = ExactSimilarityTracker()
+    tracker.process_stream(stream)
+    return tracker
+
+
+class TestExactTracker:
+    def test_matches_stream_replay(self, small_dynamic_stream):
+        tracker = _build(small_dynamic_stream)
+        expected = small_dynamic_stream.item_sets_at(None)
+        for user, items in expected.items():
+            assert tracker.item_set(user) == items
+
+    def test_common_items_and_jaccard(self, tiny_stream):
+        tracker = _build(tiny_stream)
+        # final sets: S1 = {10, 12}, S2 = {10}, S3 = {10}
+        assert tracker.estimate_common_items(1, 2) == 1.0
+        assert tracker.estimate_jaccard(1, 2) == pytest.approx(1 / 2)
+        assert tracker.estimate_common_items(2, 3) == 1.0
+        assert tracker.estimate_jaccard(2, 3) == pytest.approx(1.0)
+
+    def test_symmetric_difference(self, tiny_stream):
+        tracker = _build(tiny_stream)
+        assert tracker.symmetric_difference(1, 2) == 1
+        assert tracker.symmetric_difference(2, 3) == 0
+
+    def test_unknown_users_give_zero_similarity(self, tiny_stream):
+        tracker = _build(tiny_stream)
+        assert tracker.estimate_common_items(1, 999) == 0.0
+        assert tracker.estimate_jaccard(1, 999) == 0.0
+
+    def test_item_set_of_unknown_user_is_empty(self):
+        assert ExactSimilarityTracker().item_set(5) == set()
+
+    def test_deletion_removes_item(self):
+        tracker = ExactSimilarityTracker()
+        tracker.process(StreamElement(1, 10, Action.INSERT))
+        tracker.process(StreamElement(1, 10, Action.DELETE))
+        assert tracker.item_set(1) == set()
+        assert tracker.cardinality(1) == 0
+
+    def test_memory_bits_scales_with_live_edges(self):
+        tracker = ExactSimilarityTracker()
+        assert tracker.memory_bits() == 0
+        tracker.process(StreamElement(1, 10, Action.INSERT))
+        tracker.process(StreamElement(2, 10, Action.INSERT))
+        assert tracker.memory_bits() == 128
+
+    def test_jaccard_identity_with_common_items(self, small_dynamic_stream):
+        """J = s / (n_u + n_v - s) must hold exactly for the exact tracker."""
+        tracker = _build(small_dynamic_stream)
+        users = sorted(tracker.users())[:10]
+        for index, user_a in enumerate(users):
+            for user_b in users[index + 1 :]:
+                s = tracker.estimate_common_items(user_a, user_b)
+                n_a = tracker.cardinality(user_a)
+                n_b = tracker.cardinality(user_b)
+                expected = s / (n_a + n_b - s) if (n_a + n_b - s) > 0 else 1.0
+                assert tracker.estimate_jaccard(user_a, user_b) == pytest.approx(expected)

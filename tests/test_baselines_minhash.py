@@ -1,0 +1,140 @@
+"""Tests for repro.baselines.minhash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.minhash import DynamicMinHash, StaticMinHash
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.streams.edge import Action, StreamElement
+
+
+def _insert_sets(sketch, set_a, set_b, user_a=1, user_b=2):
+    for item in set_a:
+        sketch.process(StreamElement(user_a, item, Action.INSERT))
+    for item in set_b:
+        sketch.process(StreamElement(user_b, item, Action.INSERT))
+
+
+class TestDynamicMinHashInsertions:
+    def test_identical_sets_have_jaccard_one(self):
+        sketch = DynamicMinHash(64, seed=1)
+        items = set(range(100))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0)
+
+    def test_disjoint_sets_have_jaccard_near_zero(self):
+        sketch = DynamicMinHash(64, seed=1)
+        _insert_sets(sketch, set(range(0, 100)), set(range(100, 200)))
+        assert sketch.estimate_jaccard(1, 2) < 0.05
+
+    def test_half_overlap_estimate_close(self):
+        sketch = DynamicMinHash(256, seed=2)
+        set_a = set(range(0, 200))
+        set_b = set(range(100, 300))
+        _insert_sets(sketch, set_a, set_b)
+        true_jaccard = 100 / 300
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(true_jaccard, abs=0.1)
+
+    def test_common_items_estimate_close_on_insert_only(self):
+        sketch = DynamicMinHash(256, seed=3)
+        set_a = set(range(0, 150))
+        set_b = set(range(50, 200))
+        _insert_sets(sketch, set_a, set_b)
+        assert sketch.estimate_common_items(1, 2) == pytest.approx(100, rel=0.35)
+
+    def test_insertion_order_irrelevant(self):
+        items = list(range(50))
+        sketch_a = DynamicMinHash(32, seed=5)
+        sketch_b = DynamicMinHash(32, seed=5)
+        for item in items:
+            sketch_a.process(StreamElement(1, item, Action.INSERT))
+        for item in reversed(items):
+            sketch_b.process(StreamElement(1, item, Action.INSERT))
+        assert sketch_a.register_items(1) == sketch_b.register_items(1)
+
+
+class TestDynamicMinHashDeletions:
+    def test_deleting_sampled_item_clears_register(self):
+        sketch = DynamicMinHash(16, seed=1)
+        sketch.process(StreamElement(1, 42, Action.INSERT))
+        assert all(item == 42 for item in sketch.register_items(1))
+        sketch.process(StreamElement(1, 42, Action.DELETE))
+        assert all(item is None for item in sketch.register_items(1))
+
+    def test_deleting_unsampled_item_keeps_registers(self):
+        sketch = DynamicMinHash(8, seed=2)
+        for item in range(50):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        before = sketch.register_items(1)
+        # Find an item not sampled by any register and delete it.
+        unsampled = next(item for item in range(50) if item not in set(before))
+        sketch.process(StreamElement(1, unsampled, Action.DELETE))
+        assert sketch.register_items(1) == before
+
+    def test_deletion_for_unknown_user_is_ignored(self):
+        sketch = DynamicMinHash(8, seed=2)
+        sketch._process_deletion(StreamElement(9, 1, Action.DELETE))  # no crash
+
+    def test_bias_appears_under_heavy_deletions(self):
+        """After deleting most items, the registers no longer represent the
+        current set uniformly: many registers are empty, depressing the
+        Jaccard estimate of two still-identical sets."""
+        sketch = DynamicMinHash(64, seed=4)
+        exact = ExactSimilarityTracker()
+        items = list(range(200))
+        for item in items:
+            for user in (1, 2):
+                element = StreamElement(user, item, Action.INSERT)
+                sketch.process(element)
+                exact.process(element)
+        for item in items[:150]:
+            for user in (1, 2):
+                element = StreamElement(user, item, Action.DELETE)
+                sketch.process(element)
+                exact.process(element)
+        assert exact.estimate_jaccard(1, 2) == pytest.approx(1.0)
+        assert sketch.estimate_jaccard(1, 2) < 0.9  # systematically below truth
+
+
+class TestDynamicMinHashMisc:
+    def test_register_items_unknown_user_raises(self):
+        with pytest.raises(UnknownUserError):
+            DynamicMinHash(4).register_items(1)
+
+    def test_invalid_register_count(self):
+        with pytest.raises(ConfigurationError):
+            DynamicMinHash(0)
+
+    def test_memory_accounting(self):
+        sketch = DynamicMinHash(10, register_bits=32)
+        _insert_sets(sketch, {1, 2}, {3})
+        assert sketch.memory_bits() == 2 * 10 * 32
+
+    def test_name(self):
+        assert DynamicMinHash(4).name == "MinHash"
+
+
+class TestStaticMinHash:
+    def test_signature_length(self):
+        assert len(StaticMinHash(16).signature(range(10))) == 16
+
+    def test_empty_set_signature_is_all_none(self):
+        assert StaticMinHash(8).signature([]) == [None] * 8
+
+    def test_signature_items_belong_to_set(self):
+        items = set(range(30))
+        signature = StaticMinHash(32, seed=2).signature(items)
+        assert all(entry in items for entry in signature)
+
+    def test_estimate_matches_true_jaccard(self):
+        minhash = StaticMinHash(512, seed=3)
+        set_a = set(range(0, 300))
+        set_b = set(range(150, 450))
+        true_jaccard = 150 / 450
+        assert minhash.estimate_jaccard(set_a, set_b) == pytest.approx(true_jaccard, abs=0.08)
+
+    def test_invalid_register_count(self):
+        with pytest.raises(ConfigurationError):
+            StaticMinHash(0)

@@ -1,0 +1,111 @@
+"""Tests for repro.baselines.odd_sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.odd_sketch import MinHashOddSketch, OddSketch, invert_odd_sketch_alpha
+from repro.exceptions import ConfigurationError
+
+
+class TestInvertAlpha:
+    def test_zero_alpha_gives_zero(self):
+        assert invert_odd_sketch_alpha(0.0, 128) == 0.0
+
+    def test_monotone_in_alpha(self):
+        values = [invert_odd_sketch_alpha(a, 256) for a in (0.1, 0.2, 0.3, 0.4)]
+        assert values == sorted(values)
+
+    def test_saturation_is_clamped_not_infinite(self):
+        assert invert_odd_sketch_alpha(0.5, 64) < float("inf")
+        assert invert_odd_sketch_alpha(0.9, 64) < float("inf")
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            invert_odd_sketch_alpha(0.2, 0)
+
+
+class TestOddSketch:
+    def test_toggle_twice_cancels(self):
+        sketch = OddSketch(64, seed=1)
+        sketch.toggle(42)
+        sketch.toggle(42)
+        assert sketch.ones_count() == 0
+
+    def test_toggle_once_sets_one_bit(self):
+        sketch = OddSketch(64, seed=1)
+        sketch.toggle(42)
+        assert sketch.ones_count() == 1
+
+    def test_build_from_returns_self(self):
+        sketch = OddSketch(32, seed=2)
+        assert sketch.build_from(range(5)) is sketch
+
+    def test_identical_sets_have_zero_xor_fraction(self):
+        sketch_a = OddSketch(128, seed=3).build_from(range(40))
+        sketch_b = OddSketch(128, seed=3).build_from(range(40))
+        assert sketch_a.xor_fraction(sketch_b) == 0.0
+        assert sketch_a.estimate_symmetric_difference(sketch_b) == 0.0
+
+    def test_symmetric_difference_estimate_accuracy(self):
+        size = 2048
+        sketch_a = OddSketch(size, seed=4).build_from(range(0, 120))
+        sketch_b = OddSketch(size, seed=4).build_from(range(60, 180))
+        # true symmetric difference = 120
+        assert sketch_a.estimate_symmetric_difference(sketch_b) == pytest.approx(120, rel=0.25)
+
+    def test_order_of_insertion_and_deletion_irrelevant(self):
+        sketch_a = OddSketch(64, seed=5)
+        sketch_b = OddSketch(64, seed=5)
+        for item in range(30):
+            sketch_a.toggle(item)
+        for item in range(10):
+            sketch_a.toggle(item)  # "delete" the first ten
+        for item in range(10, 30):
+            sketch_b.toggle(item)
+        assert sketch_a.bits() == sketch_b.bits()
+
+    def test_xor_with_mismatched_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            OddSketch(32).xor_fraction(OddSketch(64))
+
+    def test_bit_accessor(self):
+        sketch = OddSketch(16, seed=6)
+        sketch.toggle(3)
+        assert sum(sketch.bit(i) for i in range(16)) == 1
+
+    def test_memory_bits(self):
+        assert OddSketch(96).memory_bits() == 96
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            OddSketch(0)
+
+
+class TestMinHashOddSketch:
+    def test_identical_sets_estimate_one(self):
+        estimator = MinHashOddSketch(num_samples=128, sketch_bits=512, seed=1)
+        items = set(range(200))
+        assert estimator.estimate_jaccard(items, items) == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        estimator = MinHashOddSketch(num_samples=128, sketch_bits=2048, seed=2)
+        assert estimator.estimate_jaccard(set(range(0, 200)), set(range(200, 400))) < 0.25
+
+    def test_high_similarity_estimate(self):
+        estimator = MinHashOddSketch(num_samples=256, sketch_bits=4096, seed=3)
+        set_a = set(range(0, 500))
+        set_b = set(range(25, 525))
+        true_jaccard = 475 / 525
+        assert estimator.estimate_jaccard(set_a, set_b) == pytest.approx(true_jaccard, abs=0.12)
+
+    def test_estimate_is_clamped_to_unit_interval(self):
+        estimator = MinHashOddSketch(num_samples=8, sketch_bits=16, seed=4)
+        value = estimator.estimate_jaccard(set(range(10)), set(range(10, 20)))
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MinHashOddSketch(num_samples=0, sketch_bits=16)
+        with pytest.raises(ConfigurationError):
+            MinHashOddSketch(num_samples=8, sketch_bits=0)

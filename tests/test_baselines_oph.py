@@ -1,0 +1,151 @@
+"""Tests for repro.baselines.oph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.oph import DensificationStrategy, DynamicOPH
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.streams.edge import Action, StreamElement
+
+
+def _insert_sets(sketch, set_a, set_b, user_a=1, user_b=2):
+    for item in set_a:
+        sketch.process(StreamElement(user_a, item, Action.INSERT))
+    for item in set_b:
+        sketch.process(StreamElement(user_b, item, Action.INSERT))
+
+
+class TestDynamicOPHInsertions:
+    def test_identical_sets_have_jaccard_one(self):
+        sketch = DynamicOPH(64, seed=1)
+        items = set(range(200))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0)
+
+    def test_disjoint_sets_have_low_jaccard(self):
+        sketch = DynamicOPH(64, seed=1)
+        _insert_sets(sketch, set(range(0, 200)), set(range(200, 400)))
+        assert sketch.estimate_jaccard(1, 2) < 0.05
+
+    def test_partial_overlap_estimate_reasonable(self):
+        sketch = DynamicOPH(256, seed=2)
+        set_a = set(range(0, 400))
+        set_b = set(range(200, 600))
+        _insert_sets(sketch, set_a, set_b)
+        true_jaccard = 200 / 600
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(true_jaccard, abs=0.12)
+
+    def test_each_item_touches_exactly_one_bin(self):
+        sketch = DynamicOPH(32, seed=3)
+        sketch.process(StreamElement(1, 7, Action.INSERT))
+        occupied = [item for item in sketch.bin_items(1) if item is not None]
+        assert occupied == [7]
+
+    def test_insertion_order_irrelevant(self):
+        items = list(range(80))
+        sketch_a = DynamicOPH(16, seed=5)
+        sketch_b = DynamicOPH(16, seed=5)
+        for item in items:
+            sketch_a.process(StreamElement(1, item, Action.INSERT))
+        for item in reversed(items):
+            sketch_b.process(StreamElement(1, item, Action.INSERT))
+        assert sketch_a.bin_items(1) == sketch_b.bin_items(1)
+
+
+class TestDynamicOPHDeletions:
+    def test_deleting_bin_minimum_empties_bin(self):
+        sketch = DynamicOPH(8, seed=1)
+        sketch.process(StreamElement(1, 5, Action.INSERT))
+        sketch.process(StreamElement(1, 5, Action.DELETE))
+        assert all(item is None for item in sketch.bin_items(1))
+
+    def test_deleting_non_minimum_item_keeps_bins(self):
+        sketch = DynamicOPH(4, seed=7)
+        for item in range(60):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        before = sketch.bin_items(1)
+        unsampled = next(item for item in range(60) if item not in set(before))
+        sketch.process(StreamElement(1, unsampled, Action.DELETE))
+        assert sketch.bin_items(1) == before
+
+    def test_deletion_unknown_user_ignored(self):
+        DynamicOPH(4)._process_deletion(StreamElement(9, 1, Action.DELETE))
+
+    def test_bias_under_heavy_deletions(self):
+        sketch = DynamicOPH(64, seed=4)
+        exact = ExactSimilarityTracker()
+        items = list(range(300))
+        for item in items:
+            for user in (1, 2):
+                element = StreamElement(user, item, Action.INSERT)
+                sketch.process(element)
+                exact.process(element)
+        for item in items[:250]:
+            for user in (1, 2):
+                element = StreamElement(user, item, Action.DELETE)
+                sketch.process(element)
+                exact.process(element)
+        assert exact.estimate_jaccard(1, 2) == pytest.approx(1.0)
+        # Emptied bins depress the estimate relative to the truth for at
+        # least some similarity mass; it must not exceed 1 either.
+        assert sketch.estimate_jaccard(1, 2) <= 1.0
+
+
+class TestDensification:
+    @pytest.mark.parametrize(
+        "strategy",
+        [DensificationStrategy.ROTATION_RIGHT, DensificationStrategy.RANDOM_DIRECTION],
+    )
+    def test_densification_fills_empty_bins(self, strategy):
+        sketch = DynamicOPH(64, seed=2, densification=strategy)
+        for item in range(10):  # far fewer items than bins -> many empties
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        densified = sketch._densified_registers(1)
+        assert all(entry is not None for entry in densified)
+
+    def test_densification_of_all_empty_user_stays_empty(self):
+        sketch = DynamicOPH(8, seed=2, densification=DensificationStrategy.ROTATION_RIGHT)
+        sketch.process(StreamElement(1, 3, Action.INSERT))
+        sketch.process(StreamElement(1, 3, Action.DELETE))
+        assert all(entry is None for entry in sketch._densified_registers(1))
+
+    def test_densified_identical_sparse_sets_agree(self):
+        sketch = DynamicOPH(64, seed=3, densification=DensificationStrategy.ROTATION_RIGHT)
+        items = set(range(5))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0)
+
+    def test_none_strategy_skips_jointly_empty_bins(self):
+        sketch = DynamicOPH(64, seed=3, densification=DensificationStrategy.NONE)
+        items = set(range(5))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0)
+
+
+class TestDynamicOPHMisc:
+    def test_invalid_bin_count(self):
+        with pytest.raises(ConfigurationError):
+            DynamicOPH(0)
+
+    def test_bin_items_unknown_user_raises(self):
+        with pytest.raises(UnknownUserError):
+            DynamicOPH(4).bin_items(1)
+
+    def test_memory_accounting(self):
+        sketch = DynamicOPH(20, register_bits=32)
+        _insert_sets(sketch, {1}, {2})
+        assert sketch.memory_bits() == 2 * 20 * 32
+
+    def test_estimate_with_both_users_empty_is_zero(self):
+        sketch = DynamicOPH(8, seed=1)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        sketch.process(StreamElement(1, 1, Action.DELETE))
+        sketch.process(StreamElement(2, 2, Action.INSERT))
+        sketch.process(StreamElement(2, 2, Action.DELETE))
+        assert sketch.estimate_jaccard(1, 2) == 0.0
+        assert sketch.estimate_common_items(1, 2) == 0.0
+
+    def test_name(self):
+        assert DynamicOPH(4).name == "OPH"

@@ -1,0 +1,78 @@
+"""Tests for the OPTIMAL densification strategy added to DynamicOPH."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.oph import DensificationStrategy, DynamicOPH
+from repro.streams.edge import Action, StreamElement
+
+
+def _insert_sets(sketch, set_a, set_b, user_a=1, user_b=2):
+    for item in set_a:
+        sketch.process(StreamElement(user_a, item, Action.INSERT))
+    for item in set_b:
+        sketch.process(StreamElement(user_b, item, Action.INSERT))
+
+
+class TestOptimalDensification:
+    def test_fills_every_empty_bin(self):
+        sketch = DynamicOPH(64, seed=1, densification=DensificationStrategy.OPTIMAL)
+        for item in range(8):  # far fewer items than bins
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        densified = sketch._densified_registers(1)
+        assert all(entry is not None for entry in densified)
+
+    def test_filled_values_come_from_the_users_items(self):
+        items = set(range(12))
+        sketch = DynamicOPH(48, seed=2, densification=DensificationStrategy.OPTIMAL)
+        for item in items:
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        assert set(sketch._densified_registers(1)) <= items
+
+    def test_all_empty_user_stays_empty(self):
+        sketch = DynamicOPH(16, seed=3, densification=DensificationStrategy.OPTIMAL)
+        sketch.process(StreamElement(1, 9, Action.INSERT))
+        sketch.process(StreamElement(1, 9, Action.DELETE))
+        assert all(entry is None for entry in sketch._densified_registers(1))
+
+    def test_identical_sparse_sets_estimate_one(self):
+        sketch = DynamicOPH(64, seed=4, densification=DensificationStrategy.OPTIMAL)
+        items = set(range(6))
+        _insert_sets(sketch, items, items)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0)
+
+    def test_disjoint_sparse_sets_estimate_low(self):
+        sketch = DynamicOPH(128, seed=5, densification=DensificationStrategy.OPTIMAL)
+        _insert_sets(sketch, set(range(0, 10)), set(range(100, 110)))
+        assert sketch.estimate_jaccard(1, 2) < 0.3
+
+    def test_partial_overlap_reasonable(self):
+        sketch = DynamicOPH(256, seed=6, densification=DensificationStrategy.OPTIMAL)
+        set_a = set(range(0, 60))
+        set_b = set(range(30, 90))
+        _insert_sets(sketch, set_a, set_b)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(30 / 90, abs=0.15)
+
+    def test_densification_deterministic_for_same_seed(self):
+        def build():
+            sketch = DynamicOPH(32, seed=7, densification=DensificationStrategy.OPTIMAL)
+            for item in range(5):
+                sketch.process(StreamElement(1, item, Action.INSERT))
+            return sketch._densified_registers(1)
+
+        assert build() == build()
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            DensificationStrategy.NONE,
+            DensificationStrategy.ROTATION_RIGHT,
+            DensificationStrategy.RANDOM_DIRECTION,
+            DensificationStrategy.OPTIMAL,
+        ],
+    )
+    def test_every_strategy_handles_the_same_stream(self, strategy):
+        sketch = DynamicOPH(32, seed=8, densification=strategy)
+        _insert_sets(sketch, set(range(20)), set(range(10, 30)))
+        assert 0.0 <= sketch.estimate_jaccard(1, 2) <= 1.0

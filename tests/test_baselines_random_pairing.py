@@ -1,0 +1,240 @@
+"""Tests for repro.baselines.random_pairing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.random_pairing import (
+    IndependentRandomPairingSketch,
+    RandomPairingSketch,
+    _UserReservoir,
+)
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.streams.edge import Action, StreamElement
+
+
+class TestUserReservoir:
+    def test_fills_up_to_capacity(self):
+        rng = random.Random(0)
+        reservoir = _UserReservoir(capacity=5)
+        for item in range(5):
+            reservoir.insert(item, rng)
+        assert reservoir.sample == set(range(5))
+
+    def test_never_exceeds_capacity(self):
+        rng = random.Random(1)
+        reservoir = _UserReservoir(capacity=10)
+        for item in range(500):
+            reservoir.insert(item, rng)
+        assert len(reservoir.sample) == 10
+
+    def test_sample_is_subset_of_live_items(self):
+        rng = random.Random(2)
+        reservoir = _UserReservoir(capacity=8)
+        live = set()
+        for item in range(100):
+            reservoir.insert(item, rng)
+            live.add(item)
+        for item in range(0, 100, 3):
+            reservoir.delete(item)
+            live.discard(item)
+        for item in range(200, 260):
+            reservoir.insert(item, rng)
+            live.add(item)
+        assert reservoir.sample <= live
+
+    def test_deletion_of_sampled_item_increments_c1(self):
+        rng = random.Random(3)
+        reservoir = _UserReservoir(capacity=4)
+        reservoir.insert(7, rng)
+        reservoir.delete(7)
+        assert reservoir.uncompensated_in_sample == 1
+        assert 7 not in reservoir.sample
+
+    def test_deletion_of_unsampled_item_increments_c2(self):
+        rng = random.Random(4)
+        reservoir = _UserReservoir(capacity=1)
+        reservoir.insert(1, rng)
+        reservoir.insert(2, rng)  # one of them not in the sample
+        outside = 2 if 1 in reservoir.sample else 1
+        reservoir.delete(outside)
+        assert reservoir.uncompensated_outside == 1
+
+    def test_pairing_consumes_counters(self):
+        rng = random.Random(5)
+        reservoir = _UserReservoir(capacity=2)
+        reservoir.insert(1, rng)
+        reservoir.insert(2, rng)
+        reservoir.delete(1)
+        reservoir.delete(2)
+        reservoir.insert(3, rng)
+        reservoir.insert(4, rng)
+        assert reservoir.uncompensated_in_sample + reservoir.uncompensated_outside == 0
+
+    def test_uniformity_of_sample(self):
+        """Every item should be sampled roughly equally often across trials."""
+        capacity = 5
+        universe = 25
+        counts = {item: 0 for item in range(universe)}
+        trials = 400
+        for trial in range(trials):
+            rng = random.Random(trial)
+            reservoir = _UserReservoir(capacity=capacity)
+            for item in range(universe):
+                reservoir.insert(item, rng)
+            for item in reservoir.sample:
+                counts[item] += 1
+        expected = trials * capacity / universe
+        assert all(0.5 * expected < count < 1.6 * expected for count in counts.values())
+
+
+class TestRandomPairingSketch:
+    def test_invalid_sample_size(self):
+        with pytest.raises(ConfigurationError):
+            RandomPairingSketch(0)
+
+    def test_sample_unknown_user_raises(self):
+        with pytest.raises(UnknownUserError):
+            RandomPairingSketch(4).sample(3)
+
+    def test_small_sets_are_stored_exactly(self):
+        sketch = RandomPairingSketch(50, seed=1)
+        for item in range(20):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        assert sketch.sample(1) == set(range(20))
+
+    def test_identical_small_sets_estimate_exactly(self):
+        sketch = RandomPairingSketch(100, seed=1)
+        for item in range(40):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+            sketch.process(StreamElement(2, item, Action.INSERT))
+        assert sketch.estimate_common_items(1, 2) == pytest.approx(40.0)
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(1.0)
+
+    def test_estimator_reasonable_for_larger_sets(self):
+        sketch = RandomPairingSketch(64, seed=2)
+        set_a = range(0, 400)
+        set_b = range(200, 600)
+        for item in set_a:
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        for item in set_b:
+            sketch.process(StreamElement(2, item, Action.INSERT))
+        estimate = sketch.estimate_common_items(1, 2)
+        assert 0 <= estimate <= 400
+        # Independent samples make this noisy; just require the right order
+        # of magnitude (true value 200).
+        assert estimate == pytest.approx(200, abs=180)
+
+    def test_deletions_keep_sample_inside_current_set(self):
+        sketch = RandomPairingSketch(16, seed=3)
+        live = set()
+        for item in range(200):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+            live.add(item)
+        for item in range(0, 200, 2):
+            sketch.process(StreamElement(1, item, Action.DELETE))
+            live.discard(item)
+        assert sketch.sample(1) <= live
+
+    def test_estimate_zero_when_a_user_is_empty(self):
+        sketch = RandomPairingSketch(8, seed=4)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        sketch.process(StreamElement(1, 1, Action.DELETE))
+        sketch.process(StreamElement(2, 5, Action.INSERT))
+        assert sketch.estimate_common_items(1, 2) == 0.0
+        assert sketch.estimate_jaccard(1, 2) == 0.0
+
+    def test_memory_accounting(self):
+        sketch = RandomPairingSketch(10, register_bits=32)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        sketch.process(StreamElement(2, 1, Action.INSERT))
+        assert sketch.memory_bits() == 2 * 10 * 32
+
+
+class TestIndependentRandomPairingSketch:
+    def test_invalid_sample_count(self):
+        with pytest.raises(ConfigurationError):
+            IndependentRandomPairingSketch(0)
+
+    def test_name_is_the_paper_baseline(self):
+        assert IndependentRandomPairingSketch(4).name == "RP"
+
+    def test_sampled_items_unknown_user_raises(self):
+        with pytest.raises(UnknownUserError):
+            IndependentRandomPairingSketch(4).sampled_items(9)
+
+    def test_every_register_holds_a_live_item(self):
+        sketch = IndependentRandomPairingSketch(12, seed=1)
+        for item in range(30):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        samples = sketch.sampled_items(1)
+        assert len(samples) == 12
+        assert all(sample in range(30) for sample in samples)
+
+    def test_registers_empty_after_deleting_everything(self):
+        sketch = IndependentRandomPairingSketch(8, seed=2)
+        for item in range(10):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+        for item in range(10):
+            sketch.process(StreamElement(1, item, Action.DELETE))
+        assert all(sample is None for sample in sketch.sampled_items(1))
+
+    def test_samples_stay_inside_current_set_under_churn(self):
+        sketch = IndependentRandomPairingSketch(10, seed=3)
+        live: set[int] = set()
+        for item in range(120):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+            live.add(item)
+        for item in range(0, 120, 2):
+            sketch.process(StreamElement(1, item, Action.DELETE))
+            live.discard(item)
+        for sample in sketch.sampled_items(1):
+            assert sample is None or sample in live
+
+    def test_estimator_zero_without_matches(self):
+        sketch = IndependentRandomPairingSketch(6, seed=4)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        sketch.process(StreamElement(2, 2, Action.INSERT))
+        assert sketch.estimate_common_items(1, 2) == 0.0
+        assert sketch.estimate_jaccard(1, 2) == 0.0
+
+    def test_estimator_nonnegative_and_jaccard_bounded(self):
+        """Common-item estimates are unclamped (and thus very noisy) but never
+        negative; the derived Jaccard estimate is always a probability."""
+        sketch = IndependentRandomPairingSketch(4, seed=5)
+        for item in range(50):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+            sketch.process(StreamElement(2, item, Action.INSERT))
+        assert sketch.estimate_common_items(1, 2) >= 0.0
+        assert 0.0 <= sketch.estimate_jaccard(1, 2) <= 1.0
+
+    def test_estimator_unbiased_on_average_for_identical_sets(self):
+        """Averaged over seeds, the scaled match count should approximate the
+        true common-item count (the estimator is unbiased, just very noisy)."""
+        universe = list(range(40))
+        estimates = []
+        for seed in range(30):
+            sketch = IndependentRandomPairingSketch(16, seed=seed)
+            for item in universe:
+                sketch.process(StreamElement(1, item, Action.INSERT))
+                sketch.process(StreamElement(2, item, Action.INSERT))
+            estimates.append(sketch.estimate_common_items(1, 2))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(40, rel=0.5)
+
+    def test_memory_accounting(self):
+        sketch = IndependentRandomPairingSketch(10, register_bits=32)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        assert sketch.memory_bits() == 10 * 32
+
+    def test_cardinality_counter_tracks_deletions(self):
+        sketch = IndependentRandomPairingSketch(4, seed=6)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        sketch.process(StreamElement(1, 2, Action.INSERT))
+        sketch.process(StreamElement(1, 1, Action.DELETE))
+        assert sketch.cardinality(1) == 1
+
+    def test_name(self):
+        assert RandomPairingSketch(4).name == "RP-pooled"

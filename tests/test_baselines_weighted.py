@@ -1,0 +1,87 @@
+"""Tests for repro.baselines.weighted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.weighted import ConsistentWeightedSampler, weighted_jaccard
+from repro.exceptions import ConfigurationError
+
+
+class TestWeightedJaccard:
+    def test_identical_vectors_give_one(self):
+        vector = {"a": 2.0, "b": 3.0}
+        assert weighted_jaccard(vector, vector) == 1.0
+
+    def test_disjoint_support_gives_zero(self):
+        assert weighted_jaccard({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_known_value(self):
+        # min-sum = 1 + 2 = 3; max-sum = 3 + 4 = 7
+        assert weighted_jaccard({"a": 1.0, "b": 4.0}, {"a": 3.0, "b": 2.0}) == pytest.approx(3 / 7)
+
+    def test_binary_vectors_match_set_jaccard(self):
+        vector_a = {i: 1.0 for i in range(10)}
+        vector_b = {i: 1.0 for i in range(5, 15)}
+        assert weighted_jaccard(vector_a, vector_b) == pytest.approx(5 / 15)
+
+    def test_empty_vectors_give_zero(self):
+        assert weighted_jaccard({}, {}) == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_jaccard({"a": -1.0}, {"a": 1.0})
+
+    def test_symmetric(self):
+        a = {"x": 0.5, "y": 2.5}
+        b = {"y": 1.0, "z": 4.0}
+        assert weighted_jaccard(a, b) == pytest.approx(weighted_jaccard(b, a))
+
+
+class TestConsistentWeightedSampler:
+    def test_invalid_sample_count(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentWeightedSampler(0)
+
+    def test_signature_length(self):
+        sampler = ConsistentWeightedSampler(32, seed=1)
+        assert len(sampler.signature({"a": 1.0})) == 32
+
+    def test_empty_vector_signature_is_null(self):
+        sampler = ConsistentWeightedSampler(8, seed=1)
+        assert sampler.signature({}) == [(None, 0)] * 8
+
+    def test_signature_deterministic(self):
+        sampler = ConsistentWeightedSampler(16, seed=2)
+        vector = {"a": 1.0, "b": 2.0, "c": 0.5}
+        assert sampler.signature(vector) == sampler.signature(vector)
+
+    def test_identical_vectors_estimate_one(self):
+        sampler = ConsistentWeightedSampler(64, seed=3)
+        vector = {"a": 1.5, "b": 0.7, "c": 3.2}
+        assert sampler.estimate(vector, vector) == pytest.approx(1.0)
+
+    def test_disjoint_vectors_estimate_zero(self):
+        sampler = ConsistentWeightedSampler(64, seed=4)
+        assert sampler.estimate({"a": 1.0, "b": 2.0}, {"c": 1.0, "d": 2.0}) == pytest.approx(
+            0.0, abs=0.05
+        )
+
+    def test_estimate_tracks_true_weighted_jaccard(self):
+        sampler = ConsistentWeightedSampler(256, seed=5)
+        vector_a = {f"f{i}": 1.0 + (i % 3) for i in range(20)}
+        vector_b = {f"f{i}": 1.0 + ((i + 1) % 3) for i in range(10, 30)}
+        truth = weighted_jaccard(vector_a, vector_b)
+        estimate = sampler.estimate(vector_a, vector_b)
+        assert estimate == pytest.approx(truth, abs=0.15)
+
+    def test_zero_weights_are_ignored(self):
+        sampler = ConsistentWeightedSampler(32, seed=6)
+        with_zero = {"a": 1.0, "b": 0.0}
+        without = {"a": 1.0}
+        assert sampler.signature(with_zero) == sampler.signature(without)
+
+    def test_estimate_in_unit_interval(self):
+        sampler = ConsistentWeightedSampler(16, seed=7)
+        value = sampler.estimate({"a": 0.1, "b": 9.0}, {"a": 5.0, "c": 0.2})
+        assert 0.0 <= value <= 1.0

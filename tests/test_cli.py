@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_figure_commands_exist(self):
+        parser = build_parser()
+        for command in ["datasets", "figure2a", "figure2b", "figure3a", "figure3b", "figure3c", "figure3d", "bias"]:
+            args = parser.parse_args([command] if command in ("datasets",) else [command])
+            assert callable(args.handler)
+
+    def test_figure2a_accepts_sketch_sizes(self):
+        args = build_parser().parse_args(["figure2a", "--sketch-sizes", "5", "10"])
+        assert args.sketch_sizes == [5, 10]
+
+    def test_scale_and_seed_options(self):
+        args = build_parser().parse_args(["figure3a", "--scale", "0.2", "--seed", "7"])
+        assert args.scale == 0.2
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "youtube" in out and "orkut" in out
+
+    def test_datasets_csv(self, capsys):
+        assert main(["datasets", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("dataset,")
+
+    def test_figure2a_small(self, capsys):
+        code = main(["figure2a", "--scale", "0.02", "--sketch-sizes", "4", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+        for method in ("VOS", "OPH", "MinHash", "RP"):
+            assert method in out
+
+    def test_figure3a_small(self, capsys):
+        code = main(
+            [
+                "figure3a",
+                "--scale", "0.05",
+                "--registers", "8",
+                "--top-users", "15",
+                "--max-pairs", "30",
+                "--checkpoints", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AAPE" in out
+        assert "VOS" in out
+
+    def test_bias_command(self, capsys):
+        code = main(["bias", "--rates", "0.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bias(VOS)" in out
+
+    def test_search_command(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset", "youtube",
+                "--scale", "0.1",
+                "--registers", "8",
+                "--top-users", "10",
+                "-k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3 similar pairs" in out
+        assert "J (VOS)" in out and "J (exact)" in out
+
+    def test_search_command_with_other_method(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset", "youtube",
+                "--scale", "0.1",
+                "--method", "MinHash",
+                "--registers", "8",
+                "--top-users", "8",
+                "-k", "2",
+            ]
+        )
+        assert code == 0
+        assert "MinHash" in capsys.readouterr().out

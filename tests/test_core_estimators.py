@@ -1,0 +1,149 @@
+"""Tests for repro.core.estimators (the closed-form VOS inversion formulas)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.odd_model import expected_alpha
+from repro.core.estimators import (
+    estimate_common_items,
+    estimate_jaccard,
+    estimate_symmetric_difference,
+    estimator_expectation,
+    estimator_variance,
+)
+from repro.exceptions import ConfigurationError, EstimationError
+
+
+class TestSymmetricDifferenceEstimator:
+    def test_zero_alpha_zero_beta_gives_zero(self):
+        assert estimate_symmetric_difference(0.0, 0.0, 1000) == 0.0
+
+    def test_inverts_the_model_exactly(self):
+        """n -> expected alpha -> estimator must return n (up to float error)."""
+        k = 4096
+        for n in (10, 100, 500, 1500):
+            for beta in (0.0, 0.05, 0.2):
+                alpha = expected_alpha(n, k, beta)
+                estimate = estimate_symmetric_difference(alpha, beta, k)
+                assert estimate == pytest.approx(n, rel=1e-9)
+
+    def test_monotone_in_alpha(self):
+        k, beta = 1024, 0.1
+        estimates = [
+            estimate_symmetric_difference(alpha, beta, k) for alpha in (0.2, 0.25, 0.3, 0.35)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_never_negative(self):
+        # alpha smaller than the contamination floor would give a negative
+        # raw value; the estimator clamps at zero.
+        assert estimate_symmetric_difference(0.0, 0.2, 256) == 0.0
+
+    def test_saturated_alpha_clamps_by_default(self):
+        value = estimate_symmetric_difference(0.5, 0.0, 128)
+        assert math.isfinite(value)
+        assert value > 0
+
+    def test_saturated_alpha_raises_in_strict_mode(self):
+        with pytest.raises(EstimationError):
+            estimate_symmetric_difference(0.5, 0.0, 128, strict=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference(0.1, 0.1, 0)
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference(1.5, 0.1, 16)
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference(0.1, 1.5, 16)
+
+
+class TestCommonItemsEstimator:
+    def test_exact_recovery_from_model_alpha(self):
+        k = 8192
+        n_a, n_b, common = 300, 400, 120
+        n_delta = n_a + n_b - 2 * common
+        for beta in (0.0, 0.1, 0.3):
+            alpha = expected_alpha(n_delta, k, beta)
+            estimate = estimate_common_items(alpha, beta, k, n_a, n_b)
+            assert estimate == pytest.approx(common, rel=1e-6)
+
+    def test_clamped_into_feasible_range(self):
+        # A wildly saturated alpha would give a hugely negative raw estimate.
+        assert estimate_common_items(0.49, 0.0, 64, 10, 12) >= 0.0
+        # A tiny alpha with large cardinalities cannot exceed min(n_a, n_b).
+        assert estimate_common_items(0.0, 0.0, 64, 10, 500) <= 10.0
+
+    def test_unclamped_raw_value_available(self):
+        raw = estimate_common_items(0.49, 0.0, 64, 10, 12, clamp=False)
+        assert raw < 0.0
+
+    def test_identical_sets(self):
+        k = 2048
+        alpha = expected_alpha(0, k, 0.05)
+        assert estimate_common_items(alpha, 0.05, k, 250, 250) == pytest.approx(250, rel=1e-6)
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_common_items(0.1, 0.1, 64, -1, 5)
+
+
+class TestJaccardEstimator:
+    def test_exact_recovery_from_model_alpha(self):
+        k = 8192
+        n_a, n_b, common = 300, 400, 120
+        true_jaccard = common / (n_a + n_b - common)
+        alpha = expected_alpha(n_a + n_b - 2 * common, k, 0.1)
+        assert estimate_jaccard(alpha, 0.1, k, n_a, n_b) == pytest.approx(true_jaccard, rel=1e-6)
+
+    def test_result_in_unit_interval(self):
+        for alpha in (0.0, 0.2, 0.49):
+            for beta in (0.0, 0.2, 0.4):
+                value = estimate_jaccard(alpha, beta, 128, 50, 80)
+                assert 0.0 <= value <= 1.0
+
+    def test_two_empty_users(self):
+        assert estimate_jaccard(0.0, 0.0, 64, 0, 0) == 1.0
+
+
+class TestAnalyticalMoments:
+    def test_expectation_bias_matches_paper_formula(self):
+        """Spot-check the paper's E[ŝ] expression term by term."""
+        n, beta, k = 100, 0.01, 4096
+        one_minus = 1 - 2 * beta
+        expected = (
+            1 / 8
+            - k * beta * math.exp(2 * n / k) / one_minus**2
+            - math.exp(4 * n / k) / (8 * one_minus**4)
+        )
+        assert estimator_expectation(n, beta, k) == pytest.approx(expected)
+
+    def test_expectation_bias_vanishes_as_beta_goes_to_zero(self):
+        biases = [abs(estimator_expectation(100, beta, 4096)) for beta in (0.01, 0.001, 0.0001)]
+        assert biases == sorted(biases, reverse=True)
+
+    def test_variance_positive_for_typical_parameters(self):
+        assert estimator_variance(200, 0.05, 4096) > 0.0
+
+    def test_variance_matches_beta_zero_closed_form(self):
+        """With beta = 0 the paper's variance reduces to k (e^{4n/k} - 1) / 16."""
+        k, n = 1024, 200
+        expected = k * (math.exp(4 * n / k) - 1) / 16
+        assert estimator_variance(n, 0.0, k) == pytest.approx(expected)
+
+    def test_expectation_matches_beta_zero_closed_form(self):
+        k, n = 1024, 200
+        expected = 1 / 8 - math.exp(4 * n / k) / 8
+        assert estimator_expectation(n, 0.0, k) == pytest.approx(expected)
+
+    def test_moments_diverge_at_half_beta(self):
+        with pytest.raises(EstimationError):
+            estimator_expectation(10, 0.5, 64)
+        with pytest.raises(EstimationError):
+            estimator_variance(10, 0.5, 64)
+
+    def test_variance_grows_with_symmetric_difference(self):
+        values = [estimator_variance(n, 0.02, 2048) for n in (50, 200, 800)]
+        assert values == sorted(values)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.memory (the equal-memory budget translation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memory import MemoryBudget, vos_parameters_for_budget
+from repro.exceptions import ConfigurationError
+
+
+class TestMemoryBudget:
+    def test_total_bits_matches_paper_formula(self):
+        budget = MemoryBudget(baseline_registers=100, num_users=5000, register_bits=32)
+        assert budget.total_bits == 32 * 100 * 5000
+
+    def test_bits_per_user(self):
+        budget = MemoryBudget(baseline_registers=100, num_users=10)
+        assert budget.bits_per_user() == 3200
+
+    def test_default_register_width_is_32(self):
+        assert MemoryBudget(baseline_registers=5, num_users=2).register_bits == 32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"baseline_registers": 0, "num_users": 10},
+            {"baseline_registers": 10, "num_users": 0},
+            {"baseline_registers": 10, "num_users": 10, "register_bits": 0},
+        ],
+    )
+    def test_invalid_budgets_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(**kwargs)
+
+
+class TestVOSParameterTranslation:
+    def test_shared_array_gets_full_budget(self):
+        budget = MemoryBudget(baseline_registers=100, num_users=500)
+        parameters = vos_parameters_for_budget(budget)
+        assert parameters.shared_array_bits == budget.total_bits
+
+    def test_virtual_sketch_size_uses_lambda(self):
+        budget = MemoryBudget(baseline_registers=100, num_users=500)
+        parameters = vos_parameters_for_budget(budget, size_multiplier=2.0)
+        assert parameters.virtual_sketch_size == 2 * 32 * 100
+        assert parameters.size_multiplier == 2.0
+
+    def test_lambda_one(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=50)
+        assert vos_parameters_for_budget(budget, size_multiplier=1.0).virtual_sketch_size == 320
+
+    def test_fractional_lambda_rounds(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=50)
+        parameters = vos_parameters_for_budget(budget, size_multiplier=0.5)
+        assert parameters.virtual_sketch_size == 160
+
+    def test_invalid_lambda(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=50)
+        with pytest.raises(ConfigurationError):
+            vos_parameters_for_budget(budget, size_multiplier=0.0)
+
+    def test_virtual_size_is_capped_at_the_shared_array(self):
+        """Degenerate budgets (fewer users than λ) must still yield a buildable sketch."""
+        budget = MemoryBudget(baseline_registers=10, num_users=1)
+        parameters = vos_parameters_for_budget(budget, size_multiplier=2.0)
+        assert parameters.virtual_sketch_size <= parameters.shared_array_bits
+        assert parameters.virtual_sketch_size == budget.total_bits

@@ -1,0 +1,146 @@
+"""Edge-case and failure-injection tests across the library.
+
+These cover the awkward inputs a downstream user will eventually hit: empty
+streams, users whose sets empty out, single-element streams, extreme memory
+budgets, saturated sketches and experiments on degenerate data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.minhash import DynamicMinHash
+from repro.baselines.oph import DynamicOPH
+from repro.baselines.random_pairing import IndependentRandomPairingSketch
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.evaluation.reporting import accuracy_over_time_table, render_table, runtime_table
+from repro.evaluation.results import AccuracyResult, RuntimeResult
+from repro.evaluation.runtime import RuntimeExperiment
+from repro.exceptions import ConfigurationError
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.pairs import select_evaluation_pairs
+from repro.similarity.search import top_k_similar_pairs
+from repro.streams.edge import Action, StreamElement
+from repro.streams.stream import GraphStream
+
+
+def _all_streaming_sketches():
+    return [
+        VirtualOddSketch(shared_array_bits=4096, virtual_sketch_size=128, seed=1),
+        DynamicMinHash(8, seed=1),
+        DynamicOPH(8, seed=1),
+        IndependentRandomPairingSketch(8, seed=1),
+        ExactSimilarityTracker(),
+    ]
+
+
+class TestEmptyAndDegenerateStreams:
+    def test_empty_stream_is_valid(self):
+        stream = GraphStream([])
+        assert len(stream) == 0
+        assert stream.users() == set()
+        assert stream.statistics().deletion_fraction == 0.0
+
+    def test_single_element_stream(self):
+        stream = GraphStream([StreamElement(1, 1)])
+        assert stream.checkpoints(5) == [1]
+        assert stream.item_sets_at(None) == {1: {1}}
+
+    def test_engine_on_empty_stream(self):
+        engine = SimilarityEngine.with_default_sketches(expected_users=1)
+        engine.consume(GraphStream([]))
+        assert engine.elements_processed == 0
+
+    def test_sketches_on_empty_input_know_no_users(self):
+        for sketch in _all_streaming_sketches():
+            assert sketch.users() == set()
+            assert not sketch.has_user(1)
+
+
+class TestUsersWhoEmptyOut:
+    @pytest.mark.parametrize("sketch", _all_streaming_sketches(), ids=lambda s: type(s).__name__)
+    def test_user_with_everything_deleted_reports_zero_similarity(self, sketch):
+        for item in range(10):
+            sketch.process(StreamElement(1, item, Action.INSERT))
+            sketch.process(StreamElement(2, item, Action.INSERT))
+        for item in range(10):
+            sketch.process(StreamElement(1, item, Action.DELETE))
+        assert sketch.cardinality(1) == 0
+        assert sketch.estimate_jaccard(1, 2) == pytest.approx(0.0, abs=0.2)
+
+    def test_both_users_empty(self):
+        for sketch in _all_streaming_sketches():
+            sketch.process(StreamElement(1, 5, Action.INSERT))
+            sketch.process(StreamElement(2, 6, Action.INSERT))
+            sketch.process(StreamElement(1, 5, Action.DELETE))
+            sketch.process(StreamElement(2, 6, Action.DELETE))
+            jaccard = sketch.estimate_jaccard(1, 2)
+            assert 0.0 <= jaccard <= 1.0
+
+
+class TestExtremeBudgets:
+    def test_minimal_budget_still_works(self):
+        budget = MemoryBudget(baseline_registers=1, num_users=1)
+        sketch = VirtualOddSketch.from_budget(budget, seed=1)
+        sketch.process(StreamElement(1, 1, Action.INSERT))
+        sketch.process(StreamElement(2, 1, Action.INSERT))
+        assert 0.0 <= sketch.estimate_jaccard(1, 2) <= 1.0
+
+    def test_virtual_sketch_cannot_exceed_shared_array(self):
+        with pytest.raises(ConfigurationError):
+            VirtualOddSketch(shared_array_bits=16, virtual_sketch_size=64)
+
+    def test_saturated_shared_array_still_returns_valid_estimates(self):
+        """Flood a tiny array towards beta ~ 0.5: estimates must stay in range."""
+        sketch = VirtualOddSketch(shared_array_bits=256, virtual_sketch_size=64, seed=2)
+        for user in range(20):
+            for item in range(50):
+                sketch.process(StreamElement(user, item + 100 * user, Action.INSERT))
+        assert 0.0 <= sketch.beta <= 1.0
+        assert 0.0 <= sketch.estimate_jaccard(0, 1) <= 1.0
+        assert sketch.estimate_common_items(0, 1) >= 0.0
+
+
+class TestDegenerateExperimentInputs:
+    def test_runtime_experiment_on_tiny_stream(self):
+        stream = GraphStream([StreamElement(1, 1), StreamElement(2, 1)], name="tiny")
+        result = RuntimeExperiment(methods=("VOS",)).run_sketch_size_sweep(stream, [2])
+        assert len(result.measurements) == 1
+        assert result.measurements[0].elements == 2
+
+    def test_pair_selection_with_no_overlap_returns_empty(self):
+        sets = {1: {1}, 2: {2}, 3: {3}}
+        assert select_evaluation_pairs(sets, top_users=3) == []
+
+    def test_top_k_search_with_single_user_returns_nothing(self):
+        exact = ExactSimilarityTracker()
+        exact.process(StreamElement(1, 1, Action.INSERT))
+        assert top_k_similar_pairs(exact, k=5) == []
+
+    def test_reporting_with_empty_results(self):
+        assert "t" in accuracy_over_time_table(
+            AccuracyResult(dataset="d", baseline_registers=1)
+        )
+        assert "method" in runtime_table(RuntimeResult())
+        assert render_table(["a"], []).count("\n") == 1
+
+
+class TestIdempotentAndRepeatedQueries:
+    def test_estimates_are_pure_queries(self):
+        """Querying must not mutate the sketch: repeated calls agree exactly."""
+        for sketch in _all_streaming_sketches():
+            for item in range(30):
+                sketch.process(StreamElement(1, item, Action.INSERT))
+                sketch.process(StreamElement(2, item + 15, Action.INSERT))
+            first = sketch.estimate_pair(1, 2)
+            second = sketch.estimate_pair(1, 2)
+            assert first == second
+
+    def test_engine_estimate_all_is_stable(self, tiny_stream):
+        engine = SimilarityEngine.with_default_sketches(expected_users=5, include_baselines=True)
+        engine.consume(tiny_stream)
+        first = engine.estimate_all(1, 2)
+        second = engine.estimate_all(1, 2)
+        assert first == second

@@ -1,0 +1,81 @@
+"""Tests for repro.evaluation.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.metrics import (
+    average_absolute_percentage_error,
+    average_root_mean_square_error,
+    mean_absolute_error,
+    root_mean_square_error,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestAAPE:
+    def test_perfect_estimates_give_zero(self):
+        assert average_absolute_percentage_error([10, 20, 30], [10, 20, 30]) == 0.0
+
+    def test_known_value(self):
+        # errors: |10-12|/10 = 0.2, |20-15|/20 = 0.25 -> mean 0.225
+        assert average_absolute_percentage_error([10, 20], [12, 15]) == pytest.approx(0.225)
+
+    def test_zero_truth_values_are_skipped(self):
+        assert average_absolute_percentage_error([0, 10], [5, 11]) == pytest.approx(0.1)
+
+    def test_all_zero_truths_give_nan(self):
+        assert math.isnan(average_absolute_percentage_error([0, 0], [1, 2]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            average_absolute_percentage_error([1, 2], [1])
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            average_absolute_percentage_error([], [])
+
+    def test_symmetric_in_sign_of_error(self):
+        over = average_absolute_percentage_error([10], [12])
+        under = average_absolute_percentage_error([10], [8])
+        assert over == pytest.approx(under)
+
+
+class TestARMSE:
+    def test_perfect_estimates_give_zero(self):
+        assert average_root_mean_square_error([0.1, 0.5], [0.1, 0.5]) == 0.0
+
+    def test_known_value(self):
+        # squared errors 0.01 and 0.04 -> mean 0.025 -> sqrt = 0.1581...
+        assert average_root_mean_square_error([0.5, 0.2], [0.4, 0.4]) == pytest.approx(
+            math.sqrt(0.025)
+        )
+
+    def test_alias_matches(self):
+        truth, estimates = [0.1, 0.9, 0.3], [0.2, 0.7, 0.3]
+        assert root_mean_square_error(truth, estimates) == average_root_mean_square_error(
+            truth, estimates
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            average_root_mean_square_error([1], [1, 2])
+
+    def test_larger_errors_give_larger_metric(self):
+        small = average_root_mean_square_error([0.5], [0.55])
+        large = average_root_mean_square_error([0.5], [0.9])
+        assert large > small
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_zero_for_perfect(self):
+        assert mean_absolute_error([4, 4], [4, 4]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_absolute_error([], [])

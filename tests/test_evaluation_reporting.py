@@ -1,0 +1,87 @@
+"""Tests for repro.evaluation.reporting."""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import (
+    accuracy_final_table,
+    accuracy_over_time_table,
+    render_csv,
+    render_table,
+    runtime_table,
+)
+from repro.evaluation.results import (
+    AccuracyCheckpoint,
+    AccuracyResult,
+    RuntimeMeasurement,
+    RuntimeResult,
+)
+
+
+def _accuracy_result(dataset="youtube"):
+    result = AccuracyResult(dataset=dataset, baseline_registers=100)
+    result.checkpoints["VOS"] = [
+        AccuracyCheckpoint(time=10, aape=0.05, armse=0.01, tracked_pairs=20, beta=0.1),
+        AccuracyCheckpoint(time=20, aape=0.06, armse=0.012, tracked_pairs=20, beta=0.15),
+    ]
+    result.checkpoints["MinHash"] = [
+        AccuracyCheckpoint(time=10, aape=0.5, armse=0.2, tracked_pairs=20),
+        AccuracyCheckpoint(time=20, aape=0.8, armse=0.3, tracked_pairs=20),
+    ]
+    return result
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, 0.0001]])
+        assert "a" in text and "b" in text
+        assert "1" in text
+        assert "2.5" in text
+
+    def test_scientific_notation_for_extremes(self):
+        text = render_table(["x"], [[1234567.0]])
+        assert "e+06" in text
+
+    def test_nan_rendering(self):
+        assert "nan" in render_table(["x"], [[float("nan")]])
+
+    def test_alignment_produces_equal_width_rows(self):
+        text = render_table(["col"], [[1], [22], [333]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+
+class TestRenderCSV:
+    def test_csv_structure(self):
+        csv_text = render_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert len(lines) == 3
+
+
+class TestAccuracyTables:
+    def test_over_time_table_has_method_columns(self):
+        text = accuracy_over_time_table(_accuracy_result(), metric="aape")
+        assert "VOS" in text and "MinHash" in text
+        assert "t" in text.splitlines()[0]
+        # two checkpoint rows
+        assert len(text.splitlines()) == 4
+
+    def test_over_time_table_armse(self):
+        text = accuracy_over_time_table(_accuracy_result(), metric="armse")
+        assert "0.0100" in text or "0.01" in text
+
+    def test_final_table_rows_are_datasets(self):
+        results = {"youtube": _accuracy_result("youtube"), "flickr": _accuracy_result("flickr")}
+        text = accuracy_final_table(results, metric="aape")
+        assert "youtube" in text and "flickr" in text
+        assert "VOS" in text
+
+
+class TestRuntimeTable:
+    def test_contains_measurements(self):
+        result = RuntimeResult()
+        result.add(RuntimeMeasurement("VOS", "youtube", 100, 5000, 0.25))
+        text = runtime_table(result)
+        assert "VOS" in text and "youtube" in text
+        assert "100" in text

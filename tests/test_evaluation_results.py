@@ -1,0 +1,62 @@
+"""Tests for repro.evaluation.results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.results import (
+    AccuracyCheckpoint,
+    AccuracyResult,
+    RuntimeMeasurement,
+    RuntimeResult,
+)
+
+
+def _checkpoint(time, aape=0.1, armse=0.05, pairs=10, beta=None):
+    return AccuracyCheckpoint(time=time, aape=aape, armse=armse, tracked_pairs=pairs, beta=beta)
+
+
+class TestAccuracyResult:
+    def test_methods_and_series(self):
+        result = AccuracyResult(dataset="youtube", baseline_registers=100)
+        result.checkpoints["VOS"] = [_checkpoint(10, aape=0.2), _checkpoint(20, aape=0.1)]
+        result.checkpoints["OPH"] = [_checkpoint(10, aape=0.4), _checkpoint(20, aape=0.5)]
+        assert result.methods() == ["VOS", "OPH"]
+        assert result.series("VOS", "aape") == [(10, 0.2), (20, 0.1)]
+        assert result.series("OPH", "armse") == [(10, 0.05), (20, 0.05)]
+
+    def test_final_checkpoint(self):
+        result = AccuracyResult(dataset="d", baseline_registers=10)
+        result.checkpoints["VOS"] = [_checkpoint(5), _checkpoint(9, aape=0.33)]
+        assert result.final_checkpoint("VOS").aape == 0.33
+        assert result.final_checkpoint("VOS").time == 9
+
+    def test_checkpoint_carries_beta(self):
+        point = _checkpoint(3, beta=0.12)
+        assert point.beta == 0.12
+
+
+class TestRuntimeResult:
+    def test_add_and_methods_order(self):
+        result = RuntimeResult()
+        result.add(RuntimeMeasurement("VOS", "youtube", 100, 1000, 0.5))
+        result.add(RuntimeMeasurement("MinHash", "youtube", 100, 1000, 2.0))
+        result.add(RuntimeMeasurement("VOS", "youtube", 1000, 1000, 0.6))
+        assert result.methods() == ["VOS", "MinHash"]
+        assert len(result.for_method("VOS")) == 2
+
+    def test_series_over_sketch_size(self):
+        result = RuntimeResult()
+        result.add(RuntimeMeasurement("VOS", "youtube", 10, 1000, 0.5))
+        result.add(RuntimeMeasurement("VOS", "flickr", 10, 1000, 0.7))
+        result.add(RuntimeMeasurement("VOS", "youtube", 100, 1000, 0.55))
+        series = result.series_over_sketch_size("VOS", "youtube")
+        assert series == [(10, 0.5), (100, 0.55)]
+
+    def test_elements_per_second(self):
+        measurement = RuntimeMeasurement("VOS", "youtube", 10, 2000, 0.5)
+        assert measurement.elements_per_second == pytest.approx(4000.0)
+
+    def test_elements_per_second_zero_time(self):
+        measurement = RuntimeMeasurement("VOS", "youtube", 10, 2000, 0.0)
+        assert measurement.elements_per_second == float("inf")

@@ -1,0 +1,125 @@
+"""Tests for repro.evaluation.runner (the Figure-3 accuracy experiment)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
+from repro.exceptions import ConfigurationError
+from repro.streams.generators import PowerLawBipartiteGenerator
+from repro.streams.stream import build_dynamic_stream
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return ExperimentConfig(
+        methods=("MinHash", "OPH", "RP", "VOS"),
+        baseline_registers=16,
+        top_users=25,
+        max_pairs=60,
+        num_checkpoints=3,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment_result(small_config):
+    generator = PowerLawBipartiteGenerator(
+        num_users=60, num_items=250, num_edges=3500, seed=5
+    )
+    from repro.streams.deletions import MassiveDeletionModel
+
+    stream = build_dynamic_stream(
+        generator.generate_edges(),
+        MassiveDeletionModel(period=900, deletion_probability=0.5, seed=6),
+        name="runner-test",
+    )
+    return AccuracyExperiment(small_config).run(stream)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.baseline_registers == 100
+        assert config.register_bits == 32
+        assert config.vos_size_multiplier == 2.0
+        assert set(config.methods) == {"MinHash", "OPH", "RP", "VOS"}
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(methods=())
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(baseline_registers=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(num_checkpoints=0)
+
+
+class TestAccuracyExperiment:
+    def test_all_methods_reported(self, experiment_result, small_config):
+        assert set(experiment_result.methods()) == set(small_config.methods)
+
+    def test_checkpoint_count(self, experiment_result, small_config):
+        for method in experiment_result.methods():
+            assert 1 <= len(experiment_result.checkpoints[method]) <= small_config.num_checkpoints
+
+    def test_checkpoints_are_time_ordered(self, experiment_result):
+        for method in experiment_result.methods():
+            times = [point.time for point in experiment_result.checkpoints[method]]
+            assert times == sorted(times)
+
+    def test_metrics_are_finite_and_nonnegative(self, experiment_result):
+        for method in experiment_result.methods():
+            for point in experiment_result.checkpoints[method]:
+                assert point.aape >= 0 or math.isnan(point.aape)
+                assert point.armse >= 0
+                assert point.tracked_pairs > 0
+
+    def test_vos_checkpoints_record_beta(self, experiment_result):
+        for point in experiment_result.checkpoints["VOS"]:
+            assert point.beta is not None
+            assert 0.0 <= point.beta < 0.5
+
+    def test_baseline_checkpoints_have_no_beta(self, experiment_result):
+        for point in experiment_result.checkpoints["OPH"]:
+            assert point.beta is None
+
+    def test_exact_method_has_zero_error(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=30, num_items=100, num_edges=900, seed=9
+        )
+        stream = build_dynamic_stream(generator.generate_edges(), None, name="exact-check")
+        config = ExperimentConfig(
+            methods=("Exact",), baseline_registers=8, top_users=15,
+            max_pairs=30, num_checkpoints=2, seed=2,
+        )
+        result = AccuracyExperiment(config).run(stream)
+        final = result.final_checkpoint("Exact")
+        assert final.aape == pytest.approx(0.0)
+        assert final.armse == pytest.approx(0.0)
+
+    def test_select_pairs_share_common_items(self, small_config):
+        generator = PowerLawBipartiteGenerator(
+            num_users=40, num_items=150, num_edges=1500, seed=11
+        )
+        stream = build_dynamic_stream(generator.generate_edges(), None, name="pairs")
+        experiment = AccuracyExperiment(small_config)
+        pairs = experiment.select_pairs(stream)
+        sets = stream.item_sets_at(None)
+        assert pairs
+        for user_a, user_b in pairs:
+            assert len(sets[user_a] & sets[user_b]) >= small_config.min_common_items
+
+    def test_build_sketches_have_equal_budgets(self, small_config):
+        experiment = AccuracyExperiment(small_config)
+        sketches = experiment.build_sketches(num_users=50)
+        assert set(sketches) == set(small_config.methods)
+        budget_bits = 32 * small_config.baseline_registers * 50
+        assert sketches["VOS"].memory_bits() == budget_bits
+
+    def test_raises_when_no_pairs_qualify(self):
+        stream = build_dynamic_stream([(1, 1), (2, 2)], None, name="no-overlap")
+        config = ExperimentConfig(baseline_registers=4, top_users=2, num_checkpoints=1)
+        with pytest.raises(ConfigurationError):
+            AccuracyExperiment(config).run(stream)

@@ -1,0 +1,60 @@
+"""Tests for repro.evaluation.runtime (the Figure-2 runtime experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.runtime import RuntimeExperiment
+from repro.exceptions import ConfigurationError
+from repro.streams.generators import PowerLawBipartiteGenerator
+from repro.streams.stream import build_dynamic_stream
+
+
+@pytest.fixture(scope="module")
+def runtime_stream():
+    generator = PowerLawBipartiteGenerator(
+        num_users=40, num_items=150, num_edges=1200, seed=13
+    )
+    return build_dynamic_stream(generator.generate_edges(), None, name="runtime-test")
+
+
+class TestRuntimeExperiment:
+    def test_time_method_returns_measurement(self, runtime_stream):
+        experiment = RuntimeExperiment(methods=("VOS",))
+        measurement = experiment.time_method("VOS", runtime_stream, sketch_size=32)
+        assert measurement.method == "VOS"
+        assert measurement.dataset == "runtime-test"
+        assert measurement.elements == len(runtime_stream)
+        assert measurement.seconds > 0
+
+    def test_invalid_sketch_size(self, runtime_stream):
+        with pytest.raises(ConfigurationError):
+            RuntimeExperiment().time_method("VOS", runtime_stream, sketch_size=0)
+
+    def test_sketch_size_sweep_covers_grid(self, runtime_stream):
+        experiment = RuntimeExperiment(methods=("OPH", "VOS"))
+        result = experiment.run_sketch_size_sweep(runtime_stream, [8, 32])
+        assert len(result.measurements) == 4
+        assert set(result.methods()) == {"OPH", "VOS"}
+        assert [m.sketch_size for m in result.for_method("VOS")] == [8, 32]
+
+    def test_dataset_sweep_covers_all_streams(self, runtime_stream):
+        other = build_dynamic_stream([(1, 1), (1, 2), (2, 1)], None, name="tiny-ds")
+        experiment = RuntimeExperiment(methods=("VOS",))
+        result = experiment.run_dataset_sweep([runtime_stream, other], sketch_size=16)
+        datasets = {m.dataset for m in result.measurements}
+        assert datasets == {"runtime-test", "tiny-ds"}
+
+    def test_minhash_slows_down_with_k_while_vos_stays_flat(self, runtime_stream):
+        """The qualitative Figure-2 shape: MinHash update cost grows with k,
+        VOS's does not (up to noise)."""
+        experiment = RuntimeExperiment(methods=("MinHash", "VOS"))
+        result = experiment.run_sketch_size_sweep(runtime_stream, [4, 128])
+        minhash = {m.sketch_size: m.seconds for m in result.for_method("MinHash")}
+        vos = {m.sketch_size: m.seconds for m in result.for_method("VOS")}
+        assert minhash[128] > 2.0 * minhash[4]
+        assert vos[128] < 5.0 * vos[4]
+
+    def test_unknown_method_raises(self, runtime_stream):
+        with pytest.raises(ConfigurationError):
+            RuntimeExperiment().time_method("Nope", runtime_stream, sketch_size=8)

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DatasetError,
+    EstimationError,
+    InfeasibleStreamError,
+    ReproError,
+    UnknownUserError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [ConfigurationError, DatasetError, EstimationError, InfeasibleStreamError, UnknownUserError],
+)
+def test_all_exceptions_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+
+
+def test_infeasible_stream_error_carries_time():
+    error = InfeasibleStreamError("bad edge", time=17)
+    assert error.time == 17
+    assert "bad edge" in str(error)
+
+
+def test_infeasible_stream_error_time_defaults_to_none():
+    assert InfeasibleStreamError("oops").time is None
+
+
+def test_unknown_user_error_carries_user():
+    error = UnknownUserError(42)
+    assert error.user == 42
+    assert "42" in str(error)
+
+
+def test_repro_error_is_catchable_as_exception():
+    with pytest.raises(Exception):
+        raise ReproError("boom")

@@ -1,0 +1,120 @@
+"""Tests for repro.hashing.bitpack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hashing.bitpack import PackedBitArray, PackedRegisters
+
+
+class TestPackedBitArray:
+    def test_initial_state_all_zero(self):
+        bits = PackedBitArray(16)
+        assert len(bits) == 16
+        assert bits.ones_count == 0
+        assert bits.to_list() == [0] * 16
+
+    def test_flip_toggles_and_counts(self):
+        bits = PackedBitArray(8)
+        assert bits.flip(2) == 1
+        assert bits.ones_count == 1
+        assert bits.flip(2) == 0
+        assert bits.ones_count == 0
+
+    def test_set_is_idempotent_on_count(self):
+        bits = PackedBitArray(4)
+        bits.set(1, 1)
+        bits.set(1, 1)
+        assert bits.ones_count == 1
+        bits.set(1, 0)
+        assert bits.ones_count == 0
+
+    def test_xor_value_zero_is_noop(self):
+        bits = PackedBitArray(4)
+        bits.flip(0)
+        assert bits.xor_value(0, 0) == 1
+        assert bits.ones_count == 1
+
+    def test_xor_value_one_flips(self):
+        bits = PackedBitArray(4)
+        assert bits.xor_value(3, 1) == 1
+        assert bits.xor_value(3, 1) == 0
+
+    def test_fraction_of_ones(self):
+        bits = PackedBitArray(10)
+        for index in range(5):
+            bits.flip(index)
+        assert bits.fraction_of_ones == pytest.approx(0.5)
+
+    def test_gather(self):
+        bits = PackedBitArray(6)
+        bits.flip(1)
+        bits.flip(4)
+        assert list(bits.gather([0, 1, 4, 5])) == [0, 1, 1, 0]
+
+    def test_clear(self):
+        bits = PackedBitArray(5)
+        bits.flip(0)
+        bits.clear()
+        assert bits.ones_count == 0
+        assert bits.to_list() == [0] * 5
+
+    def test_memory_bits_matches_size(self):
+        assert PackedBitArray(123).memory_bits() == 123
+
+    def test_iteration(self):
+        bits = PackedBitArray(3)
+        bits.flip(1)
+        assert list(bits) == [0, 1, 0]
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            PackedBitArray(0)
+
+    def test_ones_count_matches_recount_after_random_ops(self):
+        import random
+
+        rng = random.Random(1)
+        bits = PackedBitArray(64)
+        for _ in range(500):
+            bits.flip(rng.randrange(64))
+        assert bits.ones_count == sum(bits.to_list())
+
+
+class TestPackedRegisters:
+    def test_initially_empty(self):
+        registers = PackedRegisters(4, width_bits=32)
+        assert len(registers) == 4
+        assert all(registers.is_empty(i) for i in range(4))
+        assert registers.non_empty_count() == 0
+
+    def test_set_and_get(self):
+        registers = PackedRegisters(3)
+        registers[1] = 42
+        assert registers[1] == 42
+        assert not registers.is_empty(1)
+        assert registers.non_empty_count() == 1
+
+    def test_reset(self):
+        registers = PackedRegisters(3)
+        registers[0] = 7
+        registers.reset(0)
+        assert registers.is_empty(0)
+
+    def test_to_list_uses_none_for_empty(self):
+        registers = PackedRegisters(3)
+        registers[2] = 5
+        assert registers.to_list() == [None, None, 5]
+
+    def test_memory_accounting(self):
+        assert PackedRegisters(10, width_bits=32).memory_bits() == 320
+        assert PackedRegisters(8, width_bits=1).memory_bits() == 8
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            PackedRegisters(0)
+        with pytest.raises(ConfigurationError):
+            PackedRegisters(4, width_bits=0)
+        with pytest.raises(ConfigurationError):
+            PackedRegisters(4, width_bits=65)

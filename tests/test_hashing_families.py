@@ -1,0 +1,58 @@
+"""Tests for repro.hashing.families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hashing.families import HashFamily, IndexedHash
+
+
+class TestHashFamily:
+    def test_length_and_indexing(self):
+        family = HashFamily(size=8, range_size=32, seed=1)
+        assert len(family) == 8
+        assert isinstance(family[0], IndexedHash)
+        assert family[7].index == 7
+
+    def test_members_are_distinct_functions(self):
+        family = HashFamily(size=10, range_size=10_000, seed=4)
+        outputs = [member("same-key") for member in family]
+        assert len(set(outputs)) > 5  # overwhelmingly likely for independent hashes
+
+    def test_deterministic_across_instances(self):
+        family_a = HashFamily(size=5, range_size=100, seed=2)
+        family_b = HashFamily(size=5, range_size=100, seed=2)
+        assert family_a.apply_all("user") == family_b.apply_all("user")
+
+    def test_different_master_seeds_differ(self):
+        family_a = HashFamily(size=5, range_size=10_000, seed=1)
+        family_b = HashFamily(size=5, range_size=10_000, seed=2)
+        assert family_a.apply_all("user") != family_b.apply_all("user")
+
+    def test_apply_all_range(self):
+        family = HashFamily(size=6, range_size=17, seed=3)
+        for key in ["a", "b", 12, ("x", 1)]:
+            assert all(0 <= v < 17 for v in family.apply_all(key))
+
+    def test_iteration_preserves_order(self):
+        family = HashFamily(size=4, range_size=8, seed=0)
+        assert [member.index for member in family] == [0, 1, 2, 3]
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            HashFamily(size=0, range_size=8)
+        with pytest.raises(ConfigurationError):
+            HashFamily(size=3, range_size=0)
+
+    def test_min_index_in_bounds(self):
+        family = HashFamily(size=9, range_size=100, seed=5)
+        assert 0 <= family.min_index("key") < 9
+
+    def test_indexed_hash_exposes_range_and_variants(self):
+        family = HashFamily(size=2, range_size=50, seed=6)
+        member = family[1]
+        assert member.range_size == 50
+        assert 0 <= member("k") < 50
+        assert member.value64("k") >= 0
+        assert 0.0 <= member.unit_interval("k") < 1.0

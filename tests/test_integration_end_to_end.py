@@ -1,0 +1,131 @@
+"""Integration tests: full pipelines from dataset generation to reported metrics.
+
+These tests exercise the exact code paths the benchmarks and the CLI use, at a
+reduced scale, and assert the paper's qualitative findings hold:
+
+* all four methods run under the same memory budget;
+* VOS's accuracy on fully dynamic streams is competitive with (and usually
+  better than) the deletion-biased baselines;
+* the pipeline is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.evaluation.reporting import accuracy_over_time_table, runtime_table
+from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
+from repro.evaluation.runtime import RuntimeExperiment
+from repro.similarity.engine import SimilarityEngine
+from repro.streams.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def youtube_stream():
+    return load_dataset("youtube", scale=0.6)
+
+
+@pytest.fixture(scope="module")
+def accuracy_result(youtube_stream):
+    config = ExperimentConfig(
+        baseline_registers=16,
+        top_users=30,
+        max_pairs=80,
+        num_checkpoints=4,
+        seed=3,
+    )
+    return AccuracyExperiment(config).run(youtube_stream)
+
+
+class TestAccuracyPipeline:
+    def test_all_methods_produce_checkpoints(self, accuracy_result):
+        for method in ("MinHash", "OPH", "RP", "VOS"):
+            assert accuracy_result.checkpoints[method], f"{method} produced no checkpoints"
+
+    def test_final_metrics_are_finite(self, accuracy_result):
+        for method in accuracy_result.methods():
+            final = accuracy_result.final_checkpoint(method)
+            assert math.isfinite(final.armse)
+            assert math.isfinite(final.aape) or math.isnan(final.aape)
+
+    def test_vos_beats_or_matches_biased_baselines_on_jaccard(self, accuracy_result):
+        """The paper's headline: under deletions VOS's ARMSE is lower than
+        MinHash's and OPH's.  Allow a small slack for the reduced scale."""
+        vos = accuracy_result.final_checkpoint("VOS").armse
+        minhash = accuracy_result.final_checkpoint("MinHash").armse
+        oph = accuracy_result.final_checkpoint("OPH").armse
+        assert vos <= minhash + 0.02
+        assert vos <= oph + 0.02
+
+    def test_vos_fill_fraction_stays_below_half(self, accuracy_result):
+        for point in accuracy_result.checkpoints["VOS"]:
+            assert point.beta is not None and point.beta < 0.5
+
+    def test_report_rendering_works(self, accuracy_result):
+        table = accuracy_over_time_table(accuracy_result, metric="armse")
+        assert "VOS" in table and "MinHash" in table
+
+    def test_determinism(self, youtube_stream):
+        config = ExperimentConfig(
+            baseline_registers=8, top_users=15, max_pairs=30, num_checkpoints=2, seed=11
+        )
+        first = AccuracyExperiment(config).run(youtube_stream)
+        second = AccuracyExperiment(config).run(youtube_stream)
+        for method in first.methods():
+            assert [
+                (p.time, p.aape, p.armse) for p in first.checkpoints[method]
+            ] == [(p.time, p.aape, p.armse) for p in second.checkpoints[method]]
+
+
+class TestRuntimePipeline:
+    def test_runtime_sweep_and_report(self, youtube_stream):
+        experiment = RuntimeExperiment(methods=("OPH", "VOS"))
+        result = experiment.run_sketch_size_sweep(youtube_stream.prefix(1500), [4, 64])
+        assert len(result.measurements) == 4
+        assert "VOS" in runtime_table(result)
+
+    def test_o1_methods_scale_flat(self, youtube_stream):
+        """VOS and OPH per-edge cost must not blow up with k (Figure 2 shape)."""
+        stream = youtube_stream.prefix(1500)
+        experiment = RuntimeExperiment(methods=("OPH", "VOS"))
+        result = experiment.run_sketch_size_sweep(stream, [4, 256])
+        for method in ("OPH", "VOS"):
+            timings = {m.sketch_size: m.seconds for m in result.for_method(method)}
+            assert timings[256] < 6.0 * timings[4]
+
+
+class TestEngineEndToEnd:
+    def test_engine_over_real_dataset(self, youtube_stream):
+        engine = SimilarityEngine.with_default_sketches(
+            expected_users=len(youtube_stream.users()),
+            baseline_registers=16,
+            include_baselines=True,
+        )
+        engine.consume(youtube_stream)
+        exact = engine.sketch("Exact")
+        users = sorted(exact.users(), key=exact.cardinality, reverse=True)[:5]
+        for index, user_a in enumerate(users):
+            for user_b in users[index + 1 :]:
+                estimates = engine.estimate_all(user_a, user_b)
+                truth = estimates["Exact"]
+                for name, estimate in estimates.items():
+                    assert 0.0 <= estimate.jaccard <= 1.0
+                    assert estimate.common_items >= 0.0
+                # VOS should land in the neighbourhood of the exact answer.
+                assert estimates["VOS"].jaccard == pytest.approx(truth.jaccard, abs=0.3)
+
+    def test_memory_report_budgets_are_comparable(self, youtube_stream):
+        engine = SimilarityEngine.with_default_sketches(
+            expected_users=len(youtube_stream.users()),
+            baseline_registers=16,
+            include_baselines=True,
+        )
+        engine.consume(youtube_stream)
+        report = engine.memory_report()
+        # VOS is provisioned with the full budget up front; each baseline's
+        # usage approaches the budget as users appear but never exceeds it.
+        assert report["MinHash"] <= report["VOS"]
+        assert report["OPH"] <= report["VOS"]
+        assert report["RP"] <= report["VOS"]

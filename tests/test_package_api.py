@@ -1,0 +1,98 @@
+"""Tests of the package-level public API (imports, __all__, version)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+    def test_all_names_are_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "VirtualOddSketch",
+            "SharedBitArray",
+            "MemoryBudget",
+            "DynamicMinHash",
+            "DynamicOPH",
+            "RandomPairingSketch",
+            "ExactSimilarityTracker",
+            "SimilarityEngine",
+            "GraphStream",
+            "StreamElement",
+            "Action",
+            "load_dataset",
+            "AccuracyExperiment",
+            "RuntimeExperiment",
+        ],
+    )
+    def test_headline_classes_exported(self, name):
+        assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        for module_name in [
+            "repro.hashing",
+            "repro.streams",
+            "repro.baselines",
+            "repro.core",
+            "repro.similarity",
+            "repro.evaluation",
+            "repro.analysis",
+            "repro.cli",
+        ]:
+            assert importlib.import_module(module_name) is not None
+
+    def test_sketch_registry_names_match_paper(self):
+        from repro import sketch_registry
+
+        assert {"MinHash", "OPH", "RP", "VOS", "Exact"} <= set(sketch_registry())
+
+    def test_similarity_search_helpers_exported(self):
+        from repro.similarity import (  # noqa: F401
+            nearest_neighbours,
+            pairs_above_threshold,
+            top_k_similar_pairs,
+        )
+
+    def test_regular_graph_helpers_exported(self):
+        from repro.streams import RegularEdge, RegularGraphSimilarity  # noqa: F401
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.core.vos",
+            "repro.core.estimators",
+            "repro.baselines.minhash",
+            "repro.baselines.oph",
+            "repro.baselines.random_pairing",
+            "repro.streams.stream",
+            "repro.streams.datasets",
+            "repro.evaluation.runner",
+            "repro.evaluation.metrics",
+            "repro.similarity.search",
+            "repro.streams.regular",
+        ],
+    )
+    def test_every_public_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+    def test_core_classes_have_docstrings(self):
+        from repro import DynamicMinHash, DynamicOPH, VirtualOddSketch
+
+        for cls in (VirtualOddSketch, DynamicMinHash, DynamicOPH):
+            assert cls.__doc__ and len(cls.__doc__.strip()) > 60

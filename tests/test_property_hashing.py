@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the hashing substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.bitpack import PackedBitArray
+from repro.hashing.families import HashFamily
+from repro.hashing.permutation import AffinePermutation, FeistelPermutation
+from repro.hashing.universal import UniversalHash, stable_hash64
+
+keys = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.text(max_size=30),
+    st.tuples(st.integers(), st.text(max_size=5)),
+)
+
+
+@given(key=keys, seed=st.integers(min_value=0, max_value=2**32))
+def test_stable_hash_is_deterministic(key, seed):
+    assert stable_hash64(key, seed) == stable_hash64(key, seed)
+
+
+@given(key=keys, seed=st.integers(min_value=0, max_value=2**32))
+def test_stable_hash_fits_64_bits(key, seed):
+    assert 0 <= stable_hash64(key, seed) < 2**64
+
+
+@given(
+    key=keys,
+    range_size=st.integers(min_value=1, max_value=10_000),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_universal_hash_stays_in_range(key, range_size, seed):
+    value = UniversalHash(range_size=range_size, seed=seed)(key)
+    assert 0 <= value < range_size
+
+
+@given(
+    size=st.integers(min_value=1, max_value=32),
+    range_size=st.integers(min_value=1, max_value=1000),
+    seed=st.integers(min_value=0, max_value=2**16),
+    key=keys,
+)
+@settings(max_examples=50)
+def test_hash_family_members_stay_in_range(size, range_size, seed, key):
+    family = HashFamily(size=size, range_size=range_size, seed=seed)
+    assert len(family.apply_all(key)) == size
+    assert all(0 <= v < range_size for v in family.apply_all(key))
+
+
+@given(
+    domain=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40)
+def test_feistel_permutation_is_bijective(domain, seed):
+    perm = FeistelPermutation(domain_size=domain, seed=seed)
+    assert sorted(perm(x) for x in range(domain)) == list(range(domain))
+
+
+@given(
+    domain=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40)
+def test_affine_permutation_inverse_roundtrips(domain, seed):
+    perm = AffinePermutation(domain_size=domain, seed=seed)
+    for value in range(min(domain, 50)):
+        assert perm.inverse(perm(value)) == value
+
+
+@given(
+    size=st.integers(min_value=1, max_value=256),
+    operations=st.lists(st.integers(min_value=0, max_value=10_000), max_size=200),
+)
+@settings(max_examples=60)
+def test_packed_bit_array_popcount_invariant(size, operations):
+    """The running ones-count always equals a full recount."""
+    bits = PackedBitArray(size)
+    for op in operations:
+        bits.flip(op % size)
+    assert bits.ones_count == sum(bits.to_list())
+    assert 0 <= bits.fraction_of_ones <= 1.0

@@ -1,0 +1,121 @@
+"""Property-based tests of cross-sketch invariants.
+
+These treat all streaming sketches uniformly: whatever the stream, estimates
+must remain in their mathematical domains, cardinality counters must match the
+exact tracker, and insertion-only behaviour must be deletion-free-sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bbit import BBitMinHash
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.baselines.minhash import DynamicMinHash
+from repro.baselines.oph import DynamicOPH
+from repro.baselines.random_pairing import RandomPairingSketch
+from repro.core.vos import VirtualOddSketch
+from repro.similarity.measures import jaccard_coefficient
+from repro.streams.deletions import UniformDeletionModel
+from repro.streams.stream import build_dynamic_stream
+
+edge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=60)),
+    min_size=5,
+    max_size=250,
+)
+
+
+def _all_sketches(seed: int):
+    return [
+        DynamicMinHash(16, seed=seed),
+        DynamicOPH(16, seed=seed),
+        RandomPairingSketch(16, seed=seed),
+        BBitMinHash(16, bits=2, seed=seed),
+        VirtualOddSketch(shared_array_bits=1 << 13, virtual_sketch_size=512, seed=seed),
+    ]
+
+
+@given(
+    edges=edge_lists,
+    rate=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_every_sketch_keeps_estimates_in_domain(edges, rate, seed):
+    stream = build_dynamic_stream(edges, UniformDeletionModel(rate=rate, seed=seed))
+    exact = ExactSimilarityTracker()
+    sketches = _all_sketches(seed)
+    for element in stream:
+        exact.process(element)
+        for sketch in sketches:
+            sketch.process(element)
+    users = sorted(exact.users())
+    pairs = [(users[i], users[j]) for i in range(len(users)) for j in range(i + 1, min(i + 3, len(users)))]
+    for user_a, user_b in pairs[:10]:
+        for sketch in sketches:
+            jaccard = sketch.estimate_jaccard(user_a, user_b)
+            common = sketch.estimate_common_items(user_a, user_b)
+            assert 0.0 <= jaccard <= 1.0
+            assert common >= 0.0
+
+
+@given(
+    edges=edge_lists,
+    rate=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_every_sketch_cardinality_matches_exact_tracker(edges, rate, seed):
+    stream = build_dynamic_stream(edges, UniformDeletionModel(rate=rate, seed=seed))
+    exact = ExactSimilarityTracker()
+    sketches = _all_sketches(seed)
+    for element in stream:
+        exact.process(element)
+        for sketch in sketches:
+            sketch.process(element)
+    for user in exact.users():
+        expected = exact.cardinality(user)
+        for sketch in sketches:
+            assert sketch.cardinality(user) == expected
+
+
+@given(items=st.sets(st.integers(min_value=0, max_value=3000), min_size=1, max_size=150),
+       seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_identical_users_score_at_least_as_high_as_disjoint_users(items, seed):
+    """For every sketch, a pair of identical users must not score below a pair
+    of disjoint users of the same size (sanity ordering property)."""
+    disjoint = {item + 10_000 for item in items}
+    for sketch in _all_sketches(seed):
+        from repro.streams.edge import Action, StreamElement
+
+        for item in items:
+            sketch.process(StreamElement(1, item, Action.INSERT))
+            sketch.process(StreamElement(2, item, Action.INSERT))
+        for item in disjoint:
+            sketch.process(StreamElement(3, item, Action.INSERT))
+        identical_score = sketch.estimate_jaccard(1, 2)
+        disjoint_score = sketch.estimate_jaccard(1, 3)
+        assert identical_score >= disjoint_score - 0.15
+
+
+@given(
+    set_a=st.sets(st.integers(min_value=0, max_value=400), max_size=100),
+    set_b=st.sets(st.integers(min_value=0, max_value=400), max_size=100),
+)
+@settings(max_examples=100)
+def test_exact_tracker_matches_measure_functions(set_a, set_b):
+    from repro.streams.edge import Action, StreamElement
+
+    exact = ExactSimilarityTracker()
+    for item in set_a:
+        exact.process(StreamElement(1, item, Action.INSERT))
+    for item in set_b:
+        exact.process(StreamElement(2, item, Action.INSERT))
+    if not set_a or not set_b:
+        return
+    assert exact.estimate_common_items(1, 2) == len(set_a & set_b)
+    assert exact.estimate_jaccard(1, 2) == pytest.approx(jaccard_coefficient(set_a, set_b))

@@ -1,0 +1,83 @@
+"""Property-based tests for the graph-stream substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.deletions import MassiveDeletionModel, UniformDeletionModel
+from repro.streams.edge import Action, StreamElement
+from repro.streams.stream import GraphStream, build_dynamic_stream
+
+edge_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=40)),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(edges=edge_lists, rate=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 1000))
+@settings(max_examples=60)
+def test_built_streams_are_always_feasible(edges, rate, seed):
+    stream = build_dynamic_stream(edges, UniformDeletionModel(rate=rate, seed=seed))
+    # Re-validation raises on any feasibility violation.
+    GraphStream(stream.elements)
+
+
+@given(
+    edges=edge_lists,
+    period=st.integers(min_value=1, max_value=50),
+    probability=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60)
+def test_massive_deletion_streams_are_feasible(edges, period, probability, seed):
+    model = MassiveDeletionModel(period=period, deletion_probability=probability, seed=seed)
+    stream = build_dynamic_stream(edges, model)
+    GraphStream(stream.elements)
+
+
+@given(edges=edge_lists, rate=st.floats(min_value=0.0, max_value=0.9), seed=st.integers(0, 1000))
+@settings(max_examples=50)
+def test_item_sets_replay_matches_incremental_tracking(edges, rate, seed):
+    """Replaying a stream must give the same sets as tracking it element by element."""
+    stream = build_dynamic_stream(edges, UniformDeletionModel(rate=rate, seed=seed))
+    incremental: dict[int, set[int]] = {}
+    for element in stream:
+        items = incremental.setdefault(element.user, set())
+        if element.is_insertion:
+            items.add(element.item)
+        else:
+            items.discard(element.item)
+    assert stream.item_sets_at(None) == incremental
+
+
+@given(edges=edge_lists)
+@settings(max_examples=50)
+def test_insertions_only_stream_has_no_deletions_and_distinct_edges(edges):
+    stream = build_dynamic_stream(edges, UniformDeletionModel(rate=0.5, seed=1))
+    insert_only = stream.insertions_only()
+    assert all(element.is_insertion for element in insert_only)
+    seen_edges = [element.edge for element in insert_only]
+    assert len(seen_edges) == len(set(seen_edges))
+
+
+@given(
+    edges=edge_lists,
+    checkpoint_count=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=50)
+def test_checkpoints_are_sorted_unique_and_end_at_length(edges, checkpoint_count):
+    stream = build_dynamic_stream(edges, None)
+    points = stream.checkpoints(checkpoint_count)
+    assert points == sorted(set(points))
+    assert points[-1] == len(stream)
+
+
+@given(
+    user=st.integers(min_value=0, max_value=10**6),
+    item=st.integers(min_value=0, max_value=10**6),
+)
+def test_element_inversion_is_an_involution(user, item):
+    element = StreamElement(user, item, Action.INSERT)
+    assert element.inverted().inverted() == element

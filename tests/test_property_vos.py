@@ -1,0 +1,107 @@
+"""Property-based tests for the VOS sketch and its estimators."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.odd_model import expected_alpha
+from repro.core.estimators import (
+    estimate_common_items,
+    estimate_jaccard,
+    estimate_symmetric_difference,
+)
+from repro.core.vos import VirtualOddSketch
+from repro.streams.edge import Action, StreamElement
+
+item_sets = st.sets(st.integers(min_value=0, max_value=5000), min_size=0, max_size=120)
+
+
+@given(items=item_sets, seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_insert_then_delete_everything_returns_array_to_empty(items, seed):
+    """xor-cancellation: a user who unsubscribes everything leaves no trace in A."""
+    sketch = VirtualOddSketch(shared_array_bits=1 << 14, virtual_sketch_size=512, seed=seed)
+    for item in items:
+        sketch.process(StreamElement(1, item, Action.INSERT))
+    for item in items:
+        sketch.process(StreamElement(1, item, Action.DELETE))
+    assert sketch.shared_array.ones_count == 0
+    assert sketch.beta == 0.0
+
+
+@given(items_a=item_sets, items_b=item_sets, seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_estimates_are_always_in_valid_ranges(items_a, items_b, seed):
+    sketch = VirtualOddSketch(shared_array_bits=1 << 14, virtual_sketch_size=1024, seed=seed)
+    for item in items_a:
+        sketch.process(StreamElement(1, item, Action.INSERT))
+    for item in items_b:
+        sketch.process(StreamElement(2, item, Action.INSERT))
+    if not (sketch.has_user(1) and sketch.has_user(2)):
+        return
+    common = sketch.estimate_common_items(1, 2)
+    jaccard = sketch.estimate_jaccard(1, 2)
+    assert 0.0 <= common <= min(len(items_a), len(items_b))
+    assert 0.0 <= jaccard <= 1.0
+    assert sketch.estimate_symmetric_difference(1, 2) >= 0.0
+
+
+@given(
+    items=item_sets,
+    deletions=st.data(),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=30, deadline=None)
+def test_shared_array_state_depends_only_on_final_sets(items, deletions, seed):
+    """Processing extra subscribe/unsubscribe churn that cancels out must leave
+    the sketch in exactly the state of processing the final set directly."""
+    churn_items = deletions.draw(
+        st.sets(st.integers(min_value=6000, max_value=7000), max_size=40)
+    )
+    direct = VirtualOddSketch(shared_array_bits=1 << 13, virtual_sketch_size=256, seed=seed)
+    churned = VirtualOddSketch(shared_array_bits=1 << 13, virtual_sketch_size=256, seed=seed)
+    for item in items:
+        direct.process(StreamElement(1, item, Action.INSERT))
+        churned.process(StreamElement(1, item, Action.INSERT))
+    for item in churn_items:
+        churned.process(StreamElement(1, item, Action.INSERT))
+    for item in churn_items:
+        churned.process(StreamElement(1, item, Action.DELETE))
+    assert list(direct.virtual_sketch(1)) == list(churned.virtual_sketch(1)) if items else True
+    assert direct.shared_array.ones_count == churned.shared_array.ones_count
+
+
+@given(
+    n_delta=st.integers(min_value=0, max_value=2000),
+    sketch_size=st.integers(min_value=64, max_value=8192),
+    beta=st.floats(min_value=0.0, max_value=0.45),
+)
+@settings(max_examples=100)
+def test_estimator_inverts_model_outside_saturation(n_delta, sketch_size, beta):
+    from hypothesis import assume
+
+    alpha = expected_alpha(n_delta, sketch_size, beta)
+    # The inversion is only well-posed away from saturation (alpha close to
+    # 0.5 is clamped); restrict the property to that domain.
+    assume(abs(1.0 - 2.0 * alpha) > 2.0 / sketch_size)
+    recovered = estimate_symmetric_difference(alpha, beta, sketch_size)
+    tolerance = max(1e-6 * max(n_delta, 1), 1e-6)
+    assert abs(recovered - n_delta) <= max(tolerance, 1e-6 * sketch_size)
+
+
+@given(
+    cardinality_a=st.integers(min_value=0, max_value=500),
+    cardinality_b=st.integers(min_value=0, max_value=500),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+    sketch_size=st.integers(min_value=8, max_value=4096),
+)
+@settings(max_examples=120)
+def test_estimators_never_leave_their_domains(cardinality_a, cardinality_b, alpha, beta, sketch_size):
+    common = estimate_common_items(alpha, beta, sketch_size, cardinality_a, cardinality_b)
+    jaccard = estimate_jaccard(alpha, beta, sketch_size, cardinality_a, cardinality_b)
+    assert 0.0 <= common <= min(cardinality_a, cardinality_b) or (
+        cardinality_a == 0 or cardinality_b == 0
+    )
+    assert 0.0 <= jaccard <= 1.0

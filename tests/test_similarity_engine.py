@@ -1,0 +1,112 @@
+"""Tests for repro.similarity.engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import PairEstimate
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError
+from repro.similarity.engine import SimilarityEngine, build_sketch, sketch_registry
+from repro.streams.edge import Action, StreamElement
+
+
+class TestSketchRegistry:
+    def test_contains_paper_methods(self):
+        assert {"MinHash", "OPH", "RP", "VOS", "Exact"} <= set(sketch_registry())
+
+    def test_build_sketch_each_method(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=20)
+        for name in sketch_registry():
+            sketch = build_sketch(name, budget, seed=1)
+            assert sketch.name == name or name == "Exact"
+
+    def test_build_vos_gets_budget_translation(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=20)
+        sketch = build_sketch("VOS", budget)
+        assert isinstance(sketch, VirtualOddSketch)
+        assert sketch.memory_bits() == budget.total_bits
+
+    def test_unknown_sketch_raises(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=20)
+        with pytest.raises(ConfigurationError):
+            build_sketch("SimHash", budget)
+
+    def test_baseline_memory_matches_budget(self):
+        budget = MemoryBudget(baseline_registers=10, num_users=4)
+        sketch = build_sketch("MinHash", budget)
+        for user in range(4):
+            sketch.process(StreamElement(user, 1 + user, Action.INSERT))
+        assert sketch.memory_bits() == budget.total_bits
+
+
+class TestSimilarityEngine:
+    def test_requires_at_least_one_sketch(self):
+        with pytest.raises(ConfigurationError):
+            SimilarityEngine({})
+
+    def test_default_construction(self):
+        engine = SimilarityEngine.with_default_sketches(expected_users=10)
+        assert set(engine.sketch_names) == {"VOS", "Exact"}
+
+    def test_default_with_baselines(self):
+        engine = SimilarityEngine.with_default_sketches(
+            expected_users=10, include_baselines=True
+        )
+        assert set(engine.sketch_names) == {"VOS", "MinHash", "OPH", "RP", "Exact"}
+
+    def test_process_feeds_every_sketch(self, tiny_stream):
+        engine = SimilarityEngine.with_default_sketches(expected_users=5)
+        engine.consume(tiny_stream)
+        assert engine.elements_processed == len(tiny_stream)
+        for name in engine.sketch_names:
+            assert engine.sketch(name).has_user(1)
+
+    def test_estimate_returns_pair_estimate(self, tiny_stream):
+        engine = SimilarityEngine.with_default_sketches(expected_users=5)
+        engine.consume(tiny_stream)
+        estimate = engine.estimate(1, 2, method="Exact")
+        assert isinstance(estimate, PairEstimate)
+        assert estimate.common_items == 1.0
+
+    def test_estimate_all_covers_every_sketch(self, tiny_stream):
+        engine = SimilarityEngine.with_default_sketches(
+            expected_users=5, include_baselines=True
+        )
+        engine.consume(tiny_stream)
+        estimates = engine.estimate_all(1, 2)
+        assert set(estimates) == set(engine.sketch_names)
+
+    def test_unknown_sketch_name_raises(self, tiny_stream):
+        engine = SimilarityEngine.with_default_sketches(expected_users=5)
+        with pytest.raises(ConfigurationError):
+            engine.sketch("NotASketch")
+
+    def test_memory_report(self, tiny_stream):
+        engine = SimilarityEngine.with_default_sketches(expected_users=5)
+        engine.consume(tiny_stream)
+        report = engine.memory_report()
+        assert set(report) == {"VOS", "Exact"}
+        assert all(bits >= 0 for bits in report.values())
+
+    def test_engine_with_custom_sketches(self, tiny_stream):
+        engine = SimilarityEngine({"Exact": ExactSimilarityTracker()})
+        engine.consume(tiny_stream)
+        assert engine.estimate(2, 3, method="Exact").jaccard == pytest.approx(1.0)
+
+    def test_vos_and_exact_agree_on_synthetic_stream(self, insertion_only_stream):
+        engine = SimilarityEngine.with_default_sketches(
+            expected_users=len(insertion_only_stream.users()), baseline_registers=50
+        )
+        engine.consume(insertion_only_stream)
+        exact = engine.sketch("Exact")
+        vos = engine.sketch("VOS")
+        users = sorted(exact.users(), key=exact.cardinality, reverse=True)[:6]
+        for index, user_a in enumerate(users):
+            for user_b in users[index + 1 :]:
+                true_jaccard = exact.estimate_jaccard(user_a, user_b)
+                assert vos.estimate_jaccard(user_a, user_b) == pytest.approx(
+                    true_jaccard, abs=0.25
+                )

@@ -1,0 +1,92 @@
+"""Tests for repro.similarity.measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.similarity.measures import (
+    common_items,
+    cosine_similarity,
+    dice_coefficient,
+    jaccard_coefficient,
+    overlap_coefficient,
+)
+
+SET_A = {1, 2, 3, 4}
+SET_B = {3, 4, 5, 6, 7}
+
+
+class TestCommonItems:
+    def test_basic(self):
+        assert common_items(SET_A, SET_B) == 2
+
+    def test_disjoint(self):
+        assert common_items({1}, {2}) == 0
+
+    def test_empty(self):
+        assert common_items(set(), SET_A) == 0
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard_coefficient(SET_A, SET_B) == pytest.approx(2 / 7)
+
+    def test_identical(self):
+        assert jaccard_coefficient(SET_A, SET_A) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_coefficient({1, 2}, {3, 4}) == 0.0
+
+    def test_both_empty_is_one(self):
+        assert jaccard_coefficient(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard_coefficient(set(), {1}) == 0.0
+
+    def test_symmetric(self):
+        assert jaccard_coefficient(SET_A, SET_B) == jaccard_coefficient(SET_B, SET_A)
+
+
+class TestDice:
+    def test_basic(self):
+        assert dice_coefficient(SET_A, SET_B) == pytest.approx(2 * 2 / 9)
+
+    def test_identical(self):
+        assert dice_coefficient(SET_A, SET_A) == 1.0
+
+    def test_both_empty(self):
+        assert dice_coefficient(set(), set()) == 1.0
+
+    def test_relation_to_jaccard(self):
+        jaccard = jaccard_coefficient(SET_A, SET_B)
+        assert dice_coefficient(SET_A, SET_B) == pytest.approx(2 * jaccard / (1 + jaccard))
+
+
+class TestOverlap:
+    def test_basic(self):
+        assert overlap_coefficient(SET_A, SET_B) == pytest.approx(2 / 4)
+
+    def test_subset_gives_one(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_one_empty(self):
+        assert overlap_coefficient(set(), {1}) == 0.0
+
+    def test_both_empty(self):
+        assert overlap_coefficient(set(), set()) == 1.0
+
+
+class TestCosine:
+    def test_basic(self):
+        assert cosine_similarity(SET_A, SET_B) == pytest.approx(2 / math.sqrt(20))
+
+    def test_identical(self):
+        assert cosine_similarity(SET_A, SET_A) == 1.0
+
+    def test_one_empty(self):
+        assert cosine_similarity(set(), {1}) == 0.0
+
+    def test_bounded_by_one(self):
+        assert cosine_similarity({1, 2, 3}, {2, 3, 4, 5, 6}) <= 1.0

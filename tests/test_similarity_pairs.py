@@ -1,0 +1,100 @@
+"""Tests for repro.similarity.pairs (the evaluation pair-selection protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.similarity.pairs import select_evaluation_pairs, top_cardinality_users, top_similar_pairs
+
+ITEM_SETS = {
+    1: {10, 11, 12, 13, 14},       # cardinality 5
+    2: {10, 11, 12},               # cardinality 3
+    3: {20, 21},                   # cardinality 2, disjoint from 1 and 2
+    4: {10, 30, 31, 32},           # cardinality 4, shares 10 with 1 and 2
+    5: {40},                       # cardinality 1
+}
+
+
+class TestTopCardinalityUsers:
+    def test_returns_largest_users(self):
+        top = top_cardinality_users(ITEM_SETS, 2)
+        assert set(top) == {1, 4}
+
+    def test_count_larger_than_population(self):
+        assert set(top_cardinality_users(ITEM_SETS, 50)) == set(ITEM_SETS)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            top_cardinality_users(ITEM_SETS, 0)
+
+    def test_deterministic(self):
+        assert top_cardinality_users(ITEM_SETS, 3) == top_cardinality_users(ITEM_SETS, 3)
+
+
+class TestSelectEvaluationPairs:
+    def test_only_pairs_with_common_items(self):
+        pairs = select_evaluation_pairs(ITEM_SETS, top_users=5, min_common_items=1)
+        assert (1, 2) in pairs
+        assert (1, 4) in pairs
+        assert (1, 3) not in pairs  # disjoint
+        assert (3, 5) not in pairs
+
+    def test_min_common_items_threshold(self):
+        pairs = select_evaluation_pairs(ITEM_SETS, top_users=5, min_common_items=3)
+        assert pairs == [(1, 2)]
+
+    def test_pairs_are_ordered_small_id_first(self):
+        pairs = select_evaluation_pairs(ITEM_SETS, top_users=5)
+        assert all(a < b for a, b in pairs)
+
+    def test_max_pairs_prefers_strongest_pairs(self):
+        pairs = select_evaluation_pairs(ITEM_SETS, top_users=5, max_pairs=1)
+        assert pairs == [(1, 2)]  # 3 common items beats 1
+
+    def test_top_users_restricts_candidates(self):
+        pairs = select_evaluation_pairs(ITEM_SETS, top_users=2, min_common_items=1)
+        assert pairs == [(1, 4)]
+
+    def test_negative_min_common_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_evaluation_pairs(ITEM_SETS, min_common_items=-1)
+
+    def test_on_synthetic_stream(self, small_dynamic_stream):
+        sets = small_dynamic_stream.insertions_only().item_sets_at(None)
+        pairs = select_evaluation_pairs(sets, top_users=30, min_common_items=1, max_pairs=50)
+        assert 0 < len(pairs) <= 50
+        for user_a, user_b in pairs:
+            assert len(sets[user_a] & sets[user_b]) >= 1
+
+
+class TestTopSimilarPairs:
+    def test_returns_requested_count(self):
+        results = top_similar_pairs(ITEM_SETS, count=2)
+        assert len(results) == 2
+
+    def test_best_pair_first(self):
+        results = top_similar_pairs(ITEM_SETS, count=3)
+        scores = [score for _, _, score in results]
+        assert scores == sorted(scores, reverse=True)
+        assert results[0][:2] == (1, 2)
+
+    def test_scores_match_exact_jaccard(self):
+        from repro.similarity.measures import jaccard_coefficient
+
+        for user_a, user_b, score in top_similar_pairs(ITEM_SETS, count=5):
+            assert score == pytest.approx(
+                jaccard_coefficient(ITEM_SETS[user_a], ITEM_SETS[user_b])
+            )
+
+    def test_zero_similarity_pairs_excluded(self):
+        results = top_similar_pairs({1: {1}, 2: {2}}, count=5)
+        assert results == []
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            top_similar_pairs(ITEM_SETS, count=0)
+
+    def test_top_users_restriction(self):
+        results = top_similar_pairs(ITEM_SETS, count=10, top_users=2)
+        assert all({a, b} <= {1, 4} for a, b, _ in results)

@@ -1,0 +1,171 @@
+"""Tests for repro.similarity.search (top-k / threshold similar-pair search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError
+from repro.similarity.search import (
+    ScoredPair,
+    nearest_neighbours,
+    pairs_above_threshold,
+    ranking_agreement,
+    top_k_similar_pairs,
+)
+from repro.streams.edge import Action, StreamElement
+
+#: A small population with a clear similarity structure: users 1 and 2 are
+#: near-duplicates, users 3 and 4 overlap partially, user 5 is unrelated.
+ITEM_SETS = {
+    1: set(range(0, 50)),
+    2: set(range(0, 48)) | {100, 101},
+    3: set(range(30, 80)),
+    4: set(range(50, 100)),
+    5: set(range(200, 230)),
+}
+
+
+def _exact_tracker() -> ExactSimilarityTracker:
+    tracker = ExactSimilarityTracker()
+    for user, items in ITEM_SETS.items():
+        for item in items:
+            tracker.process(StreamElement(user, item, Action.INSERT))
+    return tracker
+
+
+def _vos_sketch() -> VirtualOddSketch:
+    budget = MemoryBudget(baseline_registers=32, num_users=200)
+    sketch = VirtualOddSketch.from_budget(budget, seed=7)
+    for user, items in ITEM_SETS.items():
+        for item in items:
+            sketch.process(StreamElement(user, item, Action.INSERT))
+    return sketch
+
+
+class TestTopKSimilarPairs:
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_similar_pairs(_exact_tracker(), k=0)
+
+    def test_invalid_prefilter(self):
+        with pytest.raises(ConfigurationError):
+            top_k_similar_pairs(_exact_tracker(), k=1, prefilter_threshold=1.5)
+
+    def test_exact_ranking_puts_duplicates_first(self):
+        results = top_k_similar_pairs(_exact_tracker(), k=3)
+        assert (results[0].user_a, results[0].user_b) == (1, 2)
+        assert results[0].jaccard > results[1].jaccard
+
+    def test_results_sorted_descending(self):
+        results = top_k_similar_pairs(_exact_tracker(), k=5)
+        scores = [pair.jaccard for pair in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_result_count(self):
+        assert len(top_k_similar_pairs(_exact_tracker(), k=2)) == 2
+
+    def test_candidate_restriction(self):
+        results = top_k_similar_pairs(_exact_tracker(), k=10, users=[1, 2, 5])
+        pairs = {(p.user_a, p.user_b) for p in results}
+        assert pairs <= {(1, 2), (1, 5), (2, 5)}
+
+    def test_minimum_cardinality_excludes_small_users(self):
+        results = top_k_similar_pairs(_exact_tracker(), k=20, minimum_cardinality=45)
+        users_seen = {p.user_a for p in results} | {p.user_b for p in results}
+        assert 5 not in users_seen  # user 5 has only 30 items
+
+    def test_prefilter_does_not_change_top_result(self):
+        unfiltered = top_k_similar_pairs(_exact_tracker(), k=1)
+        filtered = top_k_similar_pairs(_exact_tracker(), k=1, prefilter_threshold=0.5)
+        assert unfiltered[0].user_a == filtered[0].user_a
+        assert unfiltered[0].user_b == filtered[0].user_b
+
+    def test_vos_ranking_agrees_with_exact_on_top_pair(self):
+        vos_results = top_k_similar_pairs(_vos_sketch(), k=1)
+        assert (vos_results[0].user_a, vos_results[0].user_b) == (1, 2)
+
+    def test_scored_pair_fields(self):
+        pair = top_k_similar_pairs(_exact_tracker(), k=1)[0]
+        assert isinstance(pair, ScoredPair)
+        assert pair.common_items == 48.0
+
+
+class TestNearestNeighbours:
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            nearest_neighbours(_exact_tracker(), target=1, k=0)
+        with pytest.raises(ConfigurationError):
+            nearest_neighbours(_exact_tracker(), target=999, k=2)
+
+    def test_best_neighbour_of_a_duplicate(self):
+        results = nearest_neighbours(_exact_tracker(), target=1, k=2)
+        assert results[0].user_b == 2
+        assert results[0].jaccard > results[1].jaccard
+
+    def test_target_not_in_results(self):
+        results = nearest_neighbours(_exact_tracker(), target=3, k=10)
+        assert all(pair.user_b != 3 for pair in results)
+        assert all(pair.user_a == 3 for pair in results)
+
+    def test_candidate_restriction(self):
+        results = nearest_neighbours(_exact_tracker(), target=1, k=5, candidates=[3, 4])
+        assert {pair.user_b for pair in results} <= {3, 4}
+
+    def test_vos_neighbours_match_exact_top_choice(self):
+        exact_top = nearest_neighbours(_exact_tracker(), target=1, k=1)[0].user_b
+        vos_top = nearest_neighbours(_vos_sketch(), target=1, k=1)[0].user_b
+        assert exact_top == vos_top
+
+
+class TestPairsAboveThreshold:
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            pairs_above_threshold(_exact_tracker(), threshold=-0.1)
+
+    def test_high_threshold_returns_only_duplicates(self):
+        results = pairs_above_threshold(_exact_tracker(), threshold=0.8)
+        assert [(p.user_a, p.user_b) for p in results] == [(1, 2)]
+
+    def test_zero_threshold_returns_all_pairs(self):
+        results = pairs_above_threshold(_exact_tracker(), threshold=0.0, use_prefilter=False)
+        assert len(results) == 10  # C(5, 2)
+
+    def test_prefilter_preserves_qualifying_pairs(self):
+        with_filter = pairs_above_threshold(_exact_tracker(), threshold=0.3)
+        without_filter = pairs_above_threshold(
+            _exact_tracker(), threshold=0.3, use_prefilter=False
+        )
+        key = lambda p: (p.user_a, p.user_b)
+        assert sorted(map(key, with_filter)) == sorted(map(key, without_filter))
+
+    def test_results_sorted(self):
+        results = pairs_above_threshold(_exact_tracker(), threshold=0.1)
+        scores = [pair.jaccard for pair in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRankingAgreement:
+    def test_identical_rankings_agree_fully(self):
+        ranking = top_k_similar_pairs(_exact_tracker(), k=4)
+        assert ranking_agreement(ranking, ranking) == 1.0
+
+    def test_disjoint_rankings_agree_zero(self):
+        first = [ScoredPair(1, 2, 0.9, 10)]
+        second = [ScoredPair(3, 4, 0.8, 5)]
+        assert ranking_agreement(first, second) == 0.0
+
+    def test_order_of_endpoints_does_not_matter(self):
+        first = [ScoredPair(1, 2, 0.9, 10)]
+        second = [ScoredPair(2, 1, 0.7, 9)]
+        assert ranking_agreement(first, second) == 1.0
+
+    def test_empty_rankings_agree(self):
+        assert ranking_agreement([], []) == 1.0
+
+    def test_vos_vs_exact_agreement_is_high(self):
+        exact_ranking = top_k_similar_pairs(_exact_tracker(), k=3)
+        vos_ranking = top_k_similar_pairs(_vos_sketch(), k=3)
+        assert ranking_agreement(exact_ranking, vos_ranking) >= 2 / 3

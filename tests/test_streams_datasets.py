@@ -1,0 +1,75 @@
+"""Tests for repro.streams.datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.streams.datasets import DATASET_SPECS, DatasetSpec, load_dataset
+from repro.streams.stream import GraphStream
+
+
+class TestDatasetSpecs:
+    def test_all_four_paper_datasets_present(self):
+        assert set(DATASET_SPECS) == {"youtube", "flickr", "livejournal", "orkut"}
+
+    def test_relative_ordering_matches_paper(self):
+        sizes = {name: spec.num_edges for name, spec in DATASET_SPECS.items()}
+        assert sizes["youtube"] < sizes["flickr"] < sizes["livejournal"] < sizes["orkut"]
+
+    def test_deletion_probability_is_half(self):
+        assert all(spec.deletion_probability == 0.5 for spec in DATASET_SPECS.values())
+
+    def test_scaled_reduces_sizes(self):
+        spec = DATASET_SPECS["youtube"].scaled(0.1)
+        assert spec.num_edges < DATASET_SPECS["youtube"].num_edges
+        assert spec.num_users < DATASET_SPECS["youtube"].num_users
+        assert spec.name == "youtube"
+
+    def test_scaled_has_minimum_sizes(self):
+        spec = DATASET_SPECS["youtube"].scaled(0.000001)
+        assert spec.num_users >= 10
+        assert spec.num_edges >= 20
+
+
+class TestLoadDataset:
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("not-a-dataset")
+
+    def test_name_is_case_insensitive(self):
+        stream = load_dataset("YouTube", scale=0.02)
+        assert stream.name == "youtube"
+
+    def test_dynamic_stream_has_deletions(self):
+        stream = load_dataset("youtube", scale=0.05)
+        assert stream.statistics().deletions > 0
+
+    def test_static_stream_has_no_deletions(self):
+        stream = load_dataset("youtube", scale=0.05, dynamic=False)
+        assert stream.statistics().deletions == 0
+
+    def test_stream_is_feasible(self):
+        stream = load_dataset("flickr", scale=0.03)
+        GraphStream(stream.elements)  # revalidation must not raise
+
+    def test_deletion_probability_override(self):
+        none_deleted = load_dataset("youtube", scale=0.05, deletion_probability=0.0)
+        assert none_deleted.statistics().deletions == 0
+
+    def test_deterministic(self):
+        a = load_dataset("orkut", scale=0.02)
+        b = load_dataset("orkut", scale=0.02)
+        assert list(a) == list(b)
+
+    def test_returns_graph_stream_type(self):
+        assert isinstance(load_dataset("livejournal", scale=0.02), GraphStream)
+
+
+class TestDatasetSpecDataclass:
+    def test_spec_fields(self):
+        spec = DatasetSpec(
+            name="custom", num_users=10, num_items=20, num_edges=50, deletion_period=25
+        )
+        assert spec.deletion_probability == 0.5
+        assert spec.seed == 0

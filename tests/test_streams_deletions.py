@@ -1,0 +1,131 @@
+"""Tests for repro.streams.deletions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.deletions import (
+    MassiveDeletionModel,
+    NoDeletionModel,
+    SlidingWindowDeletionModel,
+    UniformDeletionModel,
+)
+from repro.streams.stream import GraphStream, build_dynamic_stream
+
+
+def _grid_edges(num_users: int, num_items: int):
+    return [(u, i) for u in range(num_users) for i in range(num_items)]
+
+
+class TestNoDeletionModel:
+    def test_never_deletes(self):
+        model = NoDeletionModel()
+        assert list(model.deletions_after_insertion(inserted=(1, 1), live_edges=[(1, 1)], time=1)) == []
+
+
+class TestMassiveDeletionModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MassiveDeletionModel(period=0)
+        with pytest.raises(ConfigurationError):
+            MassiveDeletionModel(period=10, deletion_probability=1.5)
+
+    def test_no_deletions_before_period(self):
+        model = MassiveDeletionModel(period=100, deletion_probability=0.5, seed=1)
+        stream = build_dynamic_stream(_grid_edges(5, 10), model)
+        assert stream.statistics().deletions == 0
+
+    def test_mass_deletion_occurs_each_period(self):
+        model = MassiveDeletionModel(period=50, deletion_probability=0.5, seed=1)
+        stream = build_dynamic_stream(_grid_edges(10, 20), model)
+        stats = stream.statistics()
+        assert stats.deletions > 0
+        # Expected roughly half of the live edges at each of the events.
+        assert stats.deletions < stats.insertions
+
+    def test_probability_one_deletes_everything(self):
+        model = MassiveDeletionModel(period=10, deletion_probability=1.0, seed=1)
+        stream = build_dynamic_stream(_grid_edges(2, 10), model)
+        # After every 10th insertion all live edges are deleted.
+        sets = stream.item_sets_at(None)
+        live = sum(len(items) for items in sets.values())
+        assert live == 0
+
+    def test_probability_zero_deletes_nothing(self):
+        model = MassiveDeletionModel(period=10, deletion_probability=0.0, seed=1)
+        stream = build_dynamic_stream(_grid_edges(2, 10), model)
+        assert stream.statistics().deletions == 0
+
+    def test_deterministic_given_seed(self):
+        streams = [
+            build_dynamic_stream(
+                _grid_edges(6, 15),
+                MassiveDeletionModel(period=20, deletion_probability=0.5, seed=9),
+            )
+            for _ in range(2)
+        ]
+        assert list(streams[0]) == list(streams[1])
+
+    def test_resulting_stream_feasible(self):
+        model = MassiveDeletionModel(period=25, deletion_probability=0.7, seed=2)
+        stream = build_dynamic_stream(_grid_edges(8, 12), model)
+        GraphStream(stream.elements)  # must not raise
+
+
+class TestUniformDeletionModel:
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            UniformDeletionModel(rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            UniformDeletionModel(rate=1.1)
+
+    def test_rate_zero_never_deletes(self):
+        stream = build_dynamic_stream(_grid_edges(4, 10), UniformDeletionModel(rate=0.0))
+        assert stream.statistics().deletions == 0
+
+    def test_rate_controls_deletion_volume(self):
+        low = build_dynamic_stream(
+            _grid_edges(6, 20), UniformDeletionModel(rate=0.1, seed=3)
+        ).statistics()
+        high = build_dynamic_stream(
+            _grid_edges(6, 20), UniformDeletionModel(rate=0.8, seed=3)
+        ).statistics()
+        assert high.deletions > low.deletions
+
+    def test_feasible(self):
+        stream = build_dynamic_stream(
+            _grid_edges(5, 25), UniformDeletionModel(rate=0.6, seed=4)
+        )
+        GraphStream(stream.elements)
+
+
+class TestSlidingWindowDeletionModel:
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowDeletionModel(window=0)
+
+    def test_live_edges_never_exceed_window(self):
+        window = 15
+        stream = build_dynamic_stream(
+            _grid_edges(5, 20), SlidingWindowDeletionModel(window=window)
+        )
+        live: set[tuple[int, int]] = set()
+        for element in stream:
+            if element.is_insertion:
+                live.add(element.edge)
+            else:
+                live.discard(element.edge)
+            # Evictions are emitted immediately after the insertion that
+            # overflows the window, so transiently the live set may hold one
+            # extra edge; it must never exceed window + 1 and must settle
+            # back to the window size.
+            assert len(live) <= window + 1
+        assert len(live) <= window
+
+    def test_oldest_edges_are_evicted_first(self):
+        stream = build_dynamic_stream(
+            [(1, 1), (1, 2), (1, 3)], SlidingWindowDeletionModel(window=2)
+        )
+        deletions = [element.edge for element in stream if element.is_deletion]
+        assert deletions == [(1, 1)]

@@ -1,0 +1,65 @@
+"""Tests for repro.streams.edge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.edge import Action, StreamElement
+
+
+class TestAction:
+    def test_symbols(self):
+        assert Action.INSERT.symbol == "+"
+        assert Action.DELETE.symbol == "-"
+
+    def test_signs(self):
+        assert Action.INSERT.sign == 1
+        assert Action.DELETE.sign == -1
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("+", Action.INSERT),
+            ("-", Action.DELETE),
+            ("insert", Action.INSERT),
+            ("delete", Action.DELETE),
+            ("Subscribe", Action.INSERT),
+            ("UNSUBSCRIBE", Action.DELETE),
+            ("  + ", Action.INSERT),
+        ],
+    )
+    def test_from_symbol(self, token, expected):
+        assert Action.from_symbol(token) is expected
+
+    def test_from_symbol_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Action.from_symbol("?")
+
+
+class TestStreamElement:
+    def test_defaults_to_insertion(self):
+        element = StreamElement(1, 2)
+        assert element.is_insertion
+        assert not element.is_deletion
+
+    def test_edge_property(self):
+        assert StreamElement(3, 9, Action.DELETE).edge == (3, 9)
+
+    def test_inverted_flips_action(self):
+        element = StreamElement(1, 2, Action.INSERT)
+        assert element.inverted().action is Action.DELETE
+        assert element.inverted().inverted() == element
+
+    def test_str_contains_symbol(self):
+        assert "+" in str(StreamElement(1, 2, Action.INSERT))
+        assert "-" in str(StreamElement(1, 2, Action.DELETE))
+
+    def test_frozen(self):
+        element = StreamElement(1, 2)
+        with pytest.raises(Exception):
+            element.user = 5  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert StreamElement(1, 2) == StreamElement(1, 2, Action.INSERT)
+        assert len({StreamElement(1, 2), StreamElement(1, 2)}) == 1
+        assert StreamElement(1, 2) != StreamElement(1, 2, Action.DELETE)

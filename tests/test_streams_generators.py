@@ -1,0 +1,90 @@
+"""Tests for repro.streams.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.generators import ErdosRenyiBipartiteGenerator, PowerLawBipartiteGenerator
+
+
+class TestPowerLawGenerator:
+    def test_produces_requested_edge_count(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=50, num_items=200, num_edges=1500, seed=1
+        )
+        edges = generator.edges()
+        assert len(edges) == 1500
+
+    def test_edges_are_distinct(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=30, num_items=100, num_edges=800, seed=2
+        )
+        edges = generator.edges()
+        assert len(set(edges)) == len(edges)
+
+    def test_edges_within_bounds(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=20, num_items=40, num_edges=300, seed=3
+        )
+        for user, item in generator.edges():
+            assert 0 <= user < 20
+            assert 0 <= item < 40
+
+    def test_deterministic_given_seed(self):
+        make = lambda: PowerLawBipartiteGenerator(
+            num_users=25, num_items=60, num_edges=400, seed=11
+        ).edges()
+        assert make() == make()
+
+    def test_different_seeds_differ(self):
+        edges_a = PowerLawBipartiteGenerator(25, 60, 400, seed=1).edges()
+        edges_b = PowerLawBipartiteGenerator(25, 60, 400, seed=2).edges()
+        assert edges_a != edges_b
+
+    def test_degree_distribution_is_skewed(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=100, num_items=500, num_edges=5000, user_exponent=0.9, seed=4
+        )
+        degrees: dict[int, int] = {}
+        for user, _ in generator.edges():
+            degrees[user] = degrees.get(user, 0) + 1
+        ordered = sorted(degrees.values(), reverse=True)
+        top_decile = sum(ordered[: len(ordered) // 10])
+        assert top_decile > 0.2 * 5000  # heavy tail: top 10% of users own >20% of edges
+
+    def test_can_fill_nearly_complete_graph(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=5, num_items=5, num_edges=25, seed=5
+        )
+        assert len(generator.edges()) == 25
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawBipartiteGenerator(0, 10, 5)
+        with pytest.raises(ConfigurationError):
+            PowerLawBipartiteGenerator(10, 0, 5)
+        with pytest.raises(ConfigurationError):
+            PowerLawBipartiteGenerator(10, 10, 0)
+        with pytest.raises(ConfigurationError):
+            PowerLawBipartiteGenerator(3, 3, 10)  # more edges than pairs
+
+
+class TestErdosRenyiGenerator:
+    def test_edge_count_and_distinctness(self):
+        generator = ErdosRenyiBipartiteGenerator(
+            num_users=30, num_items=30, num_edges=500, seed=6
+        )
+        edges = generator.edges()
+        assert len(edges) == 500
+        assert len(set(edges)) == 500
+
+    def test_deterministic(self):
+        make = lambda: ErdosRenyiBipartiteGenerator(10, 10, 50, seed=9).edges()
+        assert make() == make()
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            ErdosRenyiBipartiteGenerator(0, 10, 5)
+        with pytest.raises(ConfigurationError):
+            ErdosRenyiBipartiteGenerator(2, 2, 5)

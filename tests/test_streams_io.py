@@ -1,0 +1,81 @@
+"""Tests for repro.streams.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.streams.edge import Action, StreamElement
+from repro.streams.io import read_stream, write_stream
+from repro.streams.stream import GraphStream
+
+
+def test_roundtrip(tmp_path, tiny_stream):
+    path = tmp_path / "stream.txt"
+    write_stream(tiny_stream, path)
+    loaded = read_stream(path)
+    assert list(loaded) == list(tiny_stream)
+    assert loaded.name == "stream"
+
+
+def test_read_uses_file_stem_as_default_name(tmp_path, tiny_stream):
+    path = tmp_path / "youtube-sample.txt"
+    write_stream(tiny_stream, path)
+    assert read_stream(path).name == "youtube-sample"
+
+
+def test_read_honours_explicit_name(tmp_path, tiny_stream):
+    path = tmp_path / "data.txt"
+    write_stream(tiny_stream, path)
+    assert read_stream(path, name="renamed").name == "renamed"
+
+
+def test_comments_and_blank_lines_ignored(tmp_path):
+    path = tmp_path / "hand.txt"
+    path.write_text("# comment\n\n+ 1 10\n+ 2 10\n- 1 10\n")
+    stream = read_stream(path)
+    assert len(stream) == 3
+    assert stream[2] == StreamElement(1, 10, Action.DELETE)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(DatasetError):
+        read_stream(tmp_path / "does-not-exist.txt")
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("+ 1\n")
+    with pytest.raises(DatasetError):
+        read_stream(path)
+
+
+def test_bad_action_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("? 1 2\n")
+    with pytest.raises(DatasetError):
+        read_stream(path)
+
+
+def test_non_integer_ids_raise(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("+ alice 2\n")
+    with pytest.raises(DatasetError):
+        read_stream(path)
+
+
+def test_infeasible_file_rejected_when_validating(tmp_path):
+    path = tmp_path / "infeasible.txt"
+    path.write_text("- 1 2\n")
+    from repro.exceptions import InfeasibleStreamError
+
+    with pytest.raises(InfeasibleStreamError):
+        read_stream(path)
+
+
+def test_infeasible_file_accepted_without_validation(tmp_path):
+    path = tmp_path / "infeasible.txt"
+    path.write_text("- 1 2\n")
+    stream = read_stream(path, validate=False)
+    assert isinstance(stream, GraphStream)
+    assert len(stream) == 1

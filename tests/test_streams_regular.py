@@ -1,0 +1,134 @@
+"""Tests for repro.streams.regular (the regular-graph extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactSimilarityTracker
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError, InfeasibleStreamError
+from repro.streams.edge import Action
+from repro.streams.regular import (
+    RegularEdge,
+    RegularGraphSimilarity,
+    bipartite_elements,
+    expand_regular_stream,
+)
+
+
+class TestRegularEdge:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegularEdge(3, 3)
+
+    def test_defaults_to_insertion(self):
+        assert RegularEdge(1, 2).is_insertion
+
+    def test_normalized_orders_endpoints(self):
+        assert RegularEdge(5, 2).normalized() == (2, 5)
+        assert RegularEdge(2, 5).normalized() == (2, 5)
+
+
+class TestBipartiteExpansion:
+    def test_one_event_becomes_two_elements(self):
+        first, second = bipartite_elements(RegularEdge(1, 2, Action.INSERT))
+        assert (first.user, first.item) == (1, 2)
+        assert (second.user, second.item) == (2, 1)
+        assert first.is_insertion and second.is_insertion
+
+    def test_deletion_expands_to_two_deletions(self):
+        first, second = bipartite_elements(RegularEdge(1, 2, Action.DELETE))
+        assert first.is_deletion and second.is_deletion
+
+    def test_expand_regular_stream_length_and_feasibility(self):
+        edges = [
+            RegularEdge(1, 2),
+            RegularEdge(1, 3),
+            RegularEdge(2, 3),
+            RegularEdge(1, 2, Action.DELETE),
+        ]
+        stream = expand_regular_stream(edges, name="triangle")
+        assert len(stream) == 8
+        assert stream.name == "triangle"
+        sets = stream.item_sets_at(None)
+        assert sets[1] == {3}
+        assert sets[2] == {3}
+        assert sets[3] == {1, 2}
+
+    def test_expand_rejects_infeasible_sequences(self):
+        with pytest.raises(InfeasibleStreamError):
+            expand_regular_stream([RegularEdge(1, 2), RegularEdge(1, 2)])
+        with pytest.raises(InfeasibleStreamError):
+            expand_regular_stream([RegularEdge(1, 2, Action.DELETE)])
+
+
+class TestRegularGraphSimilarity:
+    def test_common_neighbours_exact(self):
+        graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        graph.add_edge(1, 4)
+        graph.add_edge(2, 4)
+        # Nodes 1 and 2 both neighbour {3, 4} (and each other).
+        assert graph.estimate_common_neighbours(1, 2) == 2.0
+        assert graph.degree(1) == 3
+        assert graph.degree(2) == 3
+
+    def test_jaccard_exact(self):
+        graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        graph.add_edge(1, 4)
+        graph.add_edge(2, 5)
+        # neighbours: N(1) = {3, 4}, N(2) = {3, 5} -> J = 1/3
+        assert graph.estimate_jaccard(1, 2) == pytest.approx(1 / 3)
+
+    def test_deleting_edges_updates_similarity(self):
+        graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        assert graph.estimate_common_neighbours(1, 2) == 1.0
+        graph.remove_edge(1, 3)
+        assert graph.estimate_common_neighbours(1, 2) == 0.0
+        assert graph.live_edge_count == 1
+
+    def test_duplicate_insertion_rejected(self):
+        graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        graph.add_edge(1, 2)
+        with pytest.raises(ConfigurationError):
+            graph.add_edge(2, 1)  # same undirected edge
+
+    def test_deleting_absent_edge_rejected(self):
+        graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        with pytest.raises(ConfigurationError):
+            graph.remove_edge(1, 2)
+
+    def test_estimate_pair_record(self):
+        graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        record = graph.estimate_pair(1, 2)
+        assert record.common_items == 1.0
+        assert 0.0 <= record.jaccard <= 1.0
+
+    def test_with_vos_sketch_tracks_exact(self):
+        """VOS over the expanded stream approximates the exact neighbour Jaccard."""
+        import random
+
+        rng = random.Random(3)
+        budget = MemoryBudget(baseline_registers=16, num_users=300)
+        vos_graph = RegularGraphSimilarity(VirtualOddSketch.from_budget(budget, seed=1))
+        exact_graph = RegularGraphSimilarity(ExactSimilarityTracker())
+        edges = set()
+        # Two hub nodes sharing most of their neighbourhoods.
+        for neighbour in range(10, 150):
+            for hub in (0, 1):
+                if rng.random() < 0.8:
+                    edges.add((hub, neighbour))
+        for hub, neighbour in sorted(edges):
+            vos_graph.add_edge(hub, neighbour)
+            exact_graph.add_edge(hub, neighbour)
+        true_jaccard = exact_graph.estimate_jaccard(0, 1)
+        assert vos_graph.estimate_jaccard(0, 1) == pytest.approx(true_jaccard, abs=0.15)

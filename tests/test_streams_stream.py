@@ -1,0 +1,122 @@
+"""Tests for repro.streams.stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleStreamError
+from repro.streams.edge import Action, StreamElement
+from repro.streams.deletions import NoDeletionModel, UniformDeletionModel
+from repro.streams.stream import GraphStream, build_dynamic_stream
+
+
+class TestFeasibilityValidation:
+    def test_duplicate_insertion_rejected(self):
+        with pytest.raises(InfeasibleStreamError) as excinfo:
+            GraphStream(
+                [
+                    StreamElement(1, 2, Action.INSERT),
+                    StreamElement(1, 2, Action.INSERT),
+                ]
+            )
+        assert excinfo.value.time == 2
+
+    def test_deletion_of_absent_edge_rejected(self):
+        with pytest.raises(InfeasibleStreamError):
+            GraphStream([StreamElement(1, 2, Action.DELETE)])
+
+    def test_reinsertion_after_deletion_allowed(self):
+        stream = GraphStream(
+            [
+                StreamElement(1, 2, Action.INSERT),
+                StreamElement(1, 2, Action.DELETE),
+                StreamElement(1, 2, Action.INSERT),
+            ]
+        )
+        assert len(stream) == 3
+
+    def test_validation_can_be_disabled(self):
+        stream = GraphStream(
+            [StreamElement(1, 2, Action.DELETE)], validate=False
+        )
+        assert len(stream) == 1
+
+
+class TestReplay:
+    def test_item_sets_full_replay(self, tiny_stream):
+        sets = tiny_stream.item_sets_at(None)
+        assert sets[1] == {10, 12}
+        assert sets[2] == {10}
+        assert sets[3] == {10}
+
+    def test_item_sets_prefix(self, tiny_stream):
+        sets = tiny_stream.item_sets_at(2)
+        assert sets[1] == {10, 11}
+        assert 2 not in sets
+
+    def test_item_sets_time_zero_is_empty(self, tiny_stream):
+        assert tiny_stream.item_sets_at(0) == {}
+
+    def test_users_and_items(self, tiny_stream):
+        assert tiny_stream.users() == {1, 2, 3}
+        assert tiny_stream.items() == {10, 11, 12}
+
+    def test_statistics(self, tiny_stream):
+        stats = tiny_stream.statistics()
+        assert stats.length == 8
+        assert stats.insertions == 6
+        assert stats.deletions == 2
+        assert stats.distinct_users == 3
+        assert stats.distinct_items == 3
+        assert stats.live_edges == 4
+        assert stats.deletion_fraction == pytest.approx(0.25)
+
+
+class TestTransformations:
+    def test_prefix(self, tiny_stream):
+        prefix = tiny_stream.prefix(3)
+        assert len(prefix) == 3
+        assert prefix[0] == tiny_stream[0]
+
+    def test_insertions_only_drops_deletions(self, tiny_stream):
+        insert_only = tiny_stream.insertions_only()
+        assert all(element.is_insertion for element in insert_only)
+        # deleted-then-reinserted edges appear only once
+        assert len(insert_only) == 6
+
+    def test_checkpoints_count_and_bounds(self, tiny_stream):
+        points = tiny_stream.checkpoints(4)
+        assert points[-1] == len(tiny_stream)
+        assert all(1 <= p <= len(tiny_stream) for p in points)
+        assert points == sorted(points)
+
+    def test_checkpoints_zero_or_empty(self, tiny_stream):
+        assert tiny_stream.checkpoints(0) == []
+        assert GraphStream([]).checkpoints(3) == []
+
+
+class TestBuildDynamicStream:
+    def test_insertion_only_when_no_model(self):
+        edges = [(1, 1), (1, 2), (2, 1)]
+        stream = build_dynamic_stream(edges, None, name="s")
+        assert len(stream) == 3
+        assert all(element.is_insertion for element in stream)
+
+    def test_duplicate_edges_skipped(self):
+        stream = build_dynamic_stream([(1, 1), (1, 1), (1, 2)], None)
+        assert len(stream) == 2
+
+    def test_with_no_deletion_model_object(self):
+        stream = build_dynamic_stream([(1, 1), (2, 2)], NoDeletionModel())
+        assert stream.statistics().deletions == 0
+
+    def test_resulting_stream_is_feasible(self):
+        edges = [(u, i) for u in range(10) for i in range(20)]
+        stream = build_dynamic_stream(
+            edges, UniformDeletionModel(rate=0.5, seed=3), name="churn"
+        )
+        # Revalidating must not raise.
+        GraphStream(stream.elements)
+
+    def test_name_is_kept(self):
+        assert build_dynamic_stream([(1, 1)], None, name="mystream").name == "mystream"
