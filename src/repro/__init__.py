@@ -10,6 +10,8 @@ Guan — ICDE 2019).  It provides:
 * a fully dynamic bipartite graph-stream substrate with synthetic datasets and
   Trièst-style massive deletions (:mod:`repro.streams`);
 * a similarity engine and pair-selection utilities (:mod:`repro.similarity`);
+* a service layer — batch-vectorized ingest, user-sharded VOS, versioned
+  snapshots, and the :class:`SimilarityService` facade (:mod:`repro.service`);
 * the evaluation harness regenerating the paper's figures (:mod:`repro.evaluation`);
 * analytical companions for bias/variance (:mod:`repro.analysis`).
 
@@ -33,6 +35,13 @@ from repro.baselines import (
 )
 from repro.core import MemoryBudget, SharedBitArray, VirtualOddSketch
 from repro.evaluation import AccuracyExperiment, ExperimentConfig, RuntimeExperiment
+from repro.service import (
+    ServiceConfig,
+    ShardedVOS,
+    SimilarityService,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.similarity import SimilarityEngine, build_sketch, sketch_registry
 from repro.streams import (
     Action,
@@ -60,6 +69,11 @@ __all__ = [
     "SimilarityEngine",
     "build_sketch",
     "sketch_registry",
+    "ShardedVOS",
+    "ServiceConfig",
+    "SimilarityService",
+    "save_snapshot",
+    "load_snapshot",
     "Action",
     "StreamElement",
     "GraphStream",

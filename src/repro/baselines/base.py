@@ -15,8 +15,10 @@ The contract mirrors the quantities in the paper:
 from __future__ import annotations
 
 import abc
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.exceptions import UnknownUserError
 from repro.streams.edge import StreamElement, UserId
@@ -100,6 +102,64 @@ class SimilaritySketch(abc.ABC):
         """Consume every element of an iterable (convenience wrapper)."""
         for element in elements:
             self.process(element)
+
+    def process_batch(self, elements: Sequence[StreamElement]) -> int:
+        """Consume a batch of stream elements and return how many were processed.
+
+        The contract is *state equivalence*: after ``process_batch(batch)`` the
+        sketch must be in exactly the state that per-element
+        :meth:`process` calls over the same batch would have produced.  The
+        default implementation is the per-element loop; sketches with a
+        vectorized fast path (VOS) override it.  The service layer
+        (:mod:`repro.service`) feeds all ingest through this hook.
+        """
+        count = 0
+        for element in elements:
+            self.process(element)
+            count += 1
+        return count
+
+    def _fold_cardinality_deltas(
+        self,
+        unique_users: np.ndarray,
+        inverse: np.ndarray,
+        deltas: np.ndarray,
+    ) -> None:
+        """Apply a batch of per-element cardinality deltas exactly.
+
+        ``unique_users``/``inverse`` come from ``np.unique(users,
+        return_inverse=True)`` over the batch's user column and ``deltas`` is
+        ``+1`` per insertion / ``-1`` per deletion in batch order.  The
+        per-element recurrence is ``c := c + 1`` on insert and ``c := max(0, c
+        - 1)`` on delete; the fold applies each user's net delta in one shot
+        and only replays the rare users whose running counter would have been
+        clamped at zero mid-batch, so the result is identical to the
+        per-element loop for every input.
+        """
+        counts = np.bincount(inverse)
+        order = np.argsort(inverse, kind="stable")
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        sorted_deltas = deltas[order]
+        prefix = np.cumsum(sorted_deltas)
+        group_base = np.concatenate(([0], prefix[ends[:-1] - 1]))
+        within = prefix - np.repeat(group_base, counts)
+        minima = np.minimum.reduceat(within, starts)
+        totals = within[ends - 1]
+        users_list = unique_users.tolist()
+        initial = np.fromiter(
+            (self._cardinalities.get(user, 0) for user in users_list),
+            dtype=np.int64,
+            count=len(users_list),
+        )
+        finals = initial + totals
+        for index in np.flatnonzero(initial + minima < 0).tolist():
+            value = int(initial[index])
+            for delta in sorted_deltas[starts[index] : ends[index]].tolist():
+                value = value + delta if delta > 0 else max(0, value + delta)
+            finals[index] = value
+        for user, value in zip(users_list, finals.tolist()):
+            self._cardinalities[user] = value
 
     @abc.abstractmethod
     def _process_insertion(self, element: StreamElement) -> None:

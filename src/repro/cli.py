@@ -11,6 +11,16 @@ Usage (after ``pip install -e .``)::
     repro figure3d --scale 0.1           # ARMSE across datasets
     repro bias --rates 0.0 0.2 0.4       # sampling-bias ablation (A3)
 
+Service commands (the :mod:`repro.service` subsystem)::
+
+    repro ingest --stream edges.txt --snapshot state.vos --shards 4
+    repro topk --snapshot state.vos --user 17 -k 10
+
+``ingest`` reads a stream file (``<action> <user> <item>`` per line, see
+:mod:`repro.streams.io`), feeds it through the sharded batch-vectorized VOS
+service and snapshots the resulting sketch state; ``topk`` answers nearest-
+neighbour queries against a snapshot without re-reading the stream.
+
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
 """
@@ -32,10 +42,13 @@ from repro.evaluation.reporting import (
 )
 from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
 from repro.evaluation.runtime import RuntimeExperiment
+from repro.exceptions import ReproError
+from repro.service import ServiceConfig, SimilarityService
 from repro.similarity.engine import build_sketch
 from repro.similarity.pairs import top_cardinality_users
 from repro.similarity.search import top_k_similar_pairs
 from repro.streams.datasets import DATASET_SPECS, load_dataset
+from repro.streams.io import read_stream
 
 _DEFAULT_DATASETS = ("youtube", "flickr", "livejournal", "orkut")
 
@@ -158,6 +171,56 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a stream file through the sharded service and snapshot the state."""
+    stream = read_stream(args.stream, validate=not args.no_validate)
+    config = ServiceConfig(
+        expected_users=max(1, len(stream.users())),
+        baseline_registers=args.registers,
+        num_shards=args.shards,
+        seed=args.seed,
+        batch_size=args.batch_size,
+    )
+    service = SimilarityService.from_config(config)
+    report = service.ingest(stream)
+    service.save(args.snapshot)
+    stats = service.stats()
+    rows = [
+        ["stream", stream.name],
+        ["elements", report.elements],
+        ["batches", report.batches],
+        ["elements/sec", round(report.elements_per_second)],
+        ["users", stats["users"]],
+        ["shards", stats["num_shards"]],
+        ["memory bits", stats["memory_bits"]],
+        ["beta", stats["beta"]],
+        ["snapshot", str(args.snapshot)],
+    ]
+    headers = ["field", "value"]
+    print(f"# ingested {report.elements} elements into {stats['num_shards']} shards")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    """Answer a top-k similar-user query against a saved snapshot."""
+    try:
+        service = SimilarityService.load(args.snapshot)
+        neighbours = service.top_k(
+            args.user, k=args.k, minimum_cardinality=args.min_cardinality
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        [pair.user_b, pair.jaccard, pair.common_items] for pair in neighbours
+    ]
+    headers = ["user", "jaccard", "common items"]
+    print(f"# top-{args.k} users most similar to user {args.user}")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     rows = []
     methods = ("MinHash", "OPH", "RP", "VOS")
@@ -236,6 +299,41 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--top-users", type=int, default=40, help="candidate users")
     search_parser.add_argument("-k", type=int, default=10, dest="k", help="pairs to return")
     search_parser.set_defaults(handler=_cmd_search)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest", help="batch-ingest a stream file and snapshot the service state"
+    )
+    ingest_parser.add_argument("--stream", required=True, help="stream file to ingest")
+    ingest_parser.add_argument(
+        "--snapshot", required=True, help="where to write the sketch snapshot"
+    )
+    ingest_parser.add_argument("--shards", type=int, default=4, help="VOS shards")
+    ingest_parser.add_argument(
+        "--registers", type=int, default=24, help="baseline sketch size k for the budget"
+    )
+    ingest_parser.add_argument(
+        "--batch-size", type=int, default=8192, help="ingest batch size"
+    )
+    ingest_parser.add_argument("--seed", type=int, default=0, help="sketch seed")
+    ingest_parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip stream feasibility validation while reading",
+    )
+    ingest_parser.add_argument("--csv", action="store_true")
+    ingest_parser.set_defaults(handler=_cmd_ingest)
+
+    topk_parser = subparsers.add_parser(
+        "topk", help="query a snapshot for a user's most similar users"
+    )
+    topk_parser.add_argument("--snapshot", required=True, help="snapshot to query")
+    topk_parser.add_argument("--user", type=int, required=True, help="query user id")
+    topk_parser.add_argument("-k", type=int, default=10, dest="k", help="neighbours")
+    topk_parser.add_argument(
+        "--min-cardinality", type=int, default=1, help="ignore smaller users"
+    )
+    topk_parser.add_argument("--csv", action="store_true")
+    topk_parser.set_defaults(handler=_cmd_topk)
 
     bias_parser = subparsers.add_parser("bias", help="sampling-bias ablation (A3)")
     bias_parser.add_argument(

@@ -60,6 +60,23 @@ class SharedBitArray:
         """Read ``A[position]``."""
         return self._bits[position]
 
+    def xor_bulk(self, positions) -> int:
+        """Xor 1 into every listed position at once (repeats fold modulo 2).
+
+        This is the write primitive of the batched ingest path: a whole batch
+        of stream elements collapses into one call, with ``beta`` kept exact.
+        Returns the number of bits actually flipped.
+        """
+        return self._bits.xor_bulk(positions)
+
+    def to_packed_bytes(self) -> bytes:
+        """Serialize the array 8 bits per byte (used by snapshots)."""
+        return self._bits.to_packed_bytes()
+
+    def load_packed_bytes(self, data: bytes) -> None:
+        """Restore the array from :meth:`to_packed_bytes` output (bit-exact)."""
+        self._bits.load_packed_bytes(data)
+
     @property
     def ones_count(self) -> int:
         """Number of set bits in ``A``."""

@@ -82,13 +82,47 @@ def estimate_symmetric_difference(
     float
         The (non-negative) symmetric-difference estimate ``n̂_Δ``.
     """
-    _validate_inputs(sketch_size, beta)
+    return estimate_symmetric_difference_cross(
+        alpha, beta, beta, sketch_size, strict=strict
+    )
+
+
+def estimate_symmetric_difference_cross(
+    alpha: float,
+    beta_a: float,
+    beta_b: float,
+    sketch_size: int,
+    *,
+    strict: bool = False,
+) -> float:
+    """Two-array generalization of :func:`estimate_symmetric_difference`.
+
+    When the two users' virtual sketches are recovered from *different* shared
+    arrays (sharded VOS), the contamination of ``Ô_u`` is governed by the fill
+    fraction ``beta_a`` of the first array and that of ``Ô_v`` by ``beta_b`` of
+    the second.  Each independent contamination contributes one ``(1 - 2 beta)``
+    attenuation factor, so the model becomes
+
+        E[alpha] ≈ (1 - (1 - 2 beta_a)(1 - 2 beta_b) exp(-2 n_Δ / k)) / 2
+
+    which inverts to
+
+        n̂_Δ = -k (ln|1 - 2 alpha| - ln|1 - 2 beta_a| - ln|1 - 2 beta_b|) / 2.
+
+    With ``beta_a == beta_b`` this reduces exactly (including floating-point
+    behaviour) to the paper's single-array estimator.
+    """
+    _validate_inputs(sketch_size, beta_a)
+    if not 0.0 <= beta_b <= 1.0:
+        raise ConfigurationError(f"beta must be in [0, 1], got {beta_b}")
     if not 0.0 <= alpha <= 1.0:
         raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
     floor = 1.0 / (2.0 * sketch_size)
     log_alpha_term = _safe_log_one_minus_two(alpha, floor=floor, strict=strict)
-    log_beta_term = _safe_log_one_minus_two(beta, floor=floor, strict=strict)
-    estimate = -sketch_size * (log_alpha_term - 2.0 * log_beta_term) / 2.0
+    log_beta_terms = _safe_log_one_minus_two(
+        beta_a, floor=floor, strict=strict
+    ) + _safe_log_one_minus_two(beta_b, floor=floor, strict=strict)
+    estimate = -sketch_size * (log_alpha_term - log_beta_terms) / 2.0
     return max(0.0, estimate)
 
 
@@ -120,6 +154,29 @@ def estimate_common_items(
     return estimate
 
 
+def estimate_common_items_cross(
+    alpha: float,
+    beta_a: float,
+    beta_b: float,
+    sketch_size: int,
+    cardinality_a: int,
+    cardinality_b: int,
+    *,
+    strict: bool = False,
+    clamp: bool = True,
+) -> float:
+    """Two-array generalization of :func:`estimate_common_items` (sharded VOS)."""
+    if cardinality_a < 0 or cardinality_b < 0:
+        raise ConfigurationError("cardinalities must be non-negative")
+    n_delta = estimate_symmetric_difference_cross(
+        alpha, beta_a, beta_b, sketch_size, strict=strict
+    )
+    estimate = (cardinality_a + cardinality_b - n_delta) / 2.0
+    if clamp:
+        estimate = min(float(min(cardinality_a, cardinality_b)), max(0.0, estimate))
+    return estimate
+
+
 def estimate_jaccard(
     alpha: float,
     beta: float,
@@ -130,9 +187,26 @@ def estimate_jaccard(
     strict: bool = False,
 ) -> float:
     """Estimate the Jaccard coefficient ``Ĵ = ŝ / (n_u + n_v - ŝ)``, clamped to [0, 1]."""
-    common = estimate_common_items(
+    return estimate_jaccard_cross(
+        alpha, beta, beta, sketch_size, cardinality_a, cardinality_b, strict=strict
+    )
+
+
+def estimate_jaccard_cross(
+    alpha: float,
+    beta_a: float,
+    beta_b: float,
+    sketch_size: int,
+    cardinality_a: int,
+    cardinality_b: int,
+    *,
+    strict: bool = False,
+) -> float:
+    """Two-array generalization of :func:`estimate_jaccard` (sharded VOS)."""
+    common = estimate_common_items_cross(
         alpha,
-        beta,
+        beta_a,
+        beta_b,
         sketch_size,
         cardinality_a,
         cardinality_b,

@@ -53,3 +53,12 @@ class EstimationError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset file or synthetic dataset specification could not be used."""
+
+
+class SnapshotError(ReproError):
+    """A sketch snapshot could not be written or restored.
+
+    Raised for unrecognized or truncated snapshot files, unsupported format
+    versions, payload corruption (checksum mismatch) and sketch state that the
+    snapshot format cannot represent (e.g. non-integer user identifiers).
+    """

@@ -95,6 +95,33 @@ class PackedBitArray:
         idx = np.fromiter(indices, dtype=np.int64)
         return self._bits[idx]
 
+    def xor_bulk(self, positions) -> int:
+        """Xor 1 into every listed position at once, keeping the popcount exact.
+
+        ``positions`` may contain repeats: toggling the same bit twice cancels,
+        so repeated occurrences are folded modulo 2 (sort-based count fold)
+        before a single vectorized xor is applied.  This is the bulk analogue
+        of calling :meth:`flip` once per position and leaves the array in a
+        bit-identical state.  Returns the number of bits actually flipped.
+        """
+        pos = np.asarray(positions, dtype=np.int64).ravel()
+        if pos.size == 0:
+            return 0
+        if int(pos.min()) < 0 or int(pos.max()) >= len(self):
+            raise IndexError(
+                f"bit position out of range [0, {len(self)}) in xor_bulk"
+            )
+        # Sort-based fold: for the typical batch the position count is far
+        # below the array length, so np.unique beats an array-length bincount.
+        unique_positions, counts = np.unique(pos, return_counts=True)
+        odd = unique_positions[(counts & 1).astype(bool)]
+        if odd.size == 0:
+            return 0
+        previously_set = int(self._bits[odd].sum(dtype=np.int64))
+        self._bits[odd] ^= 1
+        self._ones += int(odd.size) - 2 * previously_set
+        return int(odd.size)
+
     def to_list(self) -> list[int]:
         """Return the bit values as a plain Python list."""
         return [int(b) for b in self._bits]
@@ -103,6 +130,25 @@ class PackedBitArray:
         """Reset every bit to zero."""
         self._bits[:] = 0
         self._ones = 0
+
+    def to_packed_bytes(self) -> bytes:
+        """Serialize the bits 8-per-byte (``ceil(len/8)`` bytes, big-endian bit order)."""
+        return np.packbits(self._bits).tobytes()
+
+    def load_packed_bytes(self, data: bytes) -> None:
+        """Restore state previously produced by :meth:`to_packed_bytes`.
+
+        The byte string must describe exactly ``len(self)`` bits; the running
+        popcount is recomputed so the round trip is bit-exact.
+        """
+        expected = (len(self) + 7) // 8
+        if len(data) != expected:
+            raise ConfigurationError(
+                f"packed payload holds {len(data)} bytes, expected {expected}"
+            )
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=len(self))
+        self._bits = bits
+        self._ones = int(bits.sum(dtype=np.int64))
 
     def memory_bits(self) -> int:
         """Memory this array accounts for under the paper's cost model (1 bit/position)."""

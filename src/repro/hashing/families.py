@@ -17,8 +17,16 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
-from repro.hashing.universal import UniversalHash, stable_hash64
+from repro.hashing.universal import (
+    UniversalHash,
+    _affine_mod_mersenne,
+    fingerprint64,
+    fingerprint64_array,
+    stable_hash64,
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,8 @@ class HashFamily:
     range_size: int
     seed: int = 0
     _members: tuple[IndexedHash, ...] = field(init=False, repr=False, compare=False)
+    _coeff_a: np.ndarray = field(init=False, repr=False, compare=False)
+    _coeff_b: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -93,6 +103,13 @@ class HashFamily:
             for j in range(self.size)
         )
         object.__setattr__(self, "_members", members)
+        coefficients = [member.hash_function._coefficients for member in members]
+        object.__setattr__(
+            self, "_coeff_a", np.array([a for a, _ in coefficients], dtype=np.uint64)
+        )
+        object.__setattr__(
+            self, "_coeff_b", np.array([b for _, b in coefficients], dtype=np.uint64)
+        )
 
     def __len__(self) -> int:
         return self.size
@@ -106,6 +123,34 @@ class HashFamily:
     def apply_all(self, key: object) -> list[int]:
         """Hash ``key`` with every member function and return the values in order."""
         return [member(key) for member in self._members]
+
+    def apply_all_array(self, key: object) -> np.ndarray:
+        """Vectorized :meth:`apply_all`: all member values for one key as ``int64``.
+
+        Bit-exact with the scalar members (``apply_all_array(k)[j] ==
+        self[j](k)``) but evaluates the whole family with a handful of numpy
+        operations, which is what makes gathering a user's ``k`` virtual-bit
+        positions cheap in the VOS hot paths.
+        """
+        fingerprint = np.uint64(fingerprint64(key))
+        wide = _affine_mod_mersenne(fingerprint, self._coeff_a, self._coeff_b)
+        return (wide % np.uint64(self.range_size)).astype(np.int64)
+
+    def hash_pairs(self, keys, member_indices) -> np.ndarray:
+        """Evaluate ``self[member_indices[i]](keys[i])`` for a whole batch at once.
+
+        ``keys`` is an integer-key array and ``member_indices`` selects which
+        family member hashes each key.  This is the shape of the VOS batch
+        update — position ``f_{psi(item)}(user)`` for every element — and runs
+        as one vectorized affine step over the selected coefficient pairs,
+        bit-exact with the scalar members.  Returns ``int64`` values.
+        """
+        wide = _affine_mod_mersenne(
+            fingerprint64_array(keys),
+            self._coeff_a[member_indices],
+            self._coeff_b[member_indices],
+        )
+        return (wide % np.uint64(self.range_size)).astype(np.int64)
 
     def min_index(self, key: object) -> int:
         """Return the index of the member giving ``key`` its smallest wide hash.

@@ -1,0 +1,44 @@
+"""The similarity *service* layer: batch ingest, sharding, snapshots, serving.
+
+The core package proves the paper's sketch; this package turns it into a
+system component.  Four pieces compose:
+
+* :mod:`repro.service.batching` — fixed-size batch assembly and timed batch
+  ingest through the sketches' ``process_batch`` fast path;
+* :mod:`repro.service.sharding` — :class:`ShardedVOS`, hash-partitioning users
+  across independent VOS shards with sound cross-shard pair estimates;
+* :mod:`repro.service.snapshot` — versioned, checksummed binary save/load of
+  sketch state with a bit-exact round-trip guarantee;
+* :mod:`repro.service.service` — :class:`SimilarityService`, the facade that
+  owns a sharded sketch and exposes ``ingest`` / ``estimate`` / ``top_k`` plus
+  snapshot persistence (wired to the ``repro ingest`` / ``repro topk`` CLI).
+"""
+
+from repro.service.batching import (
+    DEFAULT_BATCH_SIZE,
+    IngestReport,
+    ingest_stream,
+    iter_batches,
+)
+from repro.service.service import ServiceConfig, SimilarityService
+from repro.service.sharding import ShardedVOS
+from repro.service.snapshot import (
+    dumps_snapshot,
+    load_snapshot,
+    loads_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "IngestReport",
+    "ingest_stream",
+    "iter_batches",
+    "ShardedVOS",
+    "ServiceConfig",
+    "SimilarityService",
+    "save_snapshot",
+    "load_snapshot",
+    "dumps_snapshot",
+    "loads_snapshot",
+]

@@ -1,0 +1,91 @@
+"""Batch assembly and timed batch ingest.
+
+The service layer never feeds sketches element by element: stream elements are
+grouped into fixed-size batches and handed to
+:meth:`~repro.baselines.base.SimilaritySketch.process_batch`, which sketches
+with a vectorized fast path (VOS, sharded VOS) turn into a handful of numpy
+operations.  This module owns the two pieces every caller needs:
+
+* :func:`iter_batches` — chop any element iterable into lists of a fixed size;
+* :func:`ingest_stream` — drive a sketch over a whole stream batch-by-batch
+  and return an :class:`IngestReport` with throughput figures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.baselines.base import SimilaritySketch
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import StreamElement
+
+#: Default ingest batch size used by the service layer and the CLI.
+DEFAULT_BATCH_SIZE = 8192
+
+
+def iter_batches(
+    elements: Iterable[StreamElement], batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[list[StreamElement]]:
+    """Yield consecutive lists of up to ``batch_size`` elements.
+
+    Order is preserved and every element appears in exactly one batch, so
+    feeding the batches to ``process_batch`` is state-equivalent to feeding
+    the original iterable to per-element ``process``.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    batch: list[StreamElement] = []
+    for element in elements:
+        batch.append(element)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Throughput accounting for one ingest run.
+
+    Attributes
+    ----------
+    elements:
+        Stream elements consumed.
+    batches:
+        Number of batches they were grouped into.
+    seconds:
+        Wall-clock time spent inside ``process_batch`` calls (plus batch
+        assembly).
+    """
+
+    elements: int
+    batches: int
+    seconds: float
+
+    @property
+    def elements_per_second(self) -> float:
+        """Ingest throughput; 0 when nothing was processed."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.elements / self.seconds
+
+
+def ingest_stream(
+    sketch: SimilaritySketch,
+    elements: Iterable[StreamElement],
+    *,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> IngestReport:
+    """Feed ``elements`` to ``sketch`` in batches and report throughput."""
+    start = time.perf_counter()
+    total = 0
+    batches = 0
+    for batch in iter_batches(elements, batch_size):
+        total += sketch.process_batch(batch)
+        batches += 1
+    return IngestReport(
+        elements=total, batches=batches, seconds=time.perf_counter() - start
+    )

@@ -1,0 +1,184 @@
+"""The streaming similarity service facade.
+
+:class:`SimilarityService` is the "production" entry point the service
+subsystem exists for: it owns a (usually sharded) VOS sketch, ingests stream
+elements in vectorized batches, answers pairwise and top-k similarity queries,
+and persists itself to versioned binary snapshots so a restarted process picks
+up exactly where the previous one stopped.
+
+    >>> from repro.service import ServiceConfig, SimilarityService
+    >>> from repro.streams import Action, StreamElement
+    >>> service = SimilarityService.from_config(ServiceConfig(expected_users=100))
+    >>> batch = [StreamElement(u, i, Action.INSERT) for u in (1, 2) for i in range(30)]
+    >>> report = service.ingest(batch)
+    >>> report.elements
+    60
+    >>> round(service.estimate(1, 2).jaccard, 1)
+    1.0
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.baselines.base import PairEstimate
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError
+from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stream
+from repro.service.sharding import ShardedVOS
+from repro.service.snapshot import load_snapshot, save_snapshot
+from repro.similarity.search import ScoredPair, nearest_neighbours, top_k_similar_pairs
+from repro.streams.edge import StreamElement, UserId
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Sizing and behaviour of a :class:`SimilarityService`.
+
+    The memory side follows the paper's cost model: the service is provisioned
+    as if each of ``expected_users`` users kept ``baseline_registers``
+    registers of ``register_bits`` bits, and that total budget is split evenly
+    across ``num_shards`` VOS shards (λ = ``size_multiplier`` as in the
+    paper's experiments).
+    """
+
+    expected_users: int
+    baseline_registers: int = 24
+    num_shards: int = 4
+    register_bits: int = 32
+    size_multiplier: float = 2.0
+    seed: int = 0
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def budget(self) -> MemoryBudget:
+        """The equal-memory budget this configuration provisions."""
+        return MemoryBudget(
+            baseline_registers=self.baseline_registers,
+            num_users=max(1, self.expected_users),
+            register_bits=self.register_bits,
+        )
+
+
+class SimilarityService:
+    """Batch-ingesting, snapshot-able similarity service over a VOS sketch.
+
+    Parameters
+    ----------
+    sketch:
+        The sketch to serve — a :class:`~repro.service.sharding.ShardedVOS`
+        (recommended) or a plain :class:`~repro.core.vos.VirtualOddSketch`.
+    batch_size:
+        Batch size used by :meth:`ingest`.
+    """
+
+    def __init__(
+        self,
+        sketch: ShardedVOS | VirtualOddSketch,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        self._sketch = sketch
+        self._batch_size = batch_size
+        self._elements_ingested = 0
+        self._batches_ingested = 0
+
+    @classmethod
+    def from_config(cls, config: ServiceConfig) -> "SimilarityService":
+        """Provision a sharded service under the configuration's memory budget."""
+        sketch = ShardedVOS.from_budget(
+            config.budget(),
+            num_shards=config.num_shards,
+            size_multiplier=config.size_multiplier,
+            seed=config.seed,
+        )
+        return cls(sketch, batch_size=config.batch_size)
+
+    # -- ingest ----------------------------------------------------------------------
+
+    def ingest(self, elements: Iterable[StreamElement]) -> IngestReport:
+        """Consume stream elements in vectorized batches; returns throughput."""
+        report = ingest_stream(self._sketch, elements, batch_size=self._batch_size)
+        self._elements_ingested += report.elements
+        self._batches_ingested += report.batches
+        return report
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def sketch(self) -> ShardedVOS | VirtualOddSketch:
+        """The underlying sketch (exposed for snapshots, tests and tooling)."""
+        return self._sketch
+
+    @property
+    def elements_ingested(self) -> int:
+        """Total stream elements this service instance has consumed."""
+        return self._elements_ingested
+
+    def estimate(self, user_a: UserId, user_b: UserId) -> PairEstimate:
+        """Both similarity estimates for one user pair."""
+        return self._sketch.estimate_pair(user_a, user_b)
+
+    def top_k(
+        self,
+        user: UserId,
+        *,
+        k: int = 10,
+        candidates: Iterable[UserId] | None = None,
+        minimum_cardinality: int = 1,
+    ) -> list[ScoredPair]:
+        """The ``k`` users most similar to ``user`` (via :mod:`repro.similarity.search`)."""
+        return nearest_neighbours(
+            self._sketch,
+            user,
+            k=k,
+            candidates=candidates,
+            minimum_cardinality=minimum_cardinality,
+        )
+
+    def top_k_pairs(
+        self,
+        *,
+        k: int = 10,
+        users: Iterable[UserId] | None = None,
+        minimum_cardinality: int = 1,
+    ) -> list[ScoredPair]:
+        """The ``k`` most similar pairs among ``users`` (all users by default)."""
+        return top_k_similar_pairs(
+            self._sketch, k=k, users=users, minimum_cardinality=minimum_cardinality
+        )
+
+    def stats(self) -> dict:
+        """Operational summary: ingest counters, users, memory, shard fill."""
+        sketch = self._sketch
+        stats: dict = {
+            "elements_ingested": self._elements_ingested,
+            "batches_ingested": self._batches_ingested,
+            "batch_size": self._batch_size,
+            "users": len(sketch.users()),
+            "memory_bits": sketch.memory_bits(),
+            "beta": sketch.beta,
+        }
+        if isinstance(sketch, ShardedVOS):
+            stats["num_shards"] = sketch.num_shards
+            stats["shard_betas"] = sketch.betas()
+        else:
+            stats["num_shards"] = 1
+        return stats
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Snapshot the sketch state to ``path`` (bit-exact restore guaranteed)."""
+        save_snapshot(self._sketch, path)
+
+    @classmethod
+    def load(
+        cls, path: str | Path, *, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> "SimilarityService":
+        """Restore a service from a snapshot written by :meth:`save`."""
+        return cls(load_snapshot(path), batch_size=batch_size)

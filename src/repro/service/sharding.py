@@ -1,0 +1,274 @@
+"""Hash-partitioned VOS: N independent shards behind one sketch interface.
+
+A single VOS instance serializes every update through one shared bit array.
+:class:`ShardedVOS` partitions *users* across ``num_shards`` independent
+:class:`~repro.core.vos.VirtualOddSketch` instances — each with its own
+``m/N``-bit array and its own fill fraction ``beta`` — and routes every update
+and query to the owning shard.  This is the scaling unit for the service
+layer: shards share no mutable state, so they can later be ingested
+concurrently or moved to separate processes without changing this interface.
+
+Every shard is constructed with the *same* seed, hence the same item hash
+``psi`` and the same user-hash family: virtual bit ``j`` means the same thing
+in every shard, which is what makes **cross-shard pair queries** sound.  For a
+pair living on shards ``a`` and ``b`` the recovered sketches are contaminated
+by two different fill fractions, and the estimate uses the two-array
+generalization of the paper's inversion
+(:func:`repro.core.estimators.estimate_symmetric_difference_cross`):
+
+    E[alpha] ≈ (1 - (1 - 2 beta_a)(1 - 2 beta_b) exp(-2 n_Δ / k)) / 2.
+
+With one shard (or a same-shard pair) this reduces exactly to the paper's
+single-array estimator, so ``ShardedVOS(num_shards=1, ...)`` is bit-for-bit
+equivalent to a plain :class:`VirtualOddSketch`.
+
+Memory under the paper's cost model is the per-shard cost summed: ``N *
+ceil(m / N)`` bits for a total budget of ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import SimilaritySketch
+from repro.core.estimators import (
+    estimate_common_items_cross,
+    estimate_jaccard_cross,
+    estimate_symmetric_difference_cross,
+)
+from repro.core.memory import MemoryBudget, vos_parameters_for_budget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError
+from repro.hashing import UniversalHash
+from repro.hashing.universal import stable_hash64
+from repro.streams.edge import StreamElement, UserId
+
+
+class ShardedVOS(SimilaritySketch):
+    """VOS state hash-partitioned across independent shards.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of independent VOS partitions ``N``.
+    shard_array_bits:
+        Length of *each* shard's shared bit array (``ceil(m / N)`` when built
+        from a total budget of ``m`` bits).
+    virtual_sketch_size:
+        Virtual odd-sketch bits ``k`` per user (identical in every shard).
+    seed:
+        Master seed.  All shards share it (same ``psi``, same user hashes);
+        the user-to-shard router derives its own independent seed from it.
+
+    Examples
+    --------
+    >>> from repro.streams import Action, StreamElement
+    >>> vos = ShardedVOS(4, shard_array_bits=4096, virtual_sketch_size=256, seed=1)
+    >>> for item in range(20):
+    ...     vos.process(StreamElement(1, item, Action.INSERT))
+    ...     vos.process(StreamElement(2, item, Action.INSERT))
+    >>> round(vos.estimate_jaccard(1, 2), 1)
+    1.0
+    """
+
+    name = "VOS-sharded"
+
+    def __init__(
+        self,
+        num_shards: int,
+        shard_array_bits: int,
+        virtual_sketch_size: int,
+        *,
+        seed: int = 0,
+        cache_positions: bool = True,
+    ) -> None:
+        super().__init__()
+        if num_shards <= 0:
+            raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self.shard_array_bits = shard_array_bits
+        self.virtual_sketch_size = virtual_sketch_size
+        self.seed = seed
+        self._shards = [
+            VirtualOddSketch(
+                shard_array_bits,
+                virtual_sketch_size,
+                seed=seed,
+                cache_positions=cache_positions,
+            )
+            for _ in range(num_shards)
+        ]
+        self._router = UniversalHash(
+            range_size=num_shards, seed=stable_hash64(("vos-shard-router", seed))
+        )
+
+    # -- construction helpers --------------------------------------------------------
+
+    @classmethod
+    def from_budget(
+        cls,
+        budget: MemoryBudget,
+        *,
+        num_shards: int = 4,
+        size_multiplier: float = 2.0,
+        seed: int = 0,
+    ) -> "ShardedVOS":
+        """Split the paper's equal-memory budget evenly across ``num_shards``.
+
+        The total ``m`` bits become ``N`` arrays of ``ceil(m / N)`` bits; the
+        virtual sketch size follows the same λ rule as plain VOS, capped at
+        the per-shard array length.
+        """
+        if num_shards <= 0:
+            raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+        parameters = vos_parameters_for_budget(budget, size_multiplier=size_multiplier)
+        shard_bits = math.ceil(parameters.shared_array_bits / num_shards)
+        virtual_size = min(parameters.virtual_sketch_size, shard_bits)
+        return cls(num_shards, shard_bits, virtual_size, seed=seed)
+
+    # -- routing ---------------------------------------------------------------------
+
+    def shard_of(self, user: UserId) -> int:
+        """Index of the shard owning ``user``."""
+        return self._router(user)
+
+    def shard_for(self, user: UserId) -> VirtualOddSketch:
+        """The shard instance owning ``user``."""
+        return self._shards[self._router(user)]
+
+    @property
+    def shards(self) -> list[VirtualOddSketch]:
+        """The underlying shard sketches (exposed for snapshots and tests)."""
+        return self._shards
+
+    # -- stream consumption ----------------------------------------------------------
+
+    def process(self, element: StreamElement) -> None:
+        """Route one element to its owning shard (counters live in the shard)."""
+        self._shards[self._router(element.user)].process(element)
+
+    def process_batch(self, elements) -> int:
+        """Vectorized batch ingest: route by user, one sub-batch per shard.
+
+        The shard assignment is computed with one vectorized hash over the
+        batch's user column; each shard then runs its own vectorized
+        ``process_batch`` on its slice.  Relative element order is preserved
+        per shard, so the result is state-identical to per-element routing.
+        """
+        if not isinstance(elements, (list, tuple)):
+            elements = list(elements)
+        count = len(elements)
+        if count == 0:
+            return 0
+        if self.num_shards == 1:
+            return self._shards[0].process_batch(elements)
+        # Same fallback gate as VirtualOddSketch.process_batch: np.fromiter
+        # would silently truncate non-integer user ids.
+        if not all(type(e.user) is int for e in elements):
+            for element in elements:
+                self.process(element)
+            return count
+        try:
+            users = np.fromiter((e.user for e in elements), dtype=np.int64, count=count)
+        except OverflowError:  # ints beyond 64 bits
+            for element in elements:
+                self.process(element)
+            return count
+        assignment = self._router.hash_array(users)
+        for shard_index in np.unique(assignment).tolist():
+            member_indices = np.flatnonzero(assignment == shard_index)
+            self._shards[shard_index].process_batch(
+                [elements[i] for i in member_indices.tolist()]
+            )
+        return count
+
+    def _process_insertion(self, element: StreamElement) -> None:  # pragma: no cover
+        raise NotImplementedError("ShardedVOS routes whole elements via process()")
+
+    def _process_deletion(self, element: StreamElement) -> None:  # pragma: no cover
+        raise NotImplementedError("ShardedVOS routes whole elements via process()")
+
+    # -- per-user bookkeeping (delegated to the owning shard) ------------------------
+
+    def cardinality(self, user: UserId) -> int:
+        return self.shard_for(user).cardinality(user)
+
+    def has_user(self, user: UserId) -> bool:
+        return self.shard_for(user).has_user(user)
+
+    def users(self) -> set[UserId]:
+        seen: set[UserId] = set()
+        for shard in self._shards:
+            seen |= shard.users()
+        return seen
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def beta(self) -> float:
+        """Aggregate fill fraction: total set bits over total array bits."""
+        ones = sum(shard.shared_array.ones_count for shard in self._shards)
+        return ones / (self.num_shards * self.shard_array_bits)
+
+    def betas(self) -> list[float]:
+        """Per-shard fill fractions (load-balance diagnostics)."""
+        return [shard.beta for shard in self._shards]
+
+    def virtual_sketch(self, user: UserId) -> np.ndarray:
+        """Recover ``Ô_u`` from the owning shard's array."""
+        return self.shard_for(user).virtual_sketch(user)
+
+    def pair_alpha(self, user_a: UserId, user_b: UserId) -> float:
+        """Observed xor load ``alpha`` for a pair (shards may differ)."""
+        sketch_a = self.virtual_sketch(user_a)
+        sketch_b = self.virtual_sketch(user_b)
+        return float(np.count_nonzero(sketch_a != sketch_b)) / self.virtual_sketch_size
+
+    def estimate_symmetric_difference(self, user_a: UserId, user_b: UserId) -> float:
+        return estimate_symmetric_difference_cross(
+            self.pair_alpha(user_a, user_b),
+            self.shard_for(user_a).beta,
+            self.shard_for(user_b).beta,
+            self.virtual_sketch_size,
+        )
+
+    def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:
+        return estimate_common_items_cross(
+            self.pair_alpha(user_a, user_b),
+            self.shard_for(user_a).beta,
+            self.shard_for(user_b).beta,
+            self.virtual_sketch_size,
+            self.cardinality(user_a),
+            self.cardinality(user_b),
+        )
+
+    def estimate_jaccard(self, user_a: UserId, user_b: UserId) -> float:
+        return estimate_jaccard_cross(
+            self.pair_alpha(user_a, user_b),
+            self.shard_for(user_a).beta,
+            self.shard_for(user_b).beta,
+            self.virtual_sketch_size,
+            self.cardinality(user_a),
+            self.cardinality(user_b),
+        )
+
+    # -- accounting ------------------------------------------------------------------
+
+    def memory_bits(self) -> int:
+        """The paper's cost model per shard, summed: ``N * ceil(m / N)`` bits."""
+        return sum(shard.memory_bits() for shard in self._shards)
+
+    def shard_report(self) -> list[dict[str, float | int]]:
+        """Per-shard load summary (users, set bits, beta, memory bits)."""
+        return [
+            {
+                "shard": index,
+                "users": len(shard.users()),
+                "ones": shard.shared_array.ones_count,
+                "beta": shard.beta,
+                "memory_bits": shard.memory_bits(),
+            }
+            for index, shard in enumerate(self._shards)
+        ]

@@ -1,0 +1,227 @@
+"""Versioned binary snapshots of VOS sketch state.
+
+A snapshot captures everything needed to resume serving after a restart — or
+to ship a sketch to another process — with a **bit-exact** round-trip
+guarantee: construction parameters (seed included, so every hash function is
+reconstructed identically), the raw shared-array bits packed 8-per-byte, and
+the per-user cardinality counters.
+
+Layout (little-endian)::
+
+    offset  size  field
+    0       8     magic  b"VOSSNAP\\x00"
+    8       4     format version (currently 1)
+    12      4     header length H
+    16      H     header: UTF-8 JSON (kind, parameters, section table, CRC-32)
+    16+H    ...   payload: the concatenated binary sections
+
+The header's section table records each section's name and byte length in
+payload order; the CRC-32 of the whole payload is verified on load, so flipped
+bits and truncation surface as :class:`~repro.exceptions.SnapshotError` rather
+than silently corrupted estimates.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import SnapshotError
+from repro.service.sharding import ShardedVOS
+
+MAGIC = b"VOSSNAP\x00"
+FORMAT_VERSION = 1
+
+_KIND_VOS = "VirtualOddSketch"
+_KIND_SHARDED = "ShardedVOS"
+
+
+# -- serialization ------------------------------------------------------------------
+
+
+def _counter_arrays(vos: VirtualOddSketch) -> tuple[bytes, bytes]:
+    """Serialize the per-user cardinality counters as two int64 arrays."""
+    pairs = sorted(vos._cardinalities.items())
+    try:
+        users = np.array([user for user, _ in pairs], dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as error:
+        raise SnapshotError(
+            "snapshots require integer user identifiers (64-bit)"
+        ) from error
+    counts = np.array([count for _, count in pairs], dtype=np.int64)
+    return users.tobytes(), counts.tobytes()
+
+
+def _vos_sections(vos: VirtualOddSketch, prefix: str = "") -> list[tuple[str, bytes]]:
+    users_bytes, counts_bytes = _counter_arrays(vos)
+    return [
+        (f"{prefix}array", vos.shared_array.to_packed_bytes()),
+        (f"{prefix}card_users", users_bytes),
+        (f"{prefix}card_counts", counts_bytes),
+    ]
+
+
+def _vos_parameters(vos: VirtualOddSketch) -> dict:
+    return {
+        "shared_array_bits": vos.shared_array_bits,
+        "virtual_sketch_size": vos.virtual_sketch_size,
+        "seed": vos.seed,
+        "cache_positions": vos._cache_positions,
+        "ones_count": vos.shared_array.ones_count,
+        "num_users": len(vos._cardinalities),
+    }
+
+
+def dumps_snapshot(sketch: VirtualOddSketch | ShardedVOS) -> bytes:
+    """Serialize a sketch to snapshot bytes (see module docstring for layout)."""
+    if isinstance(sketch, ShardedVOS):
+        kind = _KIND_SHARDED
+        parameters: dict = {
+            "num_shards": sketch.num_shards,
+            "shard_array_bits": sketch.shard_array_bits,
+            "virtual_sketch_size": sketch.virtual_sketch_size,
+            "seed": sketch.seed,
+            "shards": [_vos_parameters(shard) for shard in sketch.shards],
+        }
+        sections: list[tuple[str, bytes]] = []
+        for index, shard in enumerate(sketch.shards):
+            sections.extend(_vos_sections(shard, prefix=f"shard{index}/"))
+    elif isinstance(sketch, VirtualOddSketch):
+        kind = _KIND_VOS
+        parameters = _vos_parameters(sketch)
+        sections = _vos_sections(sketch)
+    else:
+        raise SnapshotError(
+            f"cannot snapshot {type(sketch).__name__}; "
+            "only VirtualOddSketch and ShardedVOS are supported"
+        )
+    payload = b"".join(data for _, data in sections)
+    header = {
+        "kind": kind,
+        "parameters": parameters,
+        "sections": [{"name": name, "bytes": len(data)} for name, data in sections],
+        "crc32": zlib.crc32(payload),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return (
+        MAGIC
+        + struct.pack("<II", FORMAT_VERSION, len(header_bytes))
+        + header_bytes
+        + payload
+    )
+
+
+def save_snapshot(sketch: VirtualOddSketch | ShardedVOS, path: str | Path) -> None:
+    """Write a snapshot of ``sketch`` to ``path``."""
+    Path(path).write_bytes(dumps_snapshot(sketch))
+
+
+# -- restoration --------------------------------------------------------------------
+
+
+def _split_sections(header: dict, payload: bytes) -> dict[str, bytes]:
+    sections: dict[str, bytes] = {}
+    offset = 0
+    for entry in header["sections"]:
+        length = entry["bytes"]
+        sections[entry["name"]] = payload[offset : offset + length]
+        offset += length
+    if offset != len(payload):
+        raise SnapshotError(
+            f"payload holds {len(payload)} bytes but sections describe {offset}"
+        )
+    return sections
+
+
+def _restore_vos(
+    parameters: dict, sections: dict[str, bytes], prefix: str = ""
+) -> VirtualOddSketch:
+    vos = VirtualOddSketch(
+        shared_array_bits=parameters["shared_array_bits"],
+        virtual_sketch_size=parameters["virtual_sketch_size"],
+        seed=parameters["seed"],
+        cache_positions=parameters.get("cache_positions", True),
+    )
+    try:
+        vos.shared_array.load_packed_bytes(sections[f"{prefix}array"])
+        users = np.frombuffer(sections[f"{prefix}card_users"], dtype=np.int64)
+        counts = np.frombuffer(sections[f"{prefix}card_counts"], dtype=np.int64)
+    except KeyError as error:
+        raise SnapshotError(f"snapshot is missing section {error}") from error
+    except Exception as error:
+        raise SnapshotError(f"snapshot payload is corrupt: {error}") from error
+    if vos.shared_array.ones_count != parameters["ones_count"]:
+        raise SnapshotError(
+            "restored array popcount "
+            f"{vos.shared_array.ones_count} != recorded {parameters['ones_count']}"
+        )
+    if users.size != counts.size or users.size != parameters["num_users"]:
+        raise SnapshotError("cardinality sections disagree with recorded user count")
+    vos._cardinalities = dict(zip(users.tolist(), counts.tolist()))
+    return vos
+
+
+def loads_snapshot(data: bytes) -> VirtualOddSketch | ShardedVOS:
+    """Restore a sketch from snapshot bytes, verifying integrity."""
+    if len(data) < len(MAGIC) + 8:
+        raise SnapshotError("snapshot is truncated (no header)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise SnapshotError("not a VOS snapshot (bad magic)")
+    version, header_length = struct.unpack_from("<II", data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version} (this build reads "
+            f"version {FORMAT_VERSION})"
+        )
+    header_start = len(MAGIC) + 8
+    header_bytes = data[header_start : header_start + header_length]
+    if len(header_bytes) != header_length:
+        raise SnapshotError("snapshot is truncated (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotError(f"snapshot header is corrupt: {error}") from error
+    if not isinstance(header, dict):
+        raise SnapshotError("snapshot header is not a JSON object")
+    payload = data[header_start + header_length :]
+    if zlib.crc32(payload) != header.get("crc32"):
+        raise SnapshotError("snapshot payload failed its CRC-32 check")
+    # The CRC covers only the payload, so a structurally valid but wrong
+    # header (missing keys, wrong value types) must still land on
+    # SnapshotError rather than leak KeyError/TypeError to callers.
+    try:
+        sections = _split_sections(header, payload)
+        parameters = header["parameters"]
+        kind = header["kind"]
+        if kind == _KIND_VOS:
+            return _restore_vos(parameters, sections)
+        if kind == _KIND_SHARDED:
+            if len(parameters["shards"]) != parameters["num_shards"]:
+                raise SnapshotError("snapshot records a mismatched shard count")
+            sketch = ShardedVOS(
+                parameters["num_shards"],
+                parameters["shard_array_bits"],
+                parameters["virtual_sketch_size"],
+                seed=parameters["seed"],
+            )
+            for index, shard_parameters in enumerate(parameters["shards"]):
+                sketch.shards[index] = _restore_vos(
+                    shard_parameters, sections, prefix=f"shard{index}/"
+                )
+            return sketch
+    except (KeyError, TypeError, AttributeError) as error:
+        raise SnapshotError(f"snapshot header is malformed: {error!r}") from error
+    raise SnapshotError(f"unknown snapshot kind {kind!r}")
+
+
+def load_snapshot(path: str | Path) -> VirtualOddSketch | ShardedVOS:
+    """Read a snapshot file previously written by :func:`save_snapshot`."""
+    source = Path(path)
+    if not source.exists():
+        raise SnapshotError(f"snapshot file not found: {source}")
+    return loads_snapshot(source.read_bytes())

@@ -59,6 +59,13 @@ def _build_vos(budget: MemoryBudget, seed: int) -> SimilaritySketch:
     return VirtualOddSketch.from_budget(budget, seed=seed)
 
 
+def _build_vos_sharded(budget: MemoryBudget, seed: int) -> SimilaritySketch:
+    # Imported lazily: the service layer sits above the similarity layer.
+    from repro.service.sharding import ShardedVOS
+
+    return ShardedVOS.from_budget(budget, num_shards=4, seed=seed)
+
+
 def _build_exact(budget: MemoryBudget, seed: int) -> SimilaritySketch:
     return ExactSimilarityTracker()
 
@@ -69,7 +76,9 @@ def sketch_registry() -> dict[str, SketchFactory]:
     Keys are the names used throughout the paper and this repository's reports:
     ``"MinHash"``, ``"OPH"``, ``"RP"``, ``"VOS"``, plus ``"Exact"``.
     ``"RP-pooled"`` is an additional, stronger RP variant (one size-k reservoir
-    per user instead of the paper's k independent single-item samples).
+    per user instead of the paper's k independent single-item samples);
+    ``"VOS-sharded"`` is the service layer's hash-partitioned VOS (4 shards)
+    under the same total budget.
     """
     return {
         "MinHash": _build_minhash,
@@ -77,6 +86,7 @@ def sketch_registry() -> dict[str, SketchFactory]:
         "RP": _build_rp,
         "RP-pooled": _build_rp_pooled,
         "VOS": _build_vos,
+        "VOS-sharded": _build_vos_sharded,
         "Exact": _build_exact,
     }
 

@@ -223,8 +223,10 @@ def build_dynamic_stream(
     ----------
     edges:
         The base graph's edges, streamed as insertions in the given order.
-        Duplicate edges are ignored (only the first insertion is kept), which
-        makes it safe to feed raw generator output.
+        A duplicate of a currently *live* edge is skipped (inserting it again
+        would be infeasible), which makes it safe to feed raw generator
+        output; an edge the deletion model has since removed is re-inserted —
+        re-subscriptions are a normal part of fully dynamic streams.
     deletion_model:
         An object implementing the deletion-model protocol
         (see :mod:`repro.streams.deletions`): after every insertion it is
@@ -239,15 +241,12 @@ def build_dynamic_stream(
         A feasible fully dynamic stream.
     """
     state = _DynamicStreamState()
-    seen: set[tuple[UserId, ItemId]] = set()
     for edge in edges:
-        if edge in seen and edge not in state.live_index:
-            # A re-insertion of a previously deleted edge is feasible; a raw
-            # duplicate of a live edge is not, and is skipped.
-            pass
         if edge in state.live_index:
+            # A raw duplicate of a live edge is infeasible to insert again and
+            # is skipped; a previously deleted edge falls through and is
+            # re-inserted, which is feasible.
             continue
-        seen.add(edge)
         state.insert(edge)
         if deletion_model is None:
             continue

@@ -99,3 +99,64 @@ class TestCommands:
         )
         assert code == 0
         assert "MinHash" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """End-to-end ``repro ingest`` -> snapshot -> ``repro topk`` round trip."""
+
+    @pytest.fixture()
+    def stream_file(self, tmp_path, small_dynamic_stream):
+        from repro.streams.io import write_stream
+
+        path = tmp_path / "stream.txt"
+        write_stream(small_dynamic_stream.prefix(2000), path)
+        return path
+
+    def test_ingest_then_topk(self, stream_file, tmp_path, capsys, small_dynamic_stream):
+        snapshot = tmp_path / "state.vos"
+        code = main(
+            [
+                "ingest",
+                "--stream", str(stream_file),
+                "--snapshot", str(snapshot),
+                "--shards", "4",
+                "--registers", "8",
+                "--batch-size", "512",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 2000 elements" in out
+        assert snapshot.exists()
+
+        user = sorted(small_dynamic_stream.prefix(2000).users())[0]
+        code = main(["topk", "--snapshot", str(snapshot), "--user", str(user), "-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"similar to user {user}" in out
+        assert "jaccard" in out
+
+    def test_topk_csv(self, stream_file, tmp_path, capsys, small_dynamic_stream):
+        snapshot = tmp_path / "state.vos"
+        assert main(["ingest", "--stream", str(stream_file), "--snapshot", str(snapshot)]) == 0
+        capsys.readouterr()
+        user = sorted(small_dynamic_stream.prefix(2000).users())[0]
+        code = main(
+            ["topk", "--snapshot", str(snapshot), "--user", str(user), "-k", "2", "--csv"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.splitlines()[1].startswith("user,")
+
+    def test_topk_unknown_user_exits_2(self, stream_file, tmp_path, capsys):
+        snapshot = tmp_path / "state.vos"
+        assert main(["ingest", "--stream", str(stream_file), "--snapshot", str(snapshot)]) == 0
+        code = main(["topk", "--snapshot", str(snapshot), "--user", "123456789", "-k", "3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_topk_missing_snapshot_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["topk", "--snapshot", str(tmp_path / "nope.vos"), "--user", "1", "-k", "3"]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

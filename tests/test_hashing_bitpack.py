@@ -118,3 +118,71 @@ class TestPackedRegisters:
             PackedRegisters(4, width_bits=0)
         with pytest.raises(ConfigurationError):
             PackedRegisters(4, width_bits=65)
+
+
+class TestXorBulk:
+    def test_matches_sequential_flips(self):
+        import random
+
+        rng = random.Random(3)
+        positions = [rng.randrange(64) for _ in range(500)]
+        sequential = PackedBitArray(64)
+        bulk = PackedBitArray(64)
+        for position in positions:
+            sequential.flip(position)
+        bulk.xor_bulk(positions)
+        assert bulk.to_list() == sequential.to_list()
+        assert bulk.ones_count == sequential.ones_count
+
+    def test_repeats_fold_modulo_two(self):
+        bits = PackedBitArray(8)
+        flipped = bits.xor_bulk([3, 3, 5, 5, 5])
+        assert flipped == 1  # only position 5 has an odd count
+        assert bits.to_list() == [0, 0, 0, 0, 0, 1, 0, 0]
+        assert bits.ones_count == 1
+
+    def test_empty_input_is_a_no_op(self):
+        bits = PackedBitArray(8)
+        assert bits.xor_bulk([]) == 0
+        assert bits.ones_count == 0
+
+    def test_out_of_range_positions_raise(self):
+        bits = PackedBitArray(8)
+        with pytest.raises(IndexError):
+            bits.xor_bulk([8])
+        with pytest.raises(IndexError):
+            bits.xor_bulk([-1])
+
+    def test_accepts_numpy_arrays(self):
+        import numpy as np
+
+        bits = PackedBitArray(16)
+        bits.xor_bulk(np.array([1, 2, 2, 3]))
+        assert bits.ones_count == 2
+
+
+class TestPackedBytesRoundTrip:
+    def test_round_trip_is_bit_exact(self):
+        import random
+
+        rng = random.Random(9)
+        bits = PackedBitArray(77)  # deliberately not a multiple of 8
+        for _ in range(200):
+            bits.flip(rng.randrange(77))
+        data = bits.to_packed_bytes()
+        assert len(data) == 10
+        restored = PackedBitArray(77)
+        restored.load_packed_bytes(data)
+        assert restored.to_list() == bits.to_list()
+        assert restored.ones_count == bits.ones_count
+
+    def test_wrong_length_raises(self):
+        bits = PackedBitArray(16)
+        with pytest.raises(ConfigurationError):
+            bits.load_packed_bytes(b"\x00")
+
+    def test_restored_array_is_writable(self):
+        bits = PackedBitArray(8)
+        bits.load_packed_bytes(bytes(1))
+        bits.flip(0)
+        assert bits.ones_count == 1

@@ -87,3 +87,56 @@ class TestUniversalHash:
         h = UniversalHash(range_size=4, seed=1)
         with pytest.raises(Exception):
             h.range_size = 8  # type: ignore[misc]
+
+
+class TestVectorizedHashing:
+    """The numpy fast path must agree bit-for-bit with the scalar path."""
+
+    KEYS = [0, 1, -1, 2, 17, -12345, 2**31, 2**63 - 1, -(2**63), 987654321012345]
+
+    def test_fingerprint64_array_matches_scalar(self):
+        import numpy as np
+
+        from repro.hashing.universal import fingerprint64, fingerprint64_array
+
+        values = fingerprint64_array(np.array(self.KEYS, dtype=np.int64))
+        for index, key in enumerate(self.KEYS):
+            assert int(values[index]) == fingerprint64(key)
+
+    @pytest.mark.parametrize("seed", [0, 1, 424242, -9])
+    @pytest.mark.parametrize("range_size", [1, 2, 13, 4096, 10**9 + 7])
+    def test_hash_array_matches_scalar(self, seed, range_size):
+        import numpy as np
+
+        h = UniversalHash(range_size=range_size, seed=seed)
+        values = h.hash_array(np.array(self.KEYS, dtype=np.int64))
+        for index, key in enumerate(self.KEYS):
+            assert int(values[index]) == h(key)
+
+    def test_hash_array_large_random_sample(self):
+        import random
+
+        import numpy as np
+
+        rng = random.Random(7)
+        keys = [rng.randrange(-(2**63), 2**63) for _ in range(3000)]
+        h = UniversalHash(range_size=100003, seed=5)
+        values = h.hash_array(np.array(keys, dtype=np.int64))
+        assert all(int(values[i]) == h(k) for i, k in enumerate(keys))
+
+    def test_value64_array_matches_scalar(self):
+        import numpy as np
+
+        h = UniversalHash(range_size=7, seed=3)
+        wide = h.value64_array(np.array(self.KEYS, dtype=np.int64))
+        for index, key in enumerate(self.KEYS):
+            assert int(wide[index]) == h.value64(key)
+
+    def test_rejects_non_integer_arrays(self):
+        import numpy as np
+
+        from repro.exceptions import ConfigurationError
+        from repro.hashing.universal import fingerprint64_array
+
+        with pytest.raises(ConfigurationError):
+            fingerprint64_array(np.array([1.5, 2.5]))

@@ -1,0 +1,100 @@
+"""Tests for repro.service.service (the SimilarityService facade)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import ServiceConfig, SimilarityService
+from repro.service.sharding import ShardedVOS
+from repro.similarity.search import nearest_neighbours
+from repro.streams.edge import Action, StreamElement
+
+
+@pytest.fixture(scope="module")
+def fed_service(small_dynamic_stream):
+    service = SimilarityService.from_config(
+        ServiceConfig(expected_users=80, baseline_registers=16, num_shards=4, seed=6)
+    )
+    service.ingest(small_dynamic_stream.prefix(3000))
+    return service
+
+
+class TestConfiguration:
+    def test_from_config_builds_sharded_sketch(self):
+        service = SimilarityService.from_config(
+            ServiceConfig(expected_users=50, num_shards=3)
+        )
+        assert isinstance(service.sketch, ShardedVOS)
+        assert service.sketch.num_shards == 3
+        assert service.sketch.memory_bits() >= ServiceConfig(expected_users=50).budget().total_bits
+
+    def test_rejects_bad_batch_size(self):
+        sketch = ShardedVOS(1, 64, 8)
+        with pytest.raises(ConfigurationError):
+            SimilarityService(sketch, batch_size=0)
+
+
+class TestIngestAndQuery:
+    def test_ingest_counts_elements(self, small_dynamic_stream):
+        stream = small_dynamic_stream.prefix(1000)
+        service = SimilarityService.from_config(
+            ServiceConfig(expected_users=80, batch_size=128)
+        )
+        report = service.ingest(stream)
+        assert report.elements == 1000
+        assert report.batches == 8
+        assert service.elements_ingested == 1000
+        second = service.ingest(stream.prefix(100))
+        assert second.elements == 100
+        assert service.elements_ingested == 1100
+
+    def test_estimate_matches_sketch(self, fed_service):
+        users = sorted(fed_service.sketch.users())[:4]
+        estimate = fed_service.estimate(users[0], users[1])
+        assert estimate.jaccard == fed_service.sketch.estimate_jaccard(users[0], users[1])
+        assert estimate.common_items == fed_service.sketch.estimate_common_items(
+            users[0], users[1]
+        )
+
+    def test_top_k_reuses_search_module(self, fed_service):
+        user = sorted(fed_service.sketch.users())[0]
+        direct = nearest_neighbours(fed_service.sketch, user, k=5)
+        via_service = fed_service.top_k(user, k=5)
+        assert via_service == direct
+
+    def test_top_k_pairs(self, fed_service):
+        pairs = fed_service.top_k_pairs(k=3)
+        assert len(pairs) == 3
+        assert pairs[0].jaccard >= pairs[-1].jaccard
+
+    def test_stats_fields(self, fed_service):
+        stats = fed_service.stats()
+        assert stats["users"] == len(fed_service.sketch.users())
+        assert stats["num_shards"] == 4
+        assert len(stats["shard_betas"]) == 4
+        assert stats["memory_bits"] == fed_service.sketch.memory_bits()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fed_service, tmp_path):
+        path = tmp_path / "service.snapshot"
+        fed_service.save(path)
+        restored = SimilarityService.load(path)
+        users = sorted(fed_service.sketch.users())[:5]
+        for i, user_a in enumerate(users):
+            for user_b in users[i + 1 :]:
+                assert fed_service.estimate(user_a, user_b) == restored.estimate(
+                    user_a, user_b
+                )
+        assert restored.top_k(users[0], k=3) == fed_service.top_k(users[0], k=3)
+
+    def test_restored_service_accepts_more_traffic(self, fed_service, tmp_path):
+        path = tmp_path / "service.snapshot"
+        fed_service.save(path)
+        restored = SimilarityService.load(path)
+        report = restored.ingest(
+            [StreamElement(1, 50000 + i, Action.INSERT) for i in range(10)]
+        )
+        assert report.elements == 10
+        assert restored.sketch.cardinality(1) >= 10

@@ -1,0 +1,175 @@
+"""Tests for repro.service.snapshot: bit-exact round trips and corruption paths."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import SnapshotError
+from repro.service.sharding import ShardedVOS
+from repro.service.snapshot import (
+    MAGIC,
+    dumps_snapshot,
+    load_snapshot,
+    loads_snapshot,
+    save_snapshot,
+)
+from repro.streams.edge import Action, StreamElement
+
+
+@pytest.fixture(scope="module")
+def fed_vos(small_dynamic_stream):
+    vos = VirtualOddSketch(shared_array_bits=8192, virtual_sketch_size=128, seed=4)
+    for element in small_dynamic_stream.prefix(3000):
+        vos.process(element)
+    return vos
+
+
+@pytest.fixture(scope="module")
+def fed_sharded(small_dynamic_stream):
+    sketch = ShardedVOS(3, 4096, 128, seed=4)
+    for element in small_dynamic_stream.prefix(3000):
+        sketch.process(element)
+    return sketch
+
+
+def _assert_same_vos_state(a: VirtualOddSketch, b: VirtualOddSketch) -> None:
+    assert np.array_equal(a.shared_array._bits._bits, b.shared_array._bits._bits)
+    assert a.shared_array.ones_count == b.shared_array.ones_count
+    assert a._cardinalities == b._cardinalities
+
+
+class TestVosRoundTrip:
+    def test_bit_exact_state_and_estimates(self, fed_vos, tmp_path):
+        path = tmp_path / "vos.snapshot"
+        save_snapshot(fed_vos, path)
+        restored = load_snapshot(path)
+        assert isinstance(restored, VirtualOddSketch)
+        _assert_same_vos_state(fed_vos, restored)
+        users = sorted(fed_vos.users())[:6]
+        for i, user_a in enumerate(users):
+            for user_b in users[i + 1 :]:
+                assert fed_vos.estimate_jaccard(user_a, user_b) == restored.estimate_jaccard(
+                    user_a, user_b
+                )
+                assert fed_vos.estimate_common_items(
+                    user_a, user_b
+                ) == restored.estimate_common_items(user_a, user_b)
+
+    def test_restored_sketch_keeps_ingesting_identically(self, fed_vos):
+        restored = loads_snapshot(dumps_snapshot(fed_vos))
+        follow_up = [StreamElement(1, 9000 + i, Action.INSERT) for i in range(50)]
+        reference = loads_snapshot(dumps_snapshot(fed_vos))
+        for element in follow_up:
+            reference.process(element)
+        restored.process_batch(follow_up)
+        _assert_same_vos_state(reference, restored)
+
+    def test_empty_sketch_round_trips(self):
+        vos = VirtualOddSketch(shared_array_bits=64, virtual_sketch_size=8, seed=0)
+        restored = loads_snapshot(dumps_snapshot(vos))
+        _assert_same_vos_state(vos, restored)
+
+
+class TestShardedRoundTrip:
+    def test_bit_exact_per_shard(self, fed_sharded, tmp_path):
+        path = tmp_path / "sharded.snapshot"
+        save_snapshot(fed_sharded, path)
+        restored = load_snapshot(path)
+        assert isinstance(restored, ShardedVOS)
+        assert restored.num_shards == fed_sharded.num_shards
+        for original, copy in zip(fed_sharded.shards, restored.shards):
+            _assert_same_vos_state(original, copy)
+        users = sorted(fed_sharded.users())[:6]
+        for i, user_a in enumerate(users):
+            for user_b in users[i + 1 :]:
+                assert fed_sharded.estimate_jaccard(
+                    user_a, user_b
+                ) == restored.estimate_jaccard(user_a, user_b)
+
+
+class TestCorruptionPaths:
+    def test_bad_magic(self, fed_vos):
+        blob = dumps_snapshot(fed_vos)
+        with pytest.raises(SnapshotError, match="magic"):
+            loads_snapshot(b"NOTASNAP" + blob[len(MAGIC) :])
+
+    def test_version_mismatch(self, fed_vos):
+        blob = bytearray(dumps_snapshot(fed_vos))
+        blob[len(MAGIC) : len(MAGIC) + 4] = struct.pack("<I", 99)
+        with pytest.raises(SnapshotError, match="version 99"):
+            loads_snapshot(bytes(blob))
+
+    def test_flipped_payload_byte_fails_crc(self, fed_vos):
+        blob = bytearray(dumps_snapshot(fed_vos))
+        blob[-1] ^= 0xFF
+        with pytest.raises(SnapshotError, match="CRC"):
+            loads_snapshot(bytes(blob))
+
+    def test_truncated_payload(self, fed_vos):
+        blob = dumps_snapshot(fed_vos)
+        with pytest.raises(SnapshotError):
+            loads_snapshot(blob[:-10])
+
+    def test_truncated_header(self, fed_vos):
+        blob = dumps_snapshot(fed_vos)
+        with pytest.raises(SnapshotError):
+            loads_snapshot(blob[: len(MAGIC) + 10])
+
+    def test_empty_bytes(self):
+        with pytest.raises(SnapshotError):
+            loads_snapshot(b"")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not found"):
+            load_snapshot(tmp_path / "does-not-exist.snapshot")
+
+    def test_unsupported_sketch_type(self):
+        with pytest.raises(SnapshotError, match="only VirtualOddSketch"):
+            dumps_snapshot(object())
+
+    def test_valid_json_header_with_missing_keys(self):
+        """A structurally valid but wrong header must raise SnapshotError,
+        not leak KeyError (the CRC only covers the payload)."""
+        import json
+        import zlib
+
+        header = json.dumps({"crc32": zlib.crc32(b"")}).encode("utf-8")
+        blob = MAGIC + struct.pack("<II", 1, len(header)) + header
+        with pytest.raises(SnapshotError, match="malformed"):
+            loads_snapshot(blob)
+
+    def test_non_object_json_header(self):
+        import json
+
+        header = json.dumps([1, 2, 3]).encode("utf-8")
+        blob = MAGIC + struct.pack("<II", 1, len(header)) + header
+        with pytest.raises(SnapshotError, match="not a JSON object"):
+            loads_snapshot(blob)
+
+    def test_unknown_kind(self, fed_vos):
+        import json
+
+        blob = dumps_snapshot(fed_vos)
+        version, header_length = struct.unpack_from("<II", blob, len(MAGIC))
+        start = len(MAGIC) + 8
+        header = json.loads(blob[start : start + header_length])
+        header["kind"] = "FutureSketch"
+        new_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        rebuilt = (
+            MAGIC
+            + struct.pack("<II", version, len(new_header))
+            + new_header
+            + blob[start + header_length :]
+        )
+        with pytest.raises(SnapshotError, match="unknown snapshot kind"):
+            loads_snapshot(rebuilt)
+
+    def test_non_integer_users_are_rejected(self):
+        vos = VirtualOddSketch(shared_array_bits=64, virtual_sketch_size=8)
+        vos.process(StreamElement("alice", 1, Action.INSERT))
+        with pytest.raises(SnapshotError, match="integer user"):
+            dumps_snapshot(vos)

@@ -120,3 +120,31 @@ class TestBuildDynamicStream:
 
     def test_name_is_kept(self):
         assert build_dynamic_stream([(1, 1)], None, name="mystream").name == "mystream"
+
+    def test_deleted_edge_is_reinserted(self):
+        """Regression: a previously deleted edge must be re-inserted, while a
+        raw duplicate of a live edge is skipped."""
+
+        class DeleteFirstEdgeOnce:
+            def __init__(self):
+                self.fired = False
+
+            def deletions_after_insertion(self, *, inserted, live_edges, time):
+                if inserted == (1, 2) and not self.fired:
+                    self.fired = True
+                    return [(1, 1)]
+                return []
+
+        stream = build_dynamic_stream(
+            [(1, 1), (1, 2), (1, 1), (1, 1)], DeleteFirstEdgeOnce()
+        )
+        assert [(e.user, e.item, e.action.symbol) for e in stream] == [
+            (1, 1, "+"),
+            (1, 2, "+"),
+            (1, 1, "-"),
+            (1, 1, "+"),  # re-insertion of the deleted edge is kept ...
+            # ... and the final raw duplicate of the now-live edge is skipped.
+        ]
+        # Revalidating must not raise (feasibility).
+        GraphStream(stream.elements)
+        assert stream.item_sets_at(None)[1] == {1, 2}
