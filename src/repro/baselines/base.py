@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import UnknownUserError
+from repro.exceptions import ConfigurationError, UnknownUserError
 from repro.streams.edge import StreamElement, UserId
 
 
@@ -57,6 +57,51 @@ def jaccard_from_common(common: float, size_a: float, size_b: float) -> float:
         # when there is anything in common, and at 0 for an all-empty guess).
         return 1.0 if (common > 0 or (size_a == 0 and size_b == 0)) else 0.0
     return min(1.0, max(0.0, common / union))
+
+
+def normalize_pair_indices(index_a, index_b) -> tuple[np.ndarray, np.ndarray]:
+    """Ravel two pair-index columns to ``int64`` and require equal lengths.
+
+    Shared by every implementation of the indexed bulk estimators so a
+    mismatched pair of index columns fails loudly instead of silently
+    truncating to the shorter column.
+    """
+    index_a = np.asarray(index_a, dtype=np.int64).ravel()
+    index_b = np.asarray(index_b, dtype=np.int64).ravel()
+    if index_a.shape != index_b.shape:
+        raise ConfigurationError(
+            f"pair index arrays differ in length "
+            f"({index_a.shape[0]} vs {index_b.shape[0]})"
+        )
+    return index_a, index_b
+
+
+def dedup_pair_users(
+    users_a: Iterable[UserId], users_b: Iterable[UserId]
+) -> tuple[list[UserId], np.ndarray, np.ndarray]:
+    """Collapse two parallel user columns into unique users plus index arrays.
+
+    Returns ``(users, index_a, index_b)`` such that pair ``t`` is
+    ``(users[index_a[t]], users[index_b[t]])``.  The bulk estimators work on
+    this indexed form so each distinct user's sketch is gathered exactly once
+    no matter how many pairs it appears in.
+    """
+    indices: dict[UserId, int] = {}
+
+    def index_of(user: UserId) -> int:
+        found = indices.get(user)
+        if found is None:
+            found = len(indices)
+            indices[user] = found
+        return found
+
+    index_a = np.fromiter((index_of(user) for user in users_a), dtype=np.int64)
+    index_b = np.fromiter((index_of(user) for user in users_b), dtype=np.int64)
+    if index_a.shape != index_b.shape:
+        raise ConfigurationError(
+            f"pair columns differ in length ({index_a.shape[0]} vs {index_b.shape[0]})"
+        )
+    return list(indices), index_a, index_b
 
 
 def common_from_jaccard(jaccard: float, size_a: float, size_b: float) -> float:
@@ -209,6 +254,90 @@ class SimilaritySketch(abc.ABC):
             common_items=self.estimate_common_items(user_a, user_b),
             jaccard=self.estimate_jaccard(user_a, user_b),
         )
+
+    # -- bulk queries ------------------------------------------------------------------
+    #
+    # The serving layer scores pairs by the hundreds of thousands, so the
+    # query contract has a bulk form.  The *indexed* methods are the primitive
+    # — pair ``t`` is ``(users[index_a[t]], users[index_b[t]])``, letting a
+    # caller that already holds a deduplicated candidate list avoid any
+    # per-pair Python objects — and the ``_many``/``estimate_pairs`` forms are
+    # conveniences built on top.  The defaults below are per-pair loops so
+    # every sketch supports the bulk API; VOS (and its sharded variant)
+    # override the indexed methods with truly vectorized versions that are
+    # bit-identical to these loops.
+
+    def estimate_jaccard_indexed(
+        self, users: Sequence[UserId], index_a, index_b
+    ) -> np.ndarray:
+        """Jaccard estimates for the pairs ``(users[index_a[t]], users[index_b[t]])``."""
+        users = list(users)
+        index_a, index_b = normalize_pair_indices(index_a, index_b)
+        return np.fromiter(
+            (
+                self.estimate_jaccard(users[i], users[j])
+                for i, j in zip(index_a.tolist(), index_b.tolist())
+            ),
+            dtype=np.float64,
+            count=index_a.shape[0],
+        )
+
+    def estimate_common_items_indexed(
+        self, users: Sequence[UserId], index_a, index_b
+    ) -> np.ndarray:
+        """Common-item estimates for the pairs ``(users[index_a[t]], users[index_b[t]])``."""
+        users = list(users)
+        index_a, index_b = normalize_pair_indices(index_a, index_b)
+        return np.fromiter(
+            (
+                self.estimate_common_items(users[i], users[j])
+                for i, j in zip(index_a.tolist(), index_b.tolist())
+            ),
+            dtype=np.float64,
+            count=index_a.shape[0],
+        )
+
+    def estimate_jaccard_many(self, users_a, users_b) -> np.ndarray:
+        """Jaccard estimates for the pairs ``zip(users_a, users_b)`` as a float array."""
+        users, index_a, index_b = dedup_pair_users(users_a, users_b)
+        return self.estimate_jaccard_indexed(users, index_a, index_b)
+
+    def estimate_common_items_many(self, users_a, users_b) -> np.ndarray:
+        """Common-item estimates for the pairs ``zip(users_a, users_b)``."""
+        users, index_a, index_b = dedup_pair_users(users_a, users_b)
+        return self.estimate_common_items_indexed(users, index_a, index_b)
+
+    def estimate_common_and_jaccard_indexed(
+        self, users: Sequence[UserId], index_a, index_b
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both estimate arrays for the indexed pairs.
+
+        Vectorized sketches override this so the two arrays share a single
+        sketch gather and xor pass; the default simply issues the two
+        per-estimate calls.
+        """
+        return (
+            self.estimate_common_items_indexed(users, index_a, index_b),
+            self.estimate_jaccard_indexed(users, index_a, index_b),
+        )
+
+    def estimate_pairs(
+        self, pairs: Iterable[tuple[UserId, UserId]]
+    ) -> list[PairEstimate]:
+        """Both estimates for every listed pair (bulk :meth:`estimate_pair`)."""
+        pairs = list(pairs)
+        users, index_a, index_b = dedup_pair_users(
+            (pair[0] for pair in pairs), (pair[1] for pair in pairs)
+        )
+        commons, jaccards = self.estimate_common_and_jaccard_indexed(
+            users, index_a, index_b
+        )
+        return [
+            PairEstimate(user_a=a, user_b=b, common_items=common, jaccard=jaccard)
+            for (a, b), common, jaccard in zip(
+                pairs, commons.tolist(), jaccards.tolist()
+            )
+        ]
 
     # -- accounting -------------------------------------------------------------------
 

@@ -15,11 +15,16 @@ Service commands (the :mod:`repro.service` subsystem)::
 
     repro ingest --stream edges.txt --snapshot state.vos --shards 4
     repro topk --snapshot state.vos --user 17 -k 10
+    repro pairs --snapshot state.vos -k 10 --prefilter 0.2
+    repro shards --shard-counts 1 2 4 8 --scale 0.2
 
 ``ingest`` reads a stream file (``<action> <user> <item>`` per line, see
 :mod:`repro.streams.io`), feeds it through the sharded batch-vectorized VOS
 service and snapshots the resulting sketch state; ``topk`` answers nearest-
-neighbour queries against a snapshot without re-reading the stream.
+neighbour queries against a snapshot without re-reading the stream; ``pairs``
+runs the vectorized all-pairs top-k search (with the optional cardinality
+pre-filter) over a snapshot; ``shards`` measures the cross-shard estimator's
+accuracy against single-array VOS across shard counts.
 
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
@@ -221,6 +226,64 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pairs(args: argparse.Namespace) -> int:
+    """Vectorized top-k similar-pair search against a saved snapshot."""
+    try:
+        service = SimilarityService.load(args.snapshot)
+        pairs = service.top_k_pairs(
+            k=args.k,
+            minimum_cardinality=args.min_cardinality,
+            prefilter_threshold=args.prefilter,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        [pair.user_a, pair.user_b, pair.jaccard, pair.common_items] for pair in pairs
+    ]
+    headers = ["user a", "user b", "jaccard", "common items"]
+    print(
+        f"# top-{args.k} most similar pairs "
+        f"(prefilter threshold {args.prefilter})"
+    )
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_shards(args: argparse.Namespace) -> int:
+    """Cross-shard estimator accuracy vs single-array VOS across shard counts."""
+    try:
+        stream = load_dataset(args.dataset, scale=args.scale)
+        config = ExperimentConfig(
+            methods=("VOS",),
+            shard_counts=tuple(args.shard_counts),
+            baseline_registers=args.registers,
+            top_users=args.top_users,
+            max_pairs=args.max_pairs,
+            num_checkpoints=args.checkpoints,
+            seed=args.seed,
+        )
+        result = AccuracyExperiment(config).run(stream)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in result.methods():
+        series = result.checkpoints[name]
+        if not series:
+            continue
+        checkpoint = series[-1]
+        rows.append(
+            [name, checkpoint.aape, checkpoint.armse, checkpoint.tracked_pairs,
+             "" if checkpoint.beta is None else checkpoint.beta]
+        )
+    headers = ["method", "aape", "armse", "pairs", "beta"]
+    print(f"# end-of-stream accuracy on {stream.name} across VOS shard counts "
+          f"(k = {args.registers})")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     rows = []
     methods = ("MinHash", "OPH", "RP", "VOS")
@@ -334,6 +397,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     topk_parser.add_argument("--csv", action="store_true")
     topk_parser.set_defaults(handler=_cmd_topk)
+
+    pairs_parser = subparsers.add_parser(
+        "pairs", help="vectorized top-k similar-pair search over a snapshot"
+    )
+    pairs_parser.add_argument("--snapshot", required=True, help="snapshot to query")
+    pairs_parser.add_argument("-k", type=int, default=10, dest="k", help="pairs to return")
+    pairs_parser.add_argument(
+        "--min-cardinality", type=int, default=1, help="ignore smaller users"
+    )
+    pairs_parser.add_argument(
+        "--prefilter",
+        type=float,
+        default=0.0,
+        help="cardinality pre-filter threshold (prunes pairs whose size-ratio "
+        "bound is below it)",
+    )
+    pairs_parser.add_argument("--csv", action="store_true")
+    pairs_parser.set_defaults(handler=_cmd_pairs)
+
+    shards_parser = subparsers.add_parser(
+        "shards", help="cross-shard VOS accuracy across shard counts"
+    )
+    _add_common_options(shards_parser)
+    _add_accuracy_options(shards_parser)
+    shards_parser.add_argument("--dataset", default="youtube", help="dataset name")
+    shards_parser.add_argument(
+        "--shard-counts",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="shard counts N to compare (each under the same total budget)",
+    )
+    shards_parser.set_defaults(handler=_cmd_shards)
 
     bias_parser = subparsers.add_parser("bias", help="sampling-bias ablation (A3)")
     bias_parser.add_argument(

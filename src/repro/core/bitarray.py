@@ -60,6 +60,24 @@ class SharedBitArray:
         """Read ``A[position]``."""
         return self._bits[position]
 
+    def read_bits(self, positions) -> "np.ndarray":
+        """Read many positions at once; an index array of any shape keeps its shape.
+
+        This is the bulk-gather primitive of the vectorized query path: one
+        call with an ``(n_users, k)`` position matrix recovers ``n_users``
+        virtual sketches as a bit matrix.
+        """
+        return self._bits.gather(positions)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (see :meth:`~repro.hashing.bitpack.PackedBitArray.version`).
+
+        Query-side caches of recovered virtual sketches use this to notice
+        that ingest changed the array underneath them.
+        """
+        return self._bits.version
+
     def xor_bulk(self, positions) -> int:
         """Xor 1 into every listed position at once (repeats fold modulo 2).
 

@@ -22,11 +22,21 @@ and, using ``s_uv = (n_u + n_v - n_Δ) / 2``, to
 
 The module also provides the analytical expectation and variance of ``ŝ_uv``
 stated in the paper, used by the analysis subpackage and its tests.
+
+Every estimator exists in two forms: the scalar functions below and
+array-valued counterparts (``estimate_jaccard_arrays`` etc.) that evaluate a
+whole batch of pairs at once.  The array forms are **bit-identical** to
+looping the scalar forms: the only transcendental step, ``ln|1 - 2x|``, is
+evaluated once per *unique* input value with the very same scalar code and
+scattered back, which is cheap because ``alpha`` can only take the ``k + 1``
+discrete values ``count / k`` and ``beta`` one value per shard.
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, EstimationError
 
@@ -217,6 +227,156 @@ def estimate_jaccard_cross(
     if union <= 0:
         return 1.0 if cardinality_a == 0 and cardinality_b == 0 else 0.0
     return min(1.0, max(0.0, common / union))
+
+
+# -- array-valued estimators (the bulk query path) -----------------------------------
+#
+# ``repro.core.vos`` and ``repro.service.sharding`` score whole blocks of
+# candidate pairs at once: one xor-popcount pass produces an ``alpha`` array,
+# and the functions below turn it into symmetric-difference / common-item /
+# Jaccard arrays.  ``betas_a`` / ``betas_b`` broadcast, so the single-array
+# caller passes two scalars and the sharded caller passes per-pair arrays.
+
+
+def _validate_unit_interval_array(name: str, values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    # The comparisons are phrased positively so NaN fails them too, matching
+    # the scalar validators (`not 0.0 <= value <= 1.0` rejects NaN).
+    if arr.size and not bool(((arr >= 0.0) & (arr <= 1.0)).all()):
+        raise ConfigurationError(f"{name} must be in [0, 1]")
+    return arr
+
+
+def _safe_log_one_minus_two_array(
+    values: np.ndarray, *, floor: float, strict: bool
+) -> np.ndarray:
+    """Vectorized :func:`_safe_log_one_minus_two`, bit-exact with the scalar form.
+
+    The logarithm is evaluated once per unique input value using the scalar
+    helper itself, so saturation handling (and every last floating-point bit)
+    matches a Python loop exactly.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    flat = arr.ravel()
+    # np.unique without return_inverse is a plain sort; the inverse mapping is
+    # recovered with a searchsorted over the (tiny) unique-value table, which
+    # is several times faster than unique's own inverse path on large inputs.
+    unique = np.unique(flat)
+    logs = np.empty(unique.shape[0], dtype=np.float64)
+    for index, value in enumerate(unique.tolist()):
+        logs[index] = _safe_log_one_minus_two(value, floor=floor, strict=strict)
+    return logs[np.searchsorted(unique, flat)].reshape(arr.shape)
+
+
+def estimate_symmetric_difference_arrays(
+    alphas,
+    betas_a,
+    betas_b,
+    sketch_size: int,
+    *,
+    strict: bool = False,
+) -> np.ndarray:
+    """Array form of :func:`estimate_symmetric_difference_cross`.
+
+    ``alphas`` is the per-pair xor-load array; ``betas_a`` / ``betas_b`` are
+    the fill fractions of the arrays each side was recovered from (scalars or
+    arrays broadcastable against ``alphas``).  Element ``t`` of the result
+    equals ``estimate_symmetric_difference_cross(alphas[t], betas_a[t],
+    betas_b[t], sketch_size)`` bitwise.
+    """
+    if sketch_size <= 0:
+        raise ConfigurationError(f"sketch_size must be positive, got {sketch_size}")
+    alphas = _validate_unit_interval_array("alpha", alphas)
+    betas_a = _validate_unit_interval_array("beta", betas_a)
+    betas_b = _validate_unit_interval_array("beta", betas_b)
+    floor = 1.0 / (2.0 * sketch_size)
+    log_alpha_terms = _safe_log_one_minus_two_array(alphas, floor=floor, strict=strict)
+    log_beta_terms = _safe_log_one_minus_two_array(
+        betas_a, floor=floor, strict=strict
+    ) + _safe_log_one_minus_two_array(betas_b, floor=floor, strict=strict)
+    estimates = -float(sketch_size) * (log_alpha_terms - log_beta_terms) / 2.0
+    return np.maximum(0.0, estimates)
+
+
+def _validate_cardinality_arrays(cardinalities_a, cardinalities_b):
+    ca = np.asarray(cardinalities_a, dtype=np.int64)
+    cb = np.asarray(cardinalities_b, dtype=np.int64)
+    if (ca.size and int(ca.min()) < 0) or (cb.size and int(cb.min()) < 0):
+        raise ConfigurationError("cardinalities must be non-negative")
+    return ca, cb
+
+
+def estimate_common_items_arrays(
+    alphas,
+    betas_a,
+    betas_b,
+    sketch_size: int,
+    cardinalities_a,
+    cardinalities_b,
+    *,
+    strict: bool = False,
+    clamp: bool = True,
+) -> np.ndarray:
+    """Array form of :func:`estimate_common_items_cross` (bit-exact per element)."""
+    ca, cb = _validate_cardinality_arrays(cardinalities_a, cardinalities_b)
+    n_delta = estimate_symmetric_difference_arrays(
+        alphas, betas_a, betas_b, sketch_size, strict=strict
+    )
+    estimates = (ca + cb - n_delta) / 2.0
+    if clamp:
+        estimates = np.minimum(
+            np.minimum(ca, cb).astype(np.float64), np.maximum(0.0, estimates)
+        )
+    return estimates
+
+
+def jaccard_from_common_arrays(
+    commons, cardinalities_a, cardinalities_b
+) -> np.ndarray:
+    """Array form of the ``J = s / (n_u + n_v - s)`` conversion, clamped to [0, 1].
+
+    ``commons`` must already be clamped into the feasible range (as
+    :func:`estimate_common_items_arrays` returns it).  Splitting this step out
+    lets a caller that needs *both* estimates derive the Jaccard array from
+    the common-item array it already holds instead of re-running the whole
+    inversion pipeline.
+    """
+    ca, cb = _validate_cardinality_arrays(cardinalities_a, cardinalities_b)
+    unions = ca + cb - commons
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaccards = np.minimum(1.0, np.maximum(0.0, commons / unions))
+    degenerate = unions <= 0
+    if np.any(degenerate):
+        both_empty = (ca == 0) & (cb == 0)
+        jaccards = np.where(
+            degenerate, np.where(both_empty, 1.0, 0.0), jaccards
+        )
+    return jaccards
+
+
+def estimate_jaccard_arrays(
+    alphas,
+    betas_a,
+    betas_b,
+    sketch_size: int,
+    cardinalities_a,
+    cardinalities_b,
+    *,
+    strict: bool = False,
+) -> np.ndarray:
+    """Array form of :func:`estimate_jaccard_cross` (bit-exact per element)."""
+    ca, cb = _validate_cardinality_arrays(cardinalities_a, cardinalities_b)
+    common = estimate_common_items_arrays(
+        alphas,
+        betas_a,
+        betas_b,
+        sketch_size,
+        ca,
+        cb,
+        strict=strict,
+        clamp=True,
+    )
+    return jaccard_from_common_arrays(common, ca, cb)
 
 
 def estimator_expectation(

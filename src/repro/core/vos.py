@@ -26,14 +26,20 @@ closed-form estimators in :mod:`repro.core.estimators`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Sequence
+
 import numpy as np
 
-from repro.baselines.base import SimilaritySketch
+from repro.baselines.base import SimilaritySketch, normalize_pair_indices
 from repro.core.bitarray import SharedBitArray
 from repro.core.estimators import (
     estimate_common_items,
+    estimate_common_items_arrays,
     estimate_jaccard,
+    estimate_jaccard_arrays,
     estimate_symmetric_difference,
+    jaccard_from_common_arrays,
 )
 from repro.core.memory import MemoryBudget, vos_parameters_for_budget
 from repro.exceptions import ConfigurationError, UnknownUserError
@@ -41,8 +47,116 @@ from repro.hashing import HashFamily, UniversalHash
 from repro.hashing.universal import stable_hash64
 from repro.streams.edge import Action, StreamElement, UserId
 
+#: Pairs scored per xor/popcount block in the bulk query path.  Each block
+#: materializes ``block * ceil(k / 8)`` bytes of xored rows, so this bounds
+#: peak memory (~12 MiB at k = 1536) without limiting how many pairs one call
+#: may score.
+PAIR_BLOCK_PAIRS = 1 << 16
 
-class VirtualOddSketch(SimilaritySketch):
+_POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+
+def _popcount_table(values: np.ndarray) -> np.ndarray:
+    """Per-element popcount via a byte table (fallback for numpy < 2.0).
+
+    Wide lanes (e.g. the ``uint64`` words :func:`pair_xor_counts` operates on)
+    are reinterpreted as bytes first, so each element's count is spread over
+    its bytes — summing an axis therefore gives the same totals as
+    ``np.bitwise_count``.
+    """
+    return _POPCOUNT8[np.ascontiguousarray(values).view(np.uint8)]
+
+
+# numpy >= 2.0 has a native popcount ufunc; the byte table is the fallback.
+_bitwise_count = getattr(np, "bitwise_count", _popcount_table)
+
+
+def packed_row_bytes(sketch_size: int) -> int:
+    """Bytes per bit-packed sketch row, padded to whole 64-bit words.
+
+    The padding lets :func:`pair_xor_counts` xor and popcount rows as
+    ``uint64`` lanes (8x fewer elementwise operations than per byte); pad bits
+    are zero in every row, so they never affect a count.
+    """
+    return ((sketch_size + 63) // 64) * 8
+
+
+def pair_xor_counts(rows: np.ndarray, index_a: np.ndarray, index_b: np.ndarray) -> np.ndarray:
+    """Popcount of ``rows[index_a[t]] ^ rows[index_b[t]]`` for every pair ``t``.
+
+    ``rows`` is a matrix of bit-packed virtual sketches (one user per row, 8
+    virtual bits per byte, rows padded to whole 64-bit words — see
+    :func:`packed_row_bytes`).  Pairs are processed in fixed-size blocks so
+    the intermediate xor matrix never exceeds a few megabytes regardless of
+    the candidate count.
+    """
+    words = rows.view(np.uint64) if rows.shape[1] % 8 == 0 else rows
+    counts = np.empty(index_a.shape[0], dtype=np.int64)
+    for start in range(0, index_a.shape[0], PAIR_BLOCK_PAIRS):
+        stop = start + PAIR_BLOCK_PAIRS
+        xored = words[index_a[start:stop]] ^ words[index_b[start:stop]]
+        counts[start:stop] = _bitwise_count(xored).sum(axis=1, dtype=np.int64)
+    return counts
+
+
+class VectorizedPairQueries:
+    """Mixin: the vectorized indexed estimators on top of one per-pair hook.
+
+    A subclass provides :meth:`_indexed_pair_arrays` returning per-pair
+    ``(alphas, betas_a, betas_b, cardinalities_a, cardinalities_b)`` — the
+    betas may be scalars (one shared array) or per-pair arrays (cross-shard
+    pairs) — and inherits the three bulk estimator entry points, all
+    bit-identical to the scalar per-pair loop.  Used by both
+    :class:`VirtualOddSketch` and :class:`~repro.service.sharding.ShardedVOS`.
+    """
+
+    virtual_sketch_size: int
+
+    def _indexed_pair_arrays(
+        self, users: Sequence[UserId], index_a: np.ndarray, index_b: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        raise NotImplementedError  # pragma: no cover - provided by subclasses
+
+    def estimate_jaccard_indexed(
+        self, users: Sequence[UserId], index_a, index_b
+    ) -> np.ndarray:
+        users = list(users)
+        index_a, index_b = normalize_pair_indices(index_a, index_b)
+        alphas, betas_a, betas_b, cards_a, cards_b = self._indexed_pair_arrays(
+            users, index_a, index_b
+        )
+        return estimate_jaccard_arrays(
+            alphas, betas_a, betas_b, self.virtual_sketch_size, cards_a, cards_b
+        )
+
+    def estimate_common_items_indexed(
+        self, users: Sequence[UserId], index_a, index_b
+    ) -> np.ndarray:
+        users = list(users)
+        index_a, index_b = normalize_pair_indices(index_a, index_b)
+        alphas, betas_a, betas_b, cards_a, cards_b = self._indexed_pair_arrays(
+            users, index_a, index_b
+        )
+        return estimate_common_items_arrays(
+            alphas, betas_a, betas_b, self.virtual_sketch_size, cards_a, cards_b
+        )
+
+    def estimate_common_and_jaccard_indexed(
+        self, users: Sequence[UserId], index_a, index_b
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One xor pass feeds both estimators; Jaccard derives from the commons."""
+        users = list(users)
+        index_a, index_b = normalize_pair_indices(index_a, index_b)
+        alphas, betas_a, betas_b, cards_a, cards_b = self._indexed_pair_arrays(
+            users, index_a, index_b
+        )
+        commons = estimate_common_items_arrays(
+            alphas, betas_a, betas_b, self.virtual_sketch_size, cards_a, cards_b
+        )
+        return commons, jaccard_from_common_arrays(commons, cards_a, cards_b)
+
+
+class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
     """The VOS streaming sketch for user-pair similarity over dynamic graph streams.
 
     Parameters
@@ -87,6 +201,7 @@ class VirtualOddSketch(SimilaritySketch):
         *,
         seed: int = 0,
         cache_positions: bool = True,
+        sketch_cache_size: int = 1024,
     ) -> None:
         super().__init__()
         if shared_array_bits <= 0:
@@ -102,6 +217,10 @@ class VirtualOddSketch(SimilaritySketch):
                 "virtual_sketch_size cannot exceed shared_array_bits "
                 f"({virtual_sketch_size} > {shared_array_bits})"
             )
+        if sketch_cache_size < 0:
+            raise ConfigurationError(
+                f"sketch_cache_size must be non-negative, got {sketch_cache_size}"
+            )
         self.shared_array_bits = shared_array_bits
         self.virtual_sketch_size = virtual_sketch_size
         self.seed = seed
@@ -116,6 +235,15 @@ class VirtualOddSketch(SimilaritySketch):
         )
         self._cache_positions = cache_positions
         self._position_cache: dict[UserId, np.ndarray] = {}
+        # LRU cache of hot users' recovered virtual sketches, stored bit-packed
+        # (8 virtual bits per byte).  Entries are valid only for the shared
+        # array version they were read at; any write invalidates them all,
+        # which keeps query results indistinguishable from uncached reads.
+        self._sketch_cache_size = sketch_cache_size
+        self._sketch_cache: OrderedDict[UserId, np.ndarray] = OrderedDict()
+        self._sketch_cache_version = -1
+        self._sketch_cache_hits = 0
+        self._sketch_cache_misses = 0
 
     # -- construction helpers --------------------------------------------------------
 
@@ -126,6 +254,7 @@ class VirtualOddSketch(SimilaritySketch):
         *,
         size_multiplier: float = 2.0,
         seed: int = 0,
+        sketch_cache_size: int = 1024,
     ) -> "VirtualOddSketch":
         """Build a VOS instance under the paper's equal-memory budget.
 
@@ -137,6 +266,7 @@ class VirtualOddSketch(SimilaritySketch):
             shared_array_bits=parameters.shared_array_bits,
             virtual_sketch_size=parameters.virtual_sketch_size,
             seed=seed,
+            sketch_cache_size=sketch_cache_size,
         )
 
     # -- position handling -------------------------------------------------------------
@@ -157,6 +287,31 @@ class VirtualOddSketch(SimilaritySketch):
         if cached is not None:
             return int(cached[virtual_index])
         return self._user_hashes[virtual_index](user)
+
+    def _positions_matrix(self, users: Sequence[UserId]) -> np.ndarray:
+        """The ``(len(users), k)`` matrix of the users' virtual-bit positions.
+
+        Rows of users already in the position cache are copied from it; all
+        remaining rows are computed in one vectorized family evaluation
+        (:meth:`~repro.hashing.families.HashFamily.apply_many_array`).
+        """
+        matrix = np.empty((len(users), self.virtual_sketch_size), dtype=np.int64)
+        missing: list[int] = []
+        for row, user in enumerate(users):
+            cached = self._position_cache.get(user)
+            if cached is None:
+                missing.append(row)
+            else:
+                matrix[row] = cached
+        if missing:
+            computed = self._user_hashes.apply_many_array(
+                [users[row] for row in missing]
+            )
+            matrix[missing] = computed
+            if self._cache_positions:
+                for offset, row in enumerate(missing):
+                    self._position_cache[users[row]] = computed[offset]
+        return matrix
 
     # -- streaming updates ----------------------------------------------------------------
 
@@ -233,7 +388,96 @@ class VirtualOddSketch(SimilaritySketch):
         if not self.has_user(user):
             raise UnknownUserError(user)
         positions = self._positions(user)
-        return self._array._bits.gather(positions)
+        return self._array.read_bits(positions)
+
+    # -- bulk queries ------------------------------------------------------------------
+
+    def _packed_rows(self, users: Sequence[UserId]) -> np.ndarray:
+        """Bit-packed virtual sketches, one row per user, via the LRU row cache.
+
+        The cache is keyed on the shared array's mutation version: any ingest
+        since the rows were read invalidates every entry (a single xor can
+        land in any user's virtual bits), so cached reads are always exactly
+        what an uncached gather would return.  Missing rows are recovered with
+        one fancy-indexed read of the shared array and packed 8 bits/byte.
+        """
+        for user in users:
+            if user not in self._cardinalities:
+                raise UnknownUserError(user)
+        version = self._array.version
+        if version != self._sketch_cache_version:
+            self._sketch_cache.clear()
+            self._sketch_cache_version = version
+        row_bytes = packed_row_bytes(self.virtual_sketch_size)
+        packed = np.zeros((len(users), row_bytes), dtype=np.uint8)
+        missing: list[int] = []
+        cache = self._sketch_cache
+        for row, user in enumerate(users):
+            cached = cache.get(user) if self._sketch_cache_size else None
+            if cached is None:
+                missing.append(row)
+            else:
+                cache.move_to_end(user)
+                self._sketch_cache_hits += 1
+                packed[row] = cached
+        if missing:
+            self._sketch_cache_misses += len(missing)
+            missing_users = [users[row] for row in missing]
+            positions = self._positions_matrix(missing_users)
+            fresh = np.zeros((len(missing), row_bytes), dtype=np.uint8)
+            bits = np.packbits(self._array.read_bits(positions), axis=1)
+            fresh[:, : bits.shape[1]] = bits
+            packed[missing] = fresh
+            if self._sketch_cache_size:
+                for offset, user in enumerate(missing_users):
+                    # Copy the row out of the batch matrix: a cached view
+                    # would pin the whole gather result in memory for as long
+                    # as any one of its rows survives in the cache.
+                    cache[user] = fresh[offset].copy()
+                    cache.move_to_end(user)
+                while len(cache) > self._sketch_cache_size:
+                    cache.popitem(last=False)
+        return packed
+
+    def sketch_matrix(self, users: Sequence[UserId]) -> np.ndarray:
+        """Recover many users' virtual sketches as an ``(n, k)`` uint8 bit matrix.
+
+        Row ``i`` equals ``virtual_sketch(users[i])``; the whole matrix is
+        gathered with one fancy-indexed read of the shared array (plus the
+        packed-row cache for users queried recently).
+        """
+        users = list(users)
+        packed = self._packed_rows(users)
+        return np.unpackbits(packed, axis=1, count=self.virtual_sketch_size)
+
+    def sketch_cache_info(self) -> dict[str, int]:
+        """Occupancy and hit/miss counters of the packed-row LRU cache."""
+        return {
+            "entries": len(self._sketch_cache),
+            "capacity": self._sketch_cache_size,
+            "hits": self._sketch_cache_hits,
+            "misses": self._sketch_cache_misses,
+        }
+
+    def _indexed_pair_arrays(
+        self, users: Sequence[UserId], index_a: np.ndarray, index_b: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """The :class:`VectorizedPairQueries` hook for a single shared array.
+
+        One packed-row gather for the unique users, then blockwise xor +
+        popcount over the pair index arrays; both sides of every pair share
+        the global fill fraction ``beta``.
+        """
+        rows = self._packed_rows(users)
+        counts = pair_xor_counts(rows, index_a, index_b)
+        alphas = counts.astype(np.float64) / self.virtual_sketch_size
+        cardinalities = np.fromiter(
+            (self._cardinalities[user] for user in users),
+            dtype=np.int64,
+            count=len(users),
+        )
+        beta = self.beta
+        return alphas, beta, beta, cardinalities[index_a], cardinalities[index_b]
 
     def pair_alpha(self, user_a: UserId, user_b: UserId) -> float:
         """The observed xor load ``alpha`` for a user pair."""

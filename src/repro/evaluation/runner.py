@@ -59,6 +59,12 @@ class ExperimentConfig:
         Number of evenly spaced times at which metrics are recorded.
     seed:
         Seed shared by all sketches.
+    shard_counts:
+        Extra hash-partitioned VOS variants to track: for each count ``N`` a
+        ``VOS-sharded-N`` method is built under the *same* total memory budget
+        (``N`` arrays of ``ceil(m / N)`` bits), so the accuracy harness
+        quantifies the cross-shard estimator's extra variance against
+        single-array VOS as the shard count grows.
     """
 
     methods: tuple[str, ...] = ("MinHash", "OPH", "RP", "VOS")
@@ -70,14 +76,17 @@ class ExperimentConfig:
     max_pairs: int | None = 200
     num_checkpoints: int = 8
     seed: int = 0
+    shard_counts: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
-        if not self.methods:
+        if not self.methods and not self.shard_counts:
             raise ConfigurationError("at least one method is required")
         if self.baseline_registers <= 0:
             raise ConfigurationError("baseline_registers must be positive")
         if self.num_checkpoints <= 0:
             raise ConfigurationError("num_checkpoints must be positive")
+        if any(count <= 0 for count in self.shard_counts):
+            raise ConfigurationError("shard_counts must be positive")
 
 
 @dataclass
@@ -138,6 +147,18 @@ class AccuracyExperiment:
                 )
             else:
                 sketches[name] = build_sketch(name, budget, seed=self.config.seed)
+        if self.config.shard_counts:
+            # Imported lazily: the service layer sits above the evaluation
+            # layer, mirroring the registry's treatment in similarity.engine.
+            from repro.service.sharding import ShardedVOS
+
+            for count in self.config.shard_counts:
+                sketches[f"VOS-sharded-{count}"] = ShardedVOS.from_budget(
+                    budget,
+                    num_shards=count,
+                    size_multiplier=self.config.vos_size_multiplier,
+                    seed=self.config.seed,
+                )
         return sketches
 
     # -- main loop ------------------------------------------------------------------------
@@ -196,7 +217,8 @@ class AccuracyExperiment:
             if not record.true_common:
                 continue
             sketch = sketches[name]
-            beta = sketch.beta if isinstance(sketch, VirtualOddSketch) else None
+            # VOS and its sharded variant both expose a fill fraction.
+            beta = getattr(sketch, "beta", None)
             result.checkpoints[name].append(
                 AccuracyCheckpoint(
                     time=time,

@@ -42,13 +42,14 @@ class PackedBitArray:
     0.125
     """
 
-    __slots__ = ("_bits", "_ones")
+    __slots__ = ("_bits", "_ones", "_version")
 
     def __init__(self, size: int) -> None:
         if size <= 0:
             raise ConfigurationError(f"bit array size must be positive, got {size}")
         self._bits = np.zeros(size, dtype=np.uint8)
         self._ones = 0
+        self._version = 0
 
     def __len__(self) -> int:
         return int(self._bits.shape[0])
@@ -69,6 +70,18 @@ class PackedBitArray:
         """Fraction of set bits — the quantity the paper calls ``beta``."""
         return self._ones / len(self)
 
+    @property
+    def version(self) -> int:
+        """Counter bumped on every mutation.
+
+        Readers that cache derived views of the bits (e.g. the VOS query path
+        caching users' recovered sketch rows) compare versions to detect that
+        the array changed underneath them.  Two equal versions guarantee the
+        bits are unchanged; unequal versions say nothing about how much
+        changed.
+        """
+        return self._version
+
     def set(self, index: int, value: int) -> None:
         """Set bit ``index`` to ``value`` (0 or 1), updating the popcount."""
         value = 1 if value else 0
@@ -76,12 +89,14 @@ class PackedBitArray:
         if old != value:
             self._bits[index] = value
             self._ones += value - old
+            self._version += 1
 
     def flip(self, index: int) -> int:
         """Xor bit ``index`` with 1 and return its new value."""
         new = int(self._bits[index]) ^ 1
         self._bits[index] = new
         self._ones += 1 if new else -1
+        self._version += 1
         return new
 
     def xor_value(self, index: int, value: int) -> int:
@@ -91,7 +106,15 @@ class PackedBitArray:
         return int(self._bits[index])
 
     def gather(self, indices: Iterable[int]) -> np.ndarray:
-        """Return the bits at ``indices`` as a ``numpy.uint8`` vector."""
+        """Return the bits at ``indices`` as a ``numpy.uint8`` array.
+
+        Accepts any iterable of positions; an index *array* of any shape takes
+        a zero-copy fast path and the result preserves its shape, which is how
+        the bulk query path reads a whole ``(n_users, k)`` position matrix in
+        one call.
+        """
+        if isinstance(indices, np.ndarray):
+            return self._bits[indices.astype(np.int64, copy=False)]
         idx = np.fromiter(indices, dtype=np.int64)
         return self._bits[idx]
 
@@ -120,6 +143,7 @@ class PackedBitArray:
         previously_set = int(self._bits[odd].sum(dtype=np.int64))
         self._bits[odd] ^= 1
         self._ones += int(odd.size) - 2 * previously_set
+        self._version += 1
         return int(odd.size)
 
     def to_list(self) -> list[int]:
@@ -130,6 +154,7 @@ class PackedBitArray:
         """Reset every bit to zero."""
         self._bits[:] = 0
         self._ones = 0
+        self._version += 1
 
     def to_packed_bytes(self) -> bytes:
         """Serialize the bits 8-per-byte (``ceil(len/8)`` bytes, big-endian bit order)."""
@@ -149,6 +174,7 @@ class PackedBitArray:
         bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=len(self))
         self._bits = bits
         self._ones = int(bits.sum(dtype=np.int64))
+        self._version += 1
 
     def memory_bits(self) -> int:
         """Memory this array accounts for under the paper's cost model (1 bit/position)."""

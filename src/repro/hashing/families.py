@@ -136,6 +136,27 @@ class HashFamily:
         wide = _affine_mod_mersenne(fingerprint, self._coeff_a, self._coeff_b)
         return (wide % np.uint64(self.range_size)).astype(np.int64)
 
+    def apply_many_array(self, keys) -> np.ndarray:
+        """Vectorized :meth:`apply_all` for many keys: an ``(n, size)`` matrix.
+
+        Row ``i`` is bit-exact with ``apply_all_array(keys[i])``.  Rows are
+        evaluated one vectorized affine step at a time rather than as a single
+        broadcast over the full ``(n, size)`` matrix: the affine reduction
+        needs ~20 elementwise passes, and keeping each pass within one
+        row-sized buffer is several times faster than streaming n-row
+        temporaries through memory.  Keys may be any hashable objects.
+        This is how the VOS bulk query path computes many users' ``k``
+        virtual-bit positions at once.
+        """
+        keys = list(keys)
+        matrix = np.empty((len(keys), self.size), dtype=np.int64)
+        range_size = np.uint64(self.range_size)
+        for row, key in enumerate(keys):
+            fingerprint = np.uint64(fingerprint64(key))
+            wide = _affine_mod_mersenne(fingerprint, self._coeff_a, self._coeff_b)
+            matrix[row] = (wide % range_size).astype(np.int64)
+        return matrix
+
     def hash_pairs(self, keys, member_indices) -> np.ndarray:
         """Evaluate ``self[member_indices[i]](keys[i])`` for a whole batch at once.
 

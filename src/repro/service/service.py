@@ -52,6 +52,9 @@ class ServiceConfig:
     size_multiplier: float = 2.0
     seed: int = 0
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: Per-shard capacity of the packed-row LRU cache used by the bulk query
+    #: path (hot users' recovered virtual sketches); 0 disables caching.
+    sketch_cache_size: int = 1024
 
     def budget(self) -> MemoryBudget:
         """The equal-memory budget this configuration provisions."""
@@ -95,6 +98,7 @@ class SimilarityService:
             num_shards=config.num_shards,
             size_multiplier=config.size_multiplier,
             seed=config.seed,
+            sketch_cache_size=config.sketch_cache_size,
         )
         return cls(sketch, batch_size=config.batch_size)
 
@@ -123,6 +127,17 @@ class SimilarityService:
         """Both similarity estimates for one user pair."""
         return self._sketch.estimate_pair(user_a, user_b)
 
+    def estimate_many(
+        self, pairs: Iterable[tuple[UserId, UserId]]
+    ) -> list[PairEstimate]:
+        """Both estimates for every listed pair in one vectorized pass.
+
+        This is the bulk form of :meth:`estimate`: all pairs share a single
+        sketch gather and xor/popcount sweep, so scoring a block of candidate
+        pairs costs a few numpy passes instead of a Python loop.
+        """
+        return self._sketch.estimate_pairs(pairs)
+
     def top_k(
         self,
         user: UserId,
@@ -146,10 +161,20 @@ class SimilarityService:
         k: int = 10,
         users: Iterable[UserId] | None = None,
         minimum_cardinality: int = 1,
+        prefilter_threshold: float = 0.0,
     ) -> list[ScoredPair]:
-        """The ``k`` most similar pairs among ``users`` (all users by default)."""
+        """The ``k`` most similar pairs among ``users`` (all users by default).
+
+        ``prefilter_threshold`` enables the vectorized cardinality pre-filter:
+        pairs whose size-ratio bound falls below it are pruned before any
+        sketch gather is spent on them.
+        """
         return top_k_similar_pairs(
-            self._sketch, k=k, users=users, minimum_cardinality=minimum_cardinality
+            self._sketch,
+            k=k,
+            users=users,
+            minimum_cardinality=minimum_cardinality,
+            prefilter_threshold=prefilter_threshold,
         )
 
     def stats(self) -> dict:
@@ -168,6 +193,7 @@ class SimilarityService:
             stats["shard_betas"] = sketch.betas()
         else:
             stats["num_shards"] = 1
+        stats["sketch_cache"] = sketch.sketch_cache_info()
         return stats
 
     # -- persistence -----------------------------------------------------------------

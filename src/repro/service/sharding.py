@@ -29,6 +29,7 @@ ceil(m / N)`` bits for a total budget of ``m``.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,14 +40,19 @@ from repro.core.estimators import (
     estimate_symmetric_difference_cross,
 )
 from repro.core.memory import MemoryBudget, vos_parameters_for_budget
-from repro.core.vos import VirtualOddSketch
+from repro.core.vos import (
+    VectorizedPairQueries,
+    VirtualOddSketch,
+    packed_row_bytes,
+    pair_xor_counts,
+)
 from repro.exceptions import ConfigurationError
 from repro.hashing import UniversalHash
 from repro.hashing.universal import stable_hash64
 from repro.streams.edge import StreamElement, UserId
 
 
-class ShardedVOS(SimilaritySketch):
+class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
     """VOS state hash-partitioned across independent shards.
 
     Parameters
@@ -83,6 +89,7 @@ class ShardedVOS(SimilaritySketch):
         *,
         seed: int = 0,
         cache_positions: bool = True,
+        sketch_cache_size: int = 1024,
     ) -> None:
         super().__init__()
         if num_shards <= 0:
@@ -97,6 +104,7 @@ class ShardedVOS(SimilaritySketch):
                 virtual_sketch_size,
                 seed=seed,
                 cache_positions=cache_positions,
+                sketch_cache_size=sketch_cache_size,
             )
             for _ in range(num_shards)
         ]
@@ -114,6 +122,7 @@ class ShardedVOS(SimilaritySketch):
         num_shards: int = 4,
         size_multiplier: float = 2.0,
         seed: int = 0,
+        sketch_cache_size: int = 1024,
     ) -> "ShardedVOS":
         """Split the paper's equal-memory budget evenly across ``num_shards``.
 
@@ -126,7 +135,13 @@ class ShardedVOS(SimilaritySketch):
         parameters = vos_parameters_for_budget(budget, size_multiplier=size_multiplier)
         shard_bits = math.ceil(parameters.shared_array_bits / num_shards)
         virtual_size = min(parameters.virtual_sketch_size, shard_bits)
-        return cls(num_shards, shard_bits, virtual_size, seed=seed)
+        return cls(
+            num_shards,
+            shard_bits,
+            virtual_size,
+            seed=seed,
+            sketch_cache_size=sketch_cache_size,
+        )
 
     # -- routing ---------------------------------------------------------------------
 
@@ -253,6 +268,65 @@ class ShardedVOS(SimilaritySketch):
             self.cardinality(user_a),
             self.cardinality(user_b),
         )
+
+    # -- bulk queries ----------------------------------------------------------------
+
+    def _user_rows(
+        self, users: Sequence[UserId]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Packed sketch rows, fill fractions and cardinalities per listed user.
+
+        Users are grouped by owning shard so each shard performs one bulk
+        packed-row gather (hitting its own LRU row cache); the rows are then
+        scattered back into input order alongside each user's shard ``beta``
+        and exact cardinality.
+        """
+        rows = np.empty(
+            (len(users), packed_row_bytes(self.virtual_sketch_size)), dtype=np.uint8
+        )
+        betas = np.empty(len(users), dtype=np.float64)
+        cardinalities = np.empty(len(users), dtype=np.int64)
+        shard_of_user = [self.shard_of(user) for user in users]
+        for shard_index in sorted(set(shard_of_user)):
+            member_rows = [
+                row for row, owner in enumerate(shard_of_user) if owner == shard_index
+            ]
+            shard = self._shards[shard_index]
+            member_users = [users[row] for row in member_rows]
+            rows[member_rows] = shard._packed_rows(member_users)
+            betas[member_rows] = shard.beta
+            cardinalities[member_rows] = [
+                shard.cardinality(user) for user in member_users
+            ]
+        return rows, betas, cardinalities
+
+    def _indexed_pair_arrays(
+        self, users: Sequence[UserId], index_a: np.ndarray, index_b: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """The :class:`~repro.core.vos.VectorizedPairQueries` hook across shards.
+
+        Each pair side carries the fill fraction of the shard its user lives
+        on, so the shared estimator entry points evaluate the two-array
+        (cross-shard) generalization pair by pair.
+        """
+        rows, betas, cardinalities = self._user_rows(users)
+        counts = pair_xor_counts(rows, index_a, index_b)
+        alphas = counts.astype(np.float64) / self.virtual_sketch_size
+        return (
+            alphas,
+            betas[index_a],
+            betas[index_b],
+            cardinalities[index_a],
+            cardinalities[index_b],
+        )
+
+    def sketch_cache_info(self) -> dict[str, int]:
+        """Aggregate packed-row cache counters over all shards."""
+        totals = {"entries": 0, "capacity": 0, "hits": 0, "misses": 0}
+        for shard in self._shards:
+            for key, value in shard.sketch_cache_info().items():
+                totals[key] += value
+        return totals
 
     # -- accounting ------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Similar-pair search on top of a streaming sketch.
+"""Similar-pair search on top of a streaming sketch — the vectorized query path.
 
 The example applications (duplicate detection, collaborative filtering) both
 need more than a single pairwise query: they want "the most similar pairs
@@ -7,18 +7,44 @@ those search primitives over any sketch implementing the common interface,
 with an optional cardinality pre-filter that prunes pairs whose size ratio
 already bounds their Jaccard coefficient below the requested threshold
 (``J(A, B) <= min(|A|,|B|) / max(|A|,|B|)`` for any two sets).
+
+All three search functions are built on the sketch interface's *bulk* query
+API (:meth:`~repro.baselines.base.SimilaritySketch.estimate_jaccard_indexed`):
+candidate pairs are enumerated as numpy index arrays in bounded-size blocks
+(at most :data:`SEARCH_PAIR_BLOCK` pairs each, so memory stays O(block) even
+for huge pools), pruned with a vectorized cardinality pre-filter, scored in
+bulk, and ranked lexicographically.  For VOS this makes the whole search a
+handful of numpy passes; for sketches without a vectorized override the bulk
+API falls back to the per-pair loop, so results are identical either way —
+just slower.
+
+Ordering is fully deterministic: pairs are ranked by descending Jaccard with
+ties broken by the candidates' position in the sorted candidate list.  The
+candidate sort key is type-safe (type name first, value second), so user
+populations mixing e.g. ``int`` and ``str`` identifiers are handled instead
+of raising ``TypeError`` — while pools of uniformly typed users keep their
+natural order.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from itertools import combinations
+
+import numpy as np
 
 from repro.baselines.base import SimilaritySketch
 from repro.exceptions import ConfigurationError
 from repro.streams.edge import UserId
+
+#: Upper bound on candidate pairs enumerated and scored per bulk call.  The
+#: all-pairs searches stream ``i < j`` blocks of at most this many pairs, so
+#: their peak memory is O(block + result) rather than O(n^2) even though the
+#: search itself remains quadratic in time.  Scoring a block materializes
+#: roughly ten block-length float64/int64 temporaries across the index,
+#: gather and estimator stages, so 2^20 pairs keeps the transient peak in the
+#: tens of megabytes while still amortizing the per-call numpy overhead.
+SEARCH_PAIR_BLOCK = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -31,15 +57,26 @@ class ScoredPair:
     common_items: float
 
 
+def _user_sort_key(user: UserId) -> tuple[str, UserId]:
+    """Stable, type-safe ordering key for user identifiers.
+
+    Sorting on ``(type name, value)`` keeps the natural order within every
+    uniformly typed population and never compares values of different types,
+    so mixed ``int``/``str`` user ids cannot raise ``TypeError``.
+    """
+    return (type(user).__name__, user)
+
+
 def _candidate_users(
     sketch: SimilaritySketch, users: Iterable[UserId] | None, minimum_cardinality: int
 ) -> list[UserId]:
     if users is None:
-        pool = sketch.users()
+        pool: Iterable[UserId] = sketch.users()
     else:
         pool = [user for user in users if sketch.has_user(user)]
     return sorted(
-        (user for user in pool if sketch.cardinality(user) >= minimum_cardinality)
+        (user for user in pool if sketch.cardinality(user) >= minimum_cardinality),
+        key=_user_sort_key,
     )
 
 
@@ -49,6 +86,96 @@ def _size_ratio_bound(size_a: int, size_b: int) -> float:
         return 0.0
     smaller, larger = min(size_a, size_b), max(size_a, size_b)
     return smaller / larger
+
+
+def _cardinalities(sketch: SimilaritySketch, users: Sequence[UserId]) -> np.ndarray:
+    return np.fromiter(
+        (sketch.cardinality(user) for user in users), dtype=np.int64, count=len(users)
+    )
+
+
+def _iter_pair_blocks(
+    num_candidates: int, block_pairs: int | None = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(index_a, index_b)`` blocks covering every ``i < j`` pair once.
+
+    Pairs are produced in lexicographic ``(i, j)`` order, whole rows of the
+    upper triangle at a time, with at most ``block_pairs`` pairs per block
+    (single rows wider than the block stand alone).
+    """
+    if block_pairs is None:
+        block_pairs = SEARCH_PAIR_BLOCK
+    start = 0
+    while start < num_candidates - 1:
+        first_row_width = num_candidates - 1 - start
+        rows = max(1, block_pairs // first_row_width)
+        end = min(num_candidates - 1, start + rows)
+        row_indices = np.arange(start, end, dtype=np.int64)
+        counts = num_candidates - 1 - row_indices
+        index_a = np.repeat(row_indices, counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        within_row = np.arange(index_a.shape[0], dtype=np.int64) - np.repeat(
+            offsets, counts
+        )
+        yield index_a, index_a + 1 + within_row
+        start = end
+
+
+def _prefilter_pairs(
+    cardinalities: np.ndarray,
+    index_a: np.ndarray,
+    index_b: np.ndarray,
+    threshold: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop pairs whose size-ratio bound is already below ``threshold``.
+
+    Vectorized form of :func:`_size_ratio_bound`: for any two sets, ``J(A, B)
+    <= min(|A|,|B|) / max(|A|,|B|)``, so pairs below the threshold cannot
+    qualify regardless of overlap and no sketch query is spent on them.
+    """
+    sizes_a = cardinalities[index_a]
+    sizes_b = cardinalities[index_b]
+    larger = np.maximum(sizes_a, sizes_b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bounds = np.minimum(sizes_a, sizes_b) / larger
+    bounds = np.where(larger == 0, 0.0, bounds)
+    keep = bounds >= threshold
+    return index_a[keep], index_b[keep]
+
+
+def _ranked_scored_pairs(
+    sketch: SimilaritySketch,
+    candidates: Sequence[UserId],
+    index_a: np.ndarray,
+    index_b: np.ndarray,
+    jaccards: np.ndarray,
+) -> list[ScoredPair]:
+    """Materialize :class:`ScoredPair` rows for already-ranked winner pairs.
+
+    The common-item estimates are fetched with one bulk call over just the
+    winners, compacted to the users they actually involve so a short result
+    list never re-gathers the full candidate pool.
+    """
+    if index_a.size == 0:
+        return []
+    used = np.unique(np.concatenate([index_a, index_b]))
+    remap = np.empty(int(used.max()) + 1, dtype=np.int64)
+    remap[used] = np.arange(used.shape[0])
+    sub_users = [candidates[int(position)] for position in used.tolist()]
+    commons = sketch.estimate_common_items_indexed(
+        sub_users, remap[index_a], remap[index_b]
+    )
+    return [
+        ScoredPair(
+            user_a=candidates[i],
+            user_b=candidates[j],
+            jaccard=jaccard,
+            common_items=common,
+        )
+        for i, j, jaccard, common in zip(
+            index_a.tolist(), index_b.tolist(), jaccards.tolist(), commons.tolist()
+        )
+    ]
 
 
 def top_k_similar_pairs(
@@ -82,34 +209,40 @@ def top_k_similar_pairs(
 
     Returns
     -------
-    list of :class:`ScoredPair`, sorted by descending Jaccard estimate.
+    list of :class:`ScoredPair`, sorted by descending Jaccard estimate with
+    ties broken by candidate order (deterministic for any input).
     """
     if k <= 0:
         raise ConfigurationError(f"k must be positive, got {k}")
     if not 0.0 <= prefilter_threshold <= 1.0:
         raise ConfigurationError("prefilter_threshold must be in [0, 1]")
     candidates = _candidate_users(sketch, users, minimum_cardinality)
-    heap: list[tuple[float, UserId, UserId, float]] = []
-    for user_a, user_b in combinations(candidates, 2):
-        if prefilter_threshold > 0.0:
-            bound = _size_ratio_bound(sketch.cardinality(user_a), sketch.cardinality(user_b))
-            if bound < prefilter_threshold:
+    if len(candidates) < 2:
+        return []
+    cardinalities = (
+        _cardinalities(sketch, candidates) if prefilter_threshold > 0.0 else None
+    )
+    best: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+    for index_a, index_b in _iter_pair_blocks(len(candidates)):
+        if cardinalities is not None:
+            index_a, index_b = _prefilter_pairs(
+                cardinalities, index_a, index_b, prefilter_threshold
+            )
+            if index_a.size == 0:
                 continue
-        jaccard = sketch.estimate_jaccard(user_a, user_b)
-        if len(heap) < k:
-            heapq.heappush(heap, (jaccard, user_a, user_b, jaccard))
-        elif jaccard > heap[0][0]:
-            heapq.heapreplace(heap, (jaccard, user_a, user_b, jaccard))
-    ranked = sorted(heap, key=lambda entry: (-entry[0], entry[1], entry[2]))
-    return [
-        ScoredPair(
-            user_a=user_a,
-            user_b=user_b,
-            jaccard=jaccard,
-            common_items=sketch.estimate_common_items(user_a, user_b),
-        )
-        for jaccard, user_a, user_b, _ in ranked
-    ]
+        jaccards = sketch.estimate_jaccard_indexed(candidates, index_a, index_b)
+        if best is not None:
+            jaccards = np.concatenate([best[0], jaccards])
+            index_a = np.concatenate([best[1], index_a])
+            index_b = np.concatenate([best[2], index_b])
+        # (jaccard, i, j) is a total order over pairs, so keeping the running
+        # top k per block selects exactly the global top k.
+        order = np.lexsort((index_b, index_a, -jaccards))[:k]
+        best = (jaccards[order], index_a[order], index_b[order])
+    if best is None:
+        return []
+    jaccards, index_a, index_b = best
+    return _ranked_scored_pairs(sketch, candidates, index_a, index_b, jaccards)
 
 
 def nearest_neighbours(
@@ -130,21 +263,17 @@ def nearest_neighbours(
     if not sketch.has_user(target):
         raise ConfigurationError(f"target user {target!r} has never appeared in the stream")
     pool = _candidate_users(sketch, candidates, minimum_cardinality)
-    scored = [
-        (sketch.estimate_jaccard(target, other), other)
-        for other in pool
-        if other != target
-    ]
-    scored.sort(key=lambda entry: (-entry[0], entry[1]))
-    return [
-        ScoredPair(
-            user_a=target,
-            user_b=other,
-            jaccard=jaccard,
-            common_items=sketch.estimate_common_items(target, other),
-        )
-        for jaccard, other in scored[:k]
-    ]
+    others = [user for user in pool if user != target]
+    if not others:
+        return []
+    indexed_users = [target, *others]
+    index_a = np.zeros(len(others), dtype=np.int64)
+    index_b = np.arange(1, len(others) + 1, dtype=np.int64)
+    jaccards = sketch.estimate_jaccard_indexed(indexed_users, index_a, index_b)
+    order = np.lexsort((index_b, -jaccards))[:k]
+    return _ranked_scored_pairs(
+        sketch, indexed_users, index_a[order], index_b[order], jaccards[order]
+    )
 
 
 def pairs_above_threshold(
@@ -164,24 +293,34 @@ def pairs_above_threshold(
     if not 0.0 <= threshold <= 1.0:
         raise ConfigurationError("threshold must be in [0, 1]")
     candidates = _candidate_users(sketch, users, minimum_cardinality)
-    results: list[ScoredPair] = []
-    for user_a, user_b in combinations(candidates, 2):
-        if use_prefilter and threshold > 0.0:
-            bound = _size_ratio_bound(sketch.cardinality(user_a), sketch.cardinality(user_b))
-            if bound < threshold:
-                continue
-        jaccard = sketch.estimate_jaccard(user_a, user_b)
-        if jaccard >= threshold:
-            results.append(
-                ScoredPair(
-                    user_a=user_a,
-                    user_b=user_b,
-                    jaccard=jaccard,
-                    common_items=sketch.estimate_common_items(user_a, user_b),
-                )
+    if len(candidates) < 2:
+        return []
+    cardinalities = (
+        _cardinalities(sketch, candidates) if use_prefilter and threshold > 0.0 else None
+    )
+    kept: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for index_a, index_b in _iter_pair_blocks(len(candidates)):
+        if cardinalities is not None:
+            index_a, index_b = _prefilter_pairs(
+                cardinalities, index_a, index_b, threshold
             )
-    results.sort(key=lambda pair: (-pair.jaccard, pair.user_a, pair.user_b))
-    return results
+            if index_a.size == 0:
+                continue
+        jaccards = sketch.estimate_jaccard_indexed(candidates, index_a, index_b)
+        qualifying = jaccards >= threshold
+        if np.any(qualifying):
+            kept.append(
+                (jaccards[qualifying], index_a[qualifying], index_b[qualifying])
+            )
+    if not kept:
+        return []
+    jaccards = np.concatenate([block[0] for block in kept])
+    index_a = np.concatenate([block[1] for block in kept])
+    index_b = np.concatenate([block[2] for block in kept])
+    order = np.lexsort((index_b, index_a, -jaccards))
+    return _ranked_scored_pairs(
+        sketch, candidates, index_a[order], index_b[order], jaccards[order]
+    )
 
 
 def ranking_agreement(
@@ -196,8 +335,10 @@ def ranking_agreement(
         k = min(len(reference), len(candidate))
     if k == 0:
         return 1.0
+
     def key(pair: ScoredPair) -> tuple[UserId, UserId]:
-        return (min(pair.user_a, pair.user_b), max(pair.user_a, pair.user_b))
+        first, second = sorted((pair.user_a, pair.user_b), key=_user_sort_key)
+        return (first, second)
 
     reference_keys = {key(pair) for pair in reference[:k]}
     candidate_keys = {key(pair) for pair in candidate[:k]}

@@ -1,0 +1,172 @@
+"""Tests for the array-valued estimators (the bulk query path's math layer).
+
+The array forms promise bitwise agreement with looping the scalar forms over
+any mix of ``alpha`` / ``beta`` / cardinality inputs, including the saturation
+edge cases where the logarithm is clamped (or raises in strict mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    estimate_common_items_arrays,
+    estimate_common_items_cross,
+    estimate_jaccard_arrays,
+    estimate_jaccard_cross,
+    estimate_symmetric_difference_arrays,
+    estimate_symmetric_difference_cross,
+)
+from repro.exceptions import ConfigurationError, EstimationError
+
+SKETCH_SIZE = 64
+
+ALPHAS = [0.0, 1.0 / SKETCH_SIZE, 0.125, 0.25, 0.4921875, 0.5, 0.75, 1.0]
+BETAS = [0.0, 0.0078125, 0.125, 0.4921875, 0.5]
+CARDS = [0, 1, 7, 150]
+
+
+def _pair_grid():
+    """Every combination of alpha and the two betas, with cycling cardinalities."""
+    combos = [
+        (alpha, beta_a, beta_b)
+        for alpha in ALPHAS
+        for beta_a in BETAS
+        for beta_b in BETAS
+    ]
+    alphas = np.array([combo[0] for combo in combos])
+    betas_a = np.array([combo[1] for combo in combos])
+    betas_b = np.array([combo[2] for combo in combos])
+    cards_a = np.array([CARDS[i % len(CARDS)] for i in range(len(combos))])
+    cards_b = np.array([CARDS[(i // len(CARDS)) % len(CARDS)] for i in range(len(combos))])
+    return alphas, betas_a, betas_b, cards_a, cards_b
+
+
+class TestSymmetricDifferenceArrays:
+    def test_matches_scalar_loop_bitwise(self):
+        alphas, betas_a, betas_b, _, _ = _pair_grid()
+        bulk = estimate_symmetric_difference_arrays(
+            alphas, betas_a, betas_b, SKETCH_SIZE
+        )
+        loop = np.array(
+            [
+                estimate_symmetric_difference_cross(a, ba, bb, SKETCH_SIZE)
+                for a, ba, bb in zip(alphas, betas_a, betas_b)
+            ]
+        )
+        assert np.array_equal(bulk, loop)
+
+    def test_scalar_beta_broadcasts(self):
+        alphas = np.array(ALPHAS)
+        bulk = estimate_symmetric_difference_arrays(alphas, 0.125, 0.125, SKETCH_SIZE)
+        loop = np.array(
+            [
+                estimate_symmetric_difference_cross(a, 0.125, 0.125, SKETCH_SIZE)
+                for a in alphas
+            ]
+        )
+        assert np.array_equal(bulk, loop)
+
+    def test_strict_mode_raises_on_any_saturated_entry(self):
+        with pytest.raises(EstimationError):
+            estimate_symmetric_difference_arrays(
+                np.array([0.1, 0.5]), 0.0, 0.0, SKETCH_SIZE, strict=True
+            )
+
+    def test_out_of_range_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference_arrays(
+                np.array([0.2, 1.5]), 0.0, 0.0, SKETCH_SIZE
+            )
+
+    def test_nan_rejected_like_the_scalar_validators(self):
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference_arrays(
+                np.array([0.2, float("nan")]), 0.0, 0.0, SKETCH_SIZE
+            )
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference_arrays(
+                np.array([0.2]), float("nan"), 0.0, SKETCH_SIZE
+            )
+
+    def test_out_of_range_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference_arrays(
+                np.array([0.2]), -0.1, 0.0, SKETCH_SIZE
+            )
+
+    def test_invalid_sketch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_symmetric_difference_arrays(np.array([0.2]), 0.0, 0.0, 0)
+
+    def test_empty_input(self):
+        result = estimate_symmetric_difference_arrays(
+            np.array([]), 0.1, 0.1, SKETCH_SIZE
+        )
+        assert result.shape == (0,)
+
+
+class TestCommonItemsArrays:
+    def test_matches_scalar_loop_bitwise(self):
+        alphas, betas_a, betas_b, cards_a, cards_b = _pair_grid()
+        bulk = estimate_common_items_arrays(
+            alphas, betas_a, betas_b, SKETCH_SIZE, cards_a, cards_b
+        )
+        loop = np.array(
+            [
+                estimate_common_items_cross(a, ba, bb, SKETCH_SIZE, ca, cb)
+                for a, ba, bb, ca, cb in zip(alphas, betas_a, betas_b, cards_a, cards_b)
+            ]
+        )
+        assert np.array_equal(bulk, loop)
+
+    def test_unclamped_matches_scalar(self):
+        alphas, betas_a, betas_b, cards_a, cards_b = _pair_grid()
+        bulk = estimate_common_items_arrays(
+            alphas, betas_a, betas_b, SKETCH_SIZE, cards_a, cards_b, clamp=False
+        )
+        loop = np.array(
+            [
+                estimate_common_items_cross(
+                    a, ba, bb, SKETCH_SIZE, ca, cb, clamp=False
+                )
+                for a, ba, bb, ca, cb in zip(alphas, betas_a, betas_b, cards_a, cards_b)
+            ]
+        )
+        assert np.array_equal(bulk, loop)
+
+    def test_negative_cardinalities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_common_items_arrays(
+                np.array([0.1]), 0.0, 0.0, SKETCH_SIZE, np.array([-1]), np.array([2])
+            )
+
+
+class TestJaccardArrays:
+    def test_matches_scalar_loop_bitwise(self):
+        alphas, betas_a, betas_b, cards_a, cards_b = _pair_grid()
+        bulk = estimate_jaccard_arrays(
+            alphas, betas_a, betas_b, SKETCH_SIZE, cards_a, cards_b
+        )
+        loop = np.array(
+            [
+                estimate_jaccard_cross(a, ba, bb, SKETCH_SIZE, ca, cb)
+                for a, ba, bb, ca, cb in zip(alphas, betas_a, betas_b, cards_a, cards_b)
+            ]
+        )
+        assert np.array_equal(bulk, loop)
+
+    def test_empty_sets_give_jaccard_one(self):
+        result = estimate_jaccard_arrays(
+            np.array([0.0]), 0.0, 0.0, SKETCH_SIZE, np.array([0]), np.array([0])
+        )
+        assert result.tolist() == [1.0]
+
+    def test_results_always_in_unit_interval(self):
+        alphas, betas_a, betas_b, cards_a, cards_b = _pair_grid()
+        bulk = estimate_jaccard_arrays(
+            alphas, betas_a, betas_b, SKETCH_SIZE, cards_a, cards_b
+        )
+        assert float(bulk.min()) >= 0.0
+        assert float(bulk.max()) <= 1.0

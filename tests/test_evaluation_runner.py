@@ -123,3 +123,51 @@ class TestAccuracyExperiment:
         config = ExperimentConfig(baseline_registers=4, top_users=2, num_checkpoints=1)
         with pytest.raises(ConfigurationError):
             AccuracyExperiment(config).run(stream)
+
+
+class TestShardCountWiring:
+    """ExperimentConfig.shard_counts adds VOS-sharded-N methods to the harness."""
+
+    def _stream(self):
+        generator = PowerLawBipartiteGenerator(
+            num_users=40, num_items=150, num_edges=1800, seed=13
+        )
+        return build_dynamic_stream(generator.generate_edges(), None, name="shards")
+
+    def test_sharded_methods_are_built_under_same_budget(self):
+        config = ExperimentConfig(
+            methods=("VOS",), shard_counts=(2, 4), baseline_registers=8,
+            top_users=15, max_pairs=30, num_checkpoints=2, seed=3,
+        )
+        sketches = AccuracyExperiment(config).build_sketches(num_users=40)
+        assert set(sketches) == {"VOS", "VOS-sharded-2", "VOS-sharded-4"}
+        # Each shard holds ceil(m / N) bits, so totals match up to rounding.
+        total = sketches["VOS"].memory_bits()
+        for count in (2, 4):
+            sharded = sketches[f"VOS-sharded-{count}"]
+            assert total <= sharded.memory_bits() < total + count
+
+    def test_sharded_checkpoints_record_beta(self):
+        config = ExperimentConfig(
+            methods=("VOS",), shard_counts=(1, 4), baseline_registers=8,
+            top_users=15, max_pairs=30, num_checkpoints=2, seed=3,
+        )
+        result = AccuracyExperiment(config).run(self._stream())
+        for name in ("VOS", "VOS-sharded-1", "VOS-sharded-4"):
+            assert result.checkpoints[name], name
+            assert result.final_checkpoint(name).beta is not None
+
+    def test_single_shard_matches_plain_vos_exactly(self):
+        config = ExperimentConfig(
+            methods=("VOS",), shard_counts=(1,), baseline_registers=8,
+            top_users=15, max_pairs=30, num_checkpoints=2, seed=3,
+        )
+        result = AccuracyExperiment(config).run(self._stream())
+        plain = result.final_checkpoint("VOS")
+        sharded = result.final_checkpoint("VOS-sharded-1")
+        assert sharded.aape == plain.aape
+        assert sharded.armse == plain.armse
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(shard_counts=(2, 0))
