@@ -1,0 +1,247 @@
+"""Columnar ingest benchmark: element loop vs columnar-serial vs columnar-parallel.
+
+The write-path headline number for the array-native ingest pipeline: on a
+fully dynamic stream into a multi-shard :class:`ShardedVOS`, columnar ingest
+(array-native batches, one vectorized route per batch) must beat the
+per-element loop by a wide margin while producing **bit-identical** state, and
+the parallel executor (per-shard worker threads) must match that state exactly
+at any worker count.  The same stream is also written to disk in both formats
+to time binary ``.vosstream`` loading against text parsing.
+
+The measured figures are written to ``BENCH_ingest.json`` at the repository
+root so the performance trajectory accumulates across PRs.  Set
+``REPRO_INGEST_BENCH_ELEMENTS`` to shrink the stream (CI smoke mode; results
+then go to ``BENCH_ingest_smoke.json`` and the timing floors are relaxed —
+state parity is always asserted).  Parallel-beats-serial is only asserted on
+multi-core machines: threads cannot beat a serial loop on one core.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+import pytest
+
+from repro.core.memory import MemoryBudget
+from repro.service.batching import ingest_stream
+from repro.service.sharding import ShardedVOS
+from repro.streams.deletions import MassiveDeletionModel
+from repro.streams.generators import PowerLawBipartiteGenerator
+from repro.streams.io import iter_stream_batches, read_stream, write_stream
+from repro.streams.stream import build_dynamic_stream
+
+STREAM_ELEMENTS = int(os.environ.get("REPRO_INGEST_BENCH_ELEMENTS", "100000"))
+SMOKE_MODE = STREAM_ELEMENTS < 50_000
+NUM_SHARDS = 8
+WORKERS = 8
+BATCH_SIZE = 32_768
+CPU_COUNT = os.cpu_count() or 1
+#: Floor on columnar-vs-element-loop speedup.  The full-size run records ~30x+
+#: (the acceptance number lives in BENCH_ingest.json); the assertion floor is
+#: set below it so scheduler noise cannot flake CI.
+SPEEDUP_FLOOR = 5.0 if SMOKE_MODE else 15.0
+RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_ingest_smoke.json" if SMOKE_MODE else "BENCH_ingest.json"
+)
+
+
+@pytest.fixture(scope="module")
+def ingest_stream_data():
+    """A fully dynamic synthetic stream (insertions + deletions)."""
+    generator = PowerLawBipartiteGenerator(
+        num_users=max(200, STREAM_ELEMENTS // 50),
+        num_items=max(2000, STREAM_ELEMENTS // 5),
+        num_edges=int(STREAM_ELEMENTS * 0.95),
+        seed=42,
+    )
+    model = MassiveDeletionModel(
+        period=max(1000, STREAM_ELEMENTS // 4), deletion_probability=0.3, seed=43
+    )
+    stream = build_dynamic_stream(generator.generate_edges(), model, name="ingest-bench")
+    assert len(stream) >= STREAM_ELEMENTS
+    prefix = stream.prefix(STREAM_ELEMENTS)
+    assert prefix.statistics().deletions > 0
+    return prefix
+
+
+@pytest.fixture(scope="module")
+def budget(ingest_stream_data):
+    return MemoryBudget(
+        baseline_registers=24, num_users=len(ingest_stream_data.users())
+    )
+
+
+def _make_sketch(budget) -> ShardedVOS:
+    return ShardedVOS.from_budget(budget, num_shards=NUM_SHARDS, seed=1)
+
+
+@pytest.fixture(scope="module")
+def measurements(ingest_stream_data, budget):
+    """Time the three ingest modes once, sharing the sketches across tests."""
+    elements = list(ingest_stream_data)
+
+    element_loop = _make_sketch(budget)
+    start = time.perf_counter()
+    for element in elements:
+        element_loop.process(element)
+    element_loop_seconds = time.perf_counter() - start
+
+    # The columnar runs finish in tens of milliseconds, so a single scheduler
+    # hiccup could dominate one measurement; keep the best of three.
+    serial_seconds = float("inf")
+    for _ in range(3):
+        serial = _make_sketch(budget)
+        serial_seconds = min(
+            serial_seconds,
+            ingest_stream(serial, elements, batch_size=BATCH_SIZE).seconds,
+        )
+
+    parallel_seconds = float("inf")
+    for _ in range(3):
+        parallel = _make_sketch(budget)
+        parallel_seconds = min(
+            parallel_seconds,
+            ingest_stream(
+                parallel, elements, batch_size=BATCH_SIZE, workers=WORKERS
+            ).seconds,
+        )
+
+    return {
+        "element_loop": (element_loop, element_loop_seconds),
+        "serial": (serial, serial_seconds),
+        "parallel": (parallel, parallel_seconds),
+    }
+
+
+@pytest.fixture(scope="module")
+def format_timings(ingest_stream_data, tmp_path_factory):
+    """Write the stream in both formats and time a full load of each."""
+    directory = tmp_path_factory.mktemp("ingest-bench-streams")
+    text_path = directory / "stream.txt"
+    binary_path = directory / "stream.vosstream"
+    write_stream(ingest_stream_data, text_path)
+    write_stream(ingest_stream_data, binary_path)
+
+    timings = {}
+    for label, path in (("text", text_path), ("binary", binary_path)):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            loaded = read_stream(path, validate=False)
+            best = min(best, time.perf_counter() - start)
+        assert len(loaded) == len(ingest_stream_data)
+        timings[label] = {
+            "seconds": best,
+            "bytes": path.stat().st_size,
+        }
+
+    # Chunked binary read straight into batches (the scale ingest path).
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        total = sum(len(batch) for batch in iter_stream_batches(binary_path))
+        best = min(best, time.perf_counter() - start)
+    assert total == len(ingest_stream_data)
+    timings["binary_chunked"] = {"seconds": best, "bytes": binary_path.stat().st_size}
+    return timings
+
+
+def _assert_same_state(a: ShardedVOS, b: ShardedVOS) -> None:
+    for shard_a, shard_b in zip(a.shards, b.shards):
+        assert np.array_equal(
+            shard_a.shared_array._bits._bits, shard_b.shared_array._bits._bits
+        )
+        assert shard_a.shared_array.ones_count == shard_b.shared_array.ones_count
+        assert shard_a._cardinalities == shard_b._cardinalities
+
+
+def test_columnar_serial_state_matches_element_loop(measurements):
+    _assert_same_state(measurements["element_loop"][0], measurements["serial"][0])
+
+
+def test_columnar_parallel_state_matches_serial(measurements):
+    _assert_same_state(measurements["serial"][0], measurements["parallel"][0])
+
+
+def test_columnar_serial_beats_element_loop(measurements):
+    _, element_loop_seconds = measurements["element_loop"]
+    _, serial_seconds = measurements["serial"]
+    speedup = element_loop_seconds / serial_seconds
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"columnar-serial ingest only {speedup:.1f}x faster "
+        f"({element_loop_seconds:.3f}s vs {serial_seconds:.3f}s)"
+    )
+
+
+def test_columnar_parallel_beats_element_loop(measurements):
+    _, element_loop_seconds = measurements["element_loop"]
+    _, parallel_seconds = measurements["parallel"]
+    speedup = element_loop_seconds / parallel_seconds
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"columnar-parallel ingest only {speedup:.1f}x faster "
+        f"({element_loop_seconds:.3f}s vs {parallel_seconds:.3f}s)"
+    )
+
+
+@pytest.mark.skipif(
+    CPU_COUNT < 2 or SMOKE_MODE,
+    reason="threads cannot beat serial ingest on one core / smoke stream too small",
+)
+def test_columnar_parallel_beats_serial(measurements):
+    _, serial_seconds = measurements["serial"]
+    _, parallel_seconds = measurements["parallel"]
+    assert parallel_seconds < serial_seconds, (
+        f"parallel ingest slower than serial on {CPU_COUNT} cores "
+        f"({parallel_seconds:.3f}s vs {serial_seconds:.3f}s)"
+    )
+
+
+def test_binary_load_beats_text_parsing(format_timings):
+    assert format_timings["binary"]["seconds"] < format_timings["text"]["seconds"], (
+        "binary .vosstream load should beat per-line text parsing "
+        f"({format_timings['binary']['seconds']:.3f}s vs "
+        f"{format_timings['text']['seconds']:.3f}s)"
+    )
+
+
+def test_write_results_json(measurements, format_timings, ingest_stream_data):
+    _, element_loop_seconds = measurements["element_loop"]
+    _, serial_seconds = measurements["serial"]
+    _, parallel_seconds = measurements["parallel"]
+    count = len(ingest_stream_data)
+    payload = {
+        "stream_elements": count,
+        "distinct_users": len(ingest_stream_data.users()),
+        "num_shards": NUM_SHARDS,
+        "batch_size": BATCH_SIZE,
+        "workers": WORKERS,
+        "cpu_count": CPU_COUNT,
+        "element_loop": {
+            "seconds": element_loop_seconds,
+            "elements_per_second": count / element_loop_seconds,
+        },
+        "columnar_serial": {
+            "seconds": serial_seconds,
+            "elements_per_second": count / serial_seconds,
+            "speedup_vs_element_loop": element_loop_seconds / serial_seconds,
+        },
+        "columnar_parallel": {
+            "seconds": parallel_seconds,
+            "elements_per_second": count / parallel_seconds,
+            "speedup_vs_element_loop": element_loop_seconds / parallel_seconds,
+            "speedup_vs_serial": serial_seconds / parallel_seconds,
+        },
+        "stream_formats": format_timings,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert RESULTS_PATH.exists()

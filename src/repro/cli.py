@@ -13,18 +13,22 @@ Usage (after ``pip install -e .``)::
 
 Service commands (the :mod:`repro.service` subsystem)::
 
-    repro ingest --stream edges.txt --snapshot state.vos --shards 4
+    repro ingest --stream edges.vosstream --snapshot state.vos --shards 4 --workers 4
+    repro convert --input edges.txt --output edges.vosstream
     repro topk --snapshot state.vos --user 17 -k 10
     repro pairs --snapshot state.vos -k 10 --prefilter 0.2
     repro shards --shard-counts 1 2 4 8 --scale 0.2
 
-``ingest`` reads a stream file (``<action> <user> <item>`` per line, see
-:mod:`repro.streams.io`), feeds it through the sharded batch-vectorized VOS
-service and snapshots the resulting sketch state; ``topk`` answers nearest-
-neighbour queries against a snapshot without re-reading the stream; ``pairs``
-runs the vectorized all-pairs top-k search (with the optional cardinality
-pre-filter) over a snapshot; ``shards`` measures the cross-shard estimator's
-accuracy against single-array VOS across shard counts.
+``ingest`` reads a stream file — the plain-text format (``<action> <user>
+<item>`` per line) or the binary columnar ``.vosstream`` format, auto-detected
+(see :mod:`repro.streams.io`) — feeds it through the sharded batch-vectorized
+VOS service (``--workers N`` ingests shard sub-batches concurrently) and
+snapshots the resulting sketch state; ``convert`` translates a stream between
+the two formats; ``topk`` answers nearest-neighbour queries against a snapshot
+without re-reading the stream; ``pairs`` runs the vectorized all-pairs top-k
+search (with the optional cardinality pre-filter) over a snapshot; ``shards``
+measures the cross-shard estimator's accuracy against single-array VOS across
+shard counts.
 
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
@@ -35,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis.bias import measure_sampling_bias
 from repro.core.memory import MemoryBudget
@@ -47,13 +52,13 @@ from repro.evaluation.reporting import (
 )
 from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
 from repro.evaluation.runtime import RuntimeExperiment
-from repro.exceptions import ReproError
+from repro.exceptions import DatasetError, ReproError
 from repro.service import ServiceConfig, SimilarityService
 from repro.similarity.engine import build_sketch
 from repro.similarity.pairs import top_cardinality_users
 from repro.similarity.search import top_k_similar_pairs
 from repro.streams.datasets import DATASET_SPECS, load_dataset
-from repro.streams.io import read_stream
+from repro.streams.io import iter_stream_batches, read_stream, write_stream
 
 _DEFAULT_DATASETS = ("youtube", "flickr", "livejournal", "orkut")
 
@@ -178,23 +183,62 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
     """Ingest a stream file through the sharded service and snapshot the state."""
-    stream = read_stream(args.stream, validate=not args.no_validate)
+    try:
+        return _run_ingest(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_ingest(args: argparse.Namespace) -> int:
+    if args.no_validate:
+        # Without feasibility validation the stream never needs to be
+        # materialized as element objects: one chunked columnar pass counts
+        # distinct users (to size the budget), a second pass ingests.
+        distinct_users: set = set()
+        for batch in iter_stream_batches(args.stream, format=args.format):
+            distinct_users.update(batch.users.tolist())
+        source = iter_stream_batches(
+            args.stream, batch_size=args.batch_size, format=args.format
+        )
+        stream_name = Path(args.stream).stem
+    else:
+        stream = read_stream(args.stream, validate=True, format=args.format)
+        distinct_users = stream.users()
+        source = stream
+        stream_name = stream.name
+    # ingest always snapshots, and snapshots store user ids as int64 — fail
+    # before the ingest work is spent, not at save time.
+    if any(
+        type(user) is not int or not (-(2**63) <= user < 2**63)
+        for user in distinct_users
+    ):
+        raise DatasetError(
+            f"{args.stream} holds user ids that are not 64-bit integers; "
+            "`repro ingest` snapshots its state, which requires 64-bit integer "
+            "users (such streams remain usable through the library API)"
+        )
+    expected_users = len(distinct_users)
     config = ServiceConfig(
-        expected_users=max(1, len(stream.users())),
+        expected_users=max(1, expected_users),
         baseline_registers=args.registers,
         num_shards=args.shards,
         seed=args.seed,
         batch_size=args.batch_size,
+        workers=args.workers,
     )
     service = SimilarityService.from_config(config)
-    report = service.ingest(stream)
+    report = service.ingest(source)
     service.save(args.snapshot)
     stats = service.stats()
     rows = [
-        ["stream", stream.name],
+        ["stream", stream_name],
         ["elements", report.elements],
         ["batches", report.batches],
+        ["workers", report.workers],
         ["elements/sec", round(report.elements_per_second)],
+        ["assemble sec", round(report.assemble_seconds, 4)],
+        ["process sec", round(report.process_seconds, 4)],
         ["users", stats["users"]],
         ["shards", stats["num_shards"]],
         ["memory bits", stats["memory_bits"]],
@@ -203,6 +247,31 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     ]
     headers = ["field", "value"]
     print(f"# ingested {report.elements} elements into {stats['num_shards']} shards")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a stream file between the text and binary columnar formats."""
+    try:
+        stream = read_stream(args.input, validate=not args.no_validate)
+        write_stream(stream, args.output, format=args.to)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    statistics = stream.statistics()
+    rows = [
+        ["input", str(args.input)],
+        ["output", str(args.output)],
+        ["elements", statistics.length],
+        ["insertions", statistics.insertions],
+        ["deletions", statistics.deletions],
+        ["users", statistics.distinct_users],
+        ["input bytes", Path(args.input).stat().st_size],
+        ["output bytes", Path(args.output).stat().st_size],
+    ]
+    headers = ["field", "value"]
+    print(f"# converted {statistics.length} elements")
     print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
     return 0
 
@@ -377,14 +446,46 @@ def build_parser() -> argparse.ArgumentParser:
     ingest_parser.add_argument(
         "--batch-size", type=int, default=8192, help="ingest batch size"
     )
+    ingest_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for concurrent per-shard ingest (1 = serial)",
+    )
+    ingest_parser.add_argument(
+        "--format",
+        choices=("auto", "text", "binary"),
+        default="auto",
+        help="stream file format (auto detects via magic bytes)",
+    )
     ingest_parser.add_argument("--seed", type=int, default=0, help="sketch seed")
     ingest_parser.add_argument(
         "--no-validate",
         action="store_true",
-        help="skip stream feasibility validation while reading",
+        help="skip stream feasibility validation and ingest via the chunked "
+        "columnar reader (the stream is never materialized in memory)",
     )
     ingest_parser.add_argument("--csv", action="store_true")
     ingest_parser.set_defaults(handler=_cmd_ingest)
+
+    convert_parser = subparsers.add_parser(
+        "convert", help="convert a stream file between text and binary formats"
+    )
+    convert_parser.add_argument("--input", required=True, help="stream file to read")
+    convert_parser.add_argument("--output", required=True, help="stream file to write")
+    convert_parser.add_argument(
+        "--to",
+        choices=("auto", "text", "binary"),
+        default="auto",
+        help="target format (auto picks binary for a .vosstream suffix)",
+    )
+    convert_parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip stream feasibility validation while reading",
+    )
+    convert_parser.add_argument("--csv", action="store_true")
+    convert_parser.set_defaults(handler=_cmd_convert)
 
     topk_parser = subparsers.add_parser(
         "topk", help="query a snapshot for a user's most similar users"

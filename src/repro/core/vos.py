@@ -45,7 +45,8 @@ from repro.core.memory import MemoryBudget, vos_parameters_for_budget
 from repro.exceptions import ConfigurationError, UnknownUserError
 from repro.hashing import HashFamily, UniversalHash
 from repro.hashing.universal import stable_hash64
-from repro.streams.edge import Action, StreamElement, UserId
+from repro.streams.batch import ElementBatch
+from repro.streams.edge import StreamElement, UserId
 
 #: Pairs scored per xor/popcount block in the bulk query path.  Each block
 #: materializes ``block * ceil(k / 8)`` bytes of xored rows, so this bounds
@@ -331,43 +332,35 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
     def process_batch(self, elements) -> int:
         """Vectorized batch ingest (bit-identical to the per-element loop).
 
-        The whole batch is reduced to numpy operations: one vectorized item
-        hash ``psi`` over the item column, one vectorized evaluation of the
-        touched positions ``f_{psi(i)}(u)`` (each element pairs its user's
-        fingerprint with the coefficient pair its virtual index selects — no
-        per-user gather of all ``k`` positions is needed), and a single bulk
-        xor into the shared array in which repeated toggles of the same
-        position cancel modulo 2.  Because xor is commutative and the
-        cardinality fold is exact, the resulting sketch state — shared-array
-        bits, ``beta`` and per-user counters — is identical to feeding the
-        elements one by one.
+        Accepts either an element iterable or an array-native
+        :class:`~repro.streams.batch.ElementBatch`; element iterables are
+        columnarized first, so both forms take the same code path.  The whole
+        batch is reduced to numpy operations: one vectorized item hash ``psi``
+        over the item column, one vectorized evaluation of the touched
+        positions ``f_{psi(i)}(u)`` (each element pairs its user's fingerprint
+        with the coefficient pair its virtual index selects — no per-user
+        gather of all ``k`` positions is needed), and a single bulk xor into
+        the shared array in which repeated toggles of the same position cancel
+        modulo 2.  Because xor is commutative and the cardinality fold is
+        exact, the resulting sketch state — shared-array bits, ``beta`` and
+        per-user counters — is identical to feeding the elements one by one.
 
-        Non-integer user/item identifiers (or integers beyond 64 bits) fall
-        back to the per-element loop, which handles every hashable key.
+        Batches whose user or item column is not ``int64`` (string ids, floats
+        that would be silently truncated, ints beyond 64 bits) fall back to the
+        per-element loop, which handles every hashable key.
         """
-        if not isinstance(elements, (list, tuple)):
-            elements = list(elements)
-        count = len(elements)
+        batch = ElementBatch.coerce(elements)
+        count = len(batch)
         if count == 0:
             return 0
-        # np.fromiter would silently truncate floats (1.5 -> 1), so the
-        # fallback is gated on an explicit type check rather than exceptions.
-        if not all(type(e.user) is int and type(e.item) is int for e in elements):
-            return super().process_batch(elements)
-        try:
-            users = np.fromiter((e.user for e in elements), dtype=np.int64, count=count)
-            items = np.fromiter((e.item for e in elements), dtype=np.int64, count=count)
-        except OverflowError:  # ints beyond 64 bits
-            return super().process_batch(elements)
-        insert = Action.INSERT
-        deltas = np.fromiter(
-            (1 if e.action is insert else -1 for e in elements),
-            dtype=np.int64,
-            count=count,
-        )
+        if not (batch.integer_users and batch.integer_items):
+            for element in batch.to_elements():
+                self.process(element)
+            return count
+        users = batch.users
         unique_users, inverse = np.unique(users, return_inverse=True)
-        self._fold_cardinality_deltas(unique_users, inverse, deltas)
-        virtual_indices = self._item_hash.hash_array(items)
+        self._fold_cardinality_deltas(unique_users, inverse, batch.deltas())
+        virtual_indices = self._item_hash.hash_array(batch.items)
         self._array.xor_bulk(self._user_hashes.hash_pairs(users, virtual_indices))
         return count
 

@@ -20,6 +20,7 @@ from repro.service.batching import (
     ingest_stream,
     iter_batches,
 )
+from repro.service.parallel import ShardParallelIngestor
 from repro.service.service import ServiceConfig, SimilarityService
 from repro.service.sharding import ShardedVOS
 from repro.service.snapshot import (
@@ -35,6 +36,7 @@ __all__ = [
     "ingest_stream",
     "iter_batches",
     "ShardedVOS",
+    "ShardParallelIngestor",
     "ServiceConfig",
     "SimilarityService",
     "save_snapshot",

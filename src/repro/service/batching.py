@@ -1,14 +1,19 @@
-"""Batch assembly and timed batch ingest.
+"""Array-native batch assembly and timed (optionally parallel) batch ingest.
 
-The service layer never feeds sketches element by element: stream elements are
-grouped into fixed-size batches and handed to
+The service layer never feeds sketches element by element: stream input is
+chopped into :class:`~repro.streams.batch.ElementBatch` columns and handed to
 :meth:`~repro.baselines.base.SimilaritySketch.process_batch`, which sketches
 with a vectorized fast path (VOS, sharded VOS) turn into a handful of numpy
 operations.  This module owns the two pieces every caller needs:
 
-* :func:`iter_batches` — chop any element iterable into lists of a fixed size;
-* :func:`ingest_stream` — drive a sketch over a whole stream batch-by-batch
-  and return an :class:`IngestReport` with throughput figures.
+* :func:`iter_batches` — chop any element iterable, ``ElementBatch`` iterable
+  (e.g. :func:`~repro.streams.io.iter_stream_batches` straight off a
+  ``.vosstream`` file) or single batch into ``ElementBatch`` chunks of a
+  fixed maximum size;
+* :func:`ingest_stream` — drive a sketch over a whole stream batch-by-batch —
+  serially, or concurrently across shards via
+  :class:`~repro.service.parallel.ShardParallelIngestor` when ``workers > 1``
+  — and return an :class:`IngestReport` with per-phase timings.
 """
 
 from __future__ import annotations
@@ -19,31 +24,54 @@ from dataclasses import dataclass
 
 from repro.baselines.base import SimilaritySketch
 from repro.exceptions import ConfigurationError
+from repro.service.parallel import ShardParallelIngestor
+from repro.service.sharding import ShardedVOS
+from repro.streams.batch import ElementBatch
 from repro.streams.edge import StreamElement
 
 #: Default ingest batch size used by the service layer and the CLI.
 DEFAULT_BATCH_SIZE = 8192
 
 
-def iter_batches(
-    elements: Iterable[StreamElement], batch_size: int = DEFAULT_BATCH_SIZE
-) -> Iterator[list[StreamElement]]:
-    """Yield consecutive lists of up to ``batch_size`` elements.
+def _sliced(batch: ElementBatch, batch_size: int) -> Iterator[ElementBatch]:
+    for start in range(0, len(batch), batch_size):
+        yield batch.slice(start, start + batch_size)
 
-    Order is preserved and every element appears in exactly one batch, so
-    feeding the batches to ``process_batch`` is state-equivalent to feeding
-    the original iterable to per-element ``process``.
+
+def iter_batches(
+    source: Iterable[StreamElement] | Iterable[ElementBatch] | ElementBatch,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterator[ElementBatch]:
+    """Yield consecutive :class:`ElementBatch` chunks of up to ``batch_size``.
+
+    ``source`` may be an iterable of stream elements (a
+    :class:`~repro.streams.stream.GraphStream`, a list), an iterable of
+    ``ElementBatch`` objects (chunked stream readers), a mix of the two, or a
+    single ``ElementBatch``.  Order is preserved and every element appears in
+    exactly one yielded batch, so feeding the batches to ``process_batch`` is
+    state-equivalent to feeding the original input to per-element ``process``.
+    Pre-built batches are re-chunked with NumPy slicing (no per-element work);
+    a flush at a batch boundary may yield a chunk shorter than ``batch_size``.
     """
     if batch_size <= 0:
         raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
-    batch: list[StreamElement] = []
-    for element in elements:
-        batch.append(element)
-        if len(batch) >= batch_size:
-            yield batch
-            batch = []
-    if batch:
-        yield batch
+    if isinstance(source, ElementBatch):
+        yield from _sliced(source, batch_size)
+        return
+    pending: list[StreamElement] = []
+    for entry in source:
+        if isinstance(entry, ElementBatch):
+            if pending:
+                yield ElementBatch.from_elements(pending)
+                pending = []
+            yield from _sliced(entry, batch_size)
+        else:
+            pending.append(entry)
+            if len(pending) >= batch_size:
+                yield ElementBatch.from_elements(pending)
+                pending = []
+    if pending:
+        yield ElementBatch.from_elements(pending)
 
 
 @dataclass(frozen=True)
@@ -57,13 +85,23 @@ class IngestReport:
     batches:
         Number of batches they were grouped into.
     seconds:
-        Wall-clock time spent inside ``process_batch`` calls (plus batch
-        assembly).
+        Total wall-clock time of the ingest run.
+    assemble_seconds:
+        Time spent pulling/columnarizing batches from the source (stream
+        parsing, list-to-column conversion).
+    process_seconds:
+        Time spent inside ``process_batch`` (serial) or routing + waiting on
+        the shard workers (parallel).
+    workers:
+        Worker threads that ingested shard sub-batches (1 = serial).
     """
 
     elements: int
     batches: int
     seconds: float
+    assemble_seconds: float = 0.0
+    process_seconds: float = 0.0
+    workers: int = 1
 
     @property
     def elements_per_second(self) -> float:
@@ -75,17 +113,52 @@ class IngestReport:
 
 def ingest_stream(
     sketch: SimilaritySketch,
-    elements: Iterable[StreamElement],
+    source: Iterable[StreamElement] | Iterable[ElementBatch] | ElementBatch,
     *,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    workers: int = 1,
 ) -> IngestReport:
-    """Feed ``elements`` to ``sketch`` in batches and report throughput."""
+    """Feed ``source`` to ``sketch`` in batches and report per-phase throughput.
+
+    With ``workers > 1`` and a multi-shard :class:`ShardedVOS`, each batch is
+    routed once on the calling thread and its per-shard sub-batches are
+    ingested concurrently by a :class:`ShardParallelIngestor` — state-identical
+    to serial ingest (per-shard element order is preserved).  Sketches without
+    independent shards ignore ``workers`` and ingest serially.
+    """
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+    parallel = workers > 1 and isinstance(sketch, ShardedVOS) and sketch.num_shards > 1
+    ingestor = ShardParallelIngestor(sketch, workers) if parallel else None
     start = time.perf_counter()
+    assemble = process = 0.0
     total = 0
     batches = 0
-    for batch in iter_batches(elements, batch_size):
-        total += sketch.process_batch(batch)
-        batches += 1
+    iterator = iter_batches(source, batch_size)
+    try:
+        while True:
+            mark = time.perf_counter()
+            batch = next(iterator, None)
+            assemble += time.perf_counter() - mark
+            if batch is None:
+                break
+            mark = time.perf_counter()
+            if ingestor is not None:
+                total += ingestor.submit(batch)
+            else:
+                total += sketch.process_batch(batch)
+            process += time.perf_counter() - mark
+            batches += 1
+    finally:
+        if ingestor is not None:
+            mark = time.perf_counter()
+            ingestor.close()
+            process += time.perf_counter() - mark
     return IngestReport(
-        elements=total, batches=batches, seconds=time.perf_counter() - start
+        elements=total,
+        batches=batches,
+        seconds=time.perf_counter() - start,
+        assemble_seconds=assemble,
+        process_seconds=process,
+        workers=ingestor.workers if ingestor is not None else 1,
     )

@@ -1,0 +1,148 @@
+"""Concurrent shard ingest: per-worker queues over independent VOS shards.
+
+:class:`~repro.service.sharding.ShardedVOS` shards share no mutable state, so
+once a batch has been routed (one vectorized hash over its user column) the
+per-shard sub-batches can be ingested concurrently.  NumPy releases the GIL in
+the hot loops — the Carter-Wegman hash pipeline and the bulk xor — so plain
+threads overlap real work on multi-core machines without any process-shipping
+of sketch state.
+
+:class:`ShardParallelIngestor` implements the pipelined executor:
+
+* the caller's thread routes each submitted batch once
+  (:meth:`ShardedVOS.split_by_shard`) and enqueues every ``(shard,
+  sub_batch)`` task on the queue of the worker that owns the shard;
+* shard ``s`` is owned by worker ``s % workers``, and each worker drains its
+  own queue in FIFO order — so every shard's sub-batches are processed by
+  exactly one thread, in submission order, which keeps the final state
+  **bit-identical** to serial ingest;
+* there is no per-batch barrier: routing of batch ``t+1`` overlaps the shard
+  updates of batch ``t``, and bounded queues provide backpressure so an
+  unbounded stream never piles up in memory.
+
+A worker failure is recorded, later submissions raise it, and the workers
+keep draining (but skip processing) so ``close`` never deadlocks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.exceptions import ConfigurationError
+from repro.service.sharding import ShardedVOS
+from repro.streams.batch import ElementBatch
+
+#: Bound on each worker's task queue: deep enough to pipeline routing against
+#: shard updates, shallow enough that backpressure caps buffered sub-batches.
+_QUEUE_DEPTH = 8
+
+_STOP = object()
+
+
+class ShardParallelIngestor:
+    """Ingest batches into a :class:`ShardedVOS` on a pool of worker threads.
+
+    Parameters
+    ----------
+    sketch:
+        The sharded sketch to ingest into.
+    workers:
+        Requested worker threads; capped at the shard count (extra workers
+        would never receive a task).
+
+    Use as a context manager (or call :meth:`close`) so worker threads are
+    always joined and any worker failure is re-raised:
+
+        with ShardParallelIngestor(sketch, workers=4) as ingestor:
+            for batch in batches:
+                ingestor.submit(batch)
+    """
+
+    def __init__(self, sketch: ShardedVOS, workers: int) -> None:
+        if workers <= 0:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
+        self._sketch = sketch
+        self.workers = max(1, min(workers, sketch.num_shards))
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)
+        ]
+        self._failure: BaseException | None = None
+        self._failure_lock = threading.Lock()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._drain,
+                args=(task_queue,),
+                name=f"vos-ingest-{index}",
+                daemon=True,
+            )
+            for index, task_queue in enumerate(self._queues)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- worker loop -----------------------------------------------------------------
+
+    def _drain(self, task_queue: queue.Queue) -> None:
+        while True:
+            task = task_queue.get()
+            try:
+                if task is _STOP:
+                    return
+                if self._failure is not None:
+                    continue  # keep draining so submit/close never block forever
+                shard, sub_batch = task
+                try:
+                    shard.process_batch(sub_batch)
+                except BaseException as error:  # noqa: BLE001 - relayed to caller
+                    with self._failure_lock:
+                        if self._failure is None:
+                            self._failure = error
+            finally:
+                task_queue.task_done()
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(self, elements) -> int:
+        """Route one batch and enqueue its per-shard sub-batches; returns its size."""
+        if self._closed:
+            raise ConfigurationError("cannot submit to a closed ingestor")
+        if self._failure is not None:
+            self.close()
+        batch = ElementBatch.coerce(elements)
+        count = len(batch)
+        if count == 0:
+            return 0
+        for shard_index, sub_batch in self._sketch.split_by_shard(batch):
+            self._queues[shard_index % self.workers].put(
+                (self._sketch.shards[shard_index], sub_batch)
+            )
+        return count
+
+    # -- shutdown --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain all queues, join the workers and re-raise any worker failure."""
+        if not self._closed:
+            self._closed = True
+            for task_queue in self._queues:
+                task_queue.put(_STOP)
+            for thread in self._threads:
+                thread.join()
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise failure
+
+    def __enter__(self) -> "ShardParallelIngestor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.close()
+            return
+        # Preserve the in-flight exception; still join the workers.
+        try:
+            self.close()
+        except BaseException:  # noqa: BLE001 - the original error wins
+            pass

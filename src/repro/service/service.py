@@ -31,6 +31,7 @@ from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stre
 from repro.service.sharding import ShardedVOS
 from repro.service.snapshot import load_snapshot, save_snapshot
 from repro.similarity.search import ScoredPair, nearest_neighbours, top_k_similar_pairs
+from repro.streams.batch import ElementBatch
 from repro.streams.edge import StreamElement, UserId
 
 
@@ -52,6 +53,9 @@ class ServiceConfig:
     size_multiplier: float = 2.0
     seed: int = 0
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: Worker threads for concurrent per-shard ingest (1 = serial).  Parallel
+    #: ingest is state-identical to serial ingest; it only changes wall-clock.
+    workers: int = 1
     #: Per-shard capacity of the packed-row LRU cache used by the bulk query
     #: path (hot users' recovered virtual sketches); 0 disables caching.
     sketch_cache_size: int = 1024
@@ -75,6 +79,9 @@ class SimilarityService:
         (recommended) or a plain :class:`~repro.core.vos.VirtualOddSketch`.
     batch_size:
         Batch size used by :meth:`ingest`.
+    workers:
+        Worker threads for concurrent per-shard ingest (1 = serial).  Ignored
+        by sketches without independent shards.
     """
 
     def __init__(
@@ -82,11 +89,15 @@ class SimilarityService:
         sketch: ShardedVOS | VirtualOddSketch,
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        workers: int = 1,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if workers <= 0:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
         self._sketch = sketch
         self._batch_size = batch_size
+        self._workers = workers
         self._elements_ingested = 0
         self._batches_ingested = 0
 
@@ -100,13 +111,26 @@ class SimilarityService:
             seed=config.seed,
             sketch_cache_size=config.sketch_cache_size,
         )
-        return cls(sketch, batch_size=config.batch_size)
+        return cls(sketch, batch_size=config.batch_size, workers=config.workers)
 
     # -- ingest ----------------------------------------------------------------------
 
-    def ingest(self, elements: Iterable[StreamElement]) -> IngestReport:
-        """Consume stream elements in vectorized batches; returns throughput."""
-        report = ingest_stream(self._sketch, elements, batch_size=self._batch_size)
+    def ingest(
+        self, elements: Iterable[StreamElement] | Iterable[ElementBatch]
+    ) -> IngestReport:
+        """Consume stream input in vectorized batches; returns throughput.
+
+        Accepts element iterables and :class:`~repro.streams.batch.ElementBatch`
+        iterables alike (e.g. the chunked ``.vosstream`` reader).  With
+        ``workers > 1`` the per-shard sub-batches of every batch are ingested
+        concurrently — state-identical to serial ingest.
+        """
+        report = ingest_stream(
+            self._sketch,
+            elements,
+            batch_size=self._batch_size,
+            workers=self._workers,
+        )
         self._elements_ingested += report.elements
         self._batches_ingested += report.batches
         return report
@@ -184,6 +208,7 @@ class SimilarityService:
             "elements_ingested": self._elements_ingested,
             "batches_ingested": self._batches_ingested,
             "batch_size": self._batch_size,
+            "workers": self._workers,
             "users": len(sketch.users()),
             "memory_bits": sketch.memory_bits(),
             "beta": sketch.beta,
@@ -204,7 +229,11 @@ class SimilarityService:
 
     @classmethod
     def load(
-        cls, path: str | Path, *, batch_size: int = DEFAULT_BATCH_SIZE
+        cls,
+        path: str | Path,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        workers: int = 1,
     ) -> "SimilarityService":
         """Restore a service from a snapshot written by :meth:`save`."""
-        return cls(load_snapshot(path), batch_size=batch_size)
+        return cls(load_snapshot(path), batch_size=batch_size, workers=workers)

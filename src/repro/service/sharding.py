@@ -49,6 +49,7 @@ from repro.core.vos import (
 from repro.exceptions import ConfigurationError
 from repro.hashing import UniversalHash
 from repro.hashing.universal import stable_hash64
+from repro.streams.batch import ElementBatch, id_column
 from repro.streams.edge import StreamElement, UserId
 
 
@@ -164,39 +165,54 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
         """Route one element to its owning shard (counters live in the shard)."""
         self._shards[self._router(element.user)].process(element)
 
+    def shard_assignment(self, users: np.ndarray) -> np.ndarray:
+        """Shard index per user for one id column, as an ``int64`` array.
+
+        Integer columns are routed with one vectorized hash (bit-exact with
+        the scalar router); ``object`` columns fall back to scalar hashing per
+        value, so routing works for every hashable id.
+        """
+        users = np.asarray(users)
+        if users.dtype.kind in "iu":
+            return self._router.hash_array(users)
+        return np.fromiter(
+            (self._router(user) for user in users.tolist()),
+            dtype=np.int64,
+            count=users.shape[0],
+        )
+
+    def split_by_shard(self, batch: ElementBatch):
+        """Yield ``(shard_index, sub_batch)`` pairs, order preserved per shard.
+
+        One vectorized hash over the batch's user column assigns every element
+        to its owning shard; each sub-batch is a NumPy ``select`` (no
+        per-element list rebuilds).  Concatenating a shard's sub-batches over
+        consecutive calls reproduces that shard's element subsequence in
+        stream order, which is what makes both serial and concurrent shard
+        ingest state-identical to per-element routing.
+        """
+        assignment = self.shard_assignment(batch.users)
+        for shard_index in np.unique(assignment).tolist():
+            yield shard_index, batch.select(np.flatnonzero(assignment == shard_index))
+
     def process_batch(self, elements) -> int:
         """Vectorized batch ingest: route by user, one sub-batch per shard.
 
-        The shard assignment is computed with one vectorized hash over the
-        batch's user column; each shard then runs its own vectorized
-        ``process_batch`` on its slice.  Relative element order is preserved
-        per shard, so the result is state-identical to per-element routing.
+        Accepts element iterables and array-native
+        :class:`~repro.streams.batch.ElementBatch` objects alike.  The shard
+        assignment is one vectorized hash over the batch's user column; each
+        shard then runs its own vectorized ``process_batch`` on its column
+        slice.  Relative element order is preserved per shard, so the result
+        is state-identical to per-element routing.
         """
-        if not isinstance(elements, (list, tuple)):
-            elements = list(elements)
-        count = len(elements)
+        batch = ElementBatch.coerce(elements)
+        count = len(batch)
         if count == 0:
             return 0
         if self.num_shards == 1:
-            return self._shards[0].process_batch(elements)
-        # Same fallback gate as VirtualOddSketch.process_batch: np.fromiter
-        # would silently truncate non-integer user ids.
-        if not all(type(e.user) is int for e in elements):
-            for element in elements:
-                self.process(element)
-            return count
-        try:
-            users = np.fromiter((e.user for e in elements), dtype=np.int64, count=count)
-        except OverflowError:  # ints beyond 64 bits
-            for element in elements:
-                self.process(element)
-            return count
-        assignment = self._router.hash_array(users)
-        for shard_index in np.unique(assignment).tolist():
-            member_indices = np.flatnonzero(assignment == shard_index)
-            self._shards[shard_index].process_batch(
-                [elements[i] for i in member_indices.tolist()]
-            )
+            return self._shards[0].process_batch(batch)
+        for shard_index, sub_batch in self.split_by_shard(batch):
+            self._shards[shard_index].process_batch(sub_batch)
         return count
 
     def _process_insertion(self, element: StreamElement) -> None:  # pragma: no cover
@@ -279,14 +295,17 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
         Users are grouped by owning shard so each shard performs one bulk
         packed-row gather (hitting its own LRU row cache); the rows are then
         scattered back into input order alongside each user's shard ``beta``
-        and exact cardinality.
+        and exact cardinality.  The shard assignment is one vectorized hash
+        over the user column (scalar fallback for non-integer ids), matching
+        how :meth:`process_batch` routes.
         """
+        users = list(users)
         rows = np.empty(
             (len(users), packed_row_bytes(self.virtual_sketch_size)), dtype=np.uint8
         )
         betas = np.empty(len(users), dtype=np.float64)
         cardinalities = np.empty(len(users), dtype=np.int64)
-        shard_of_user = [self.shard_of(user) for user in users]
+        shard_of_user = self.shard_assignment(id_column(users)).tolist()
         for shard_index in sorted(set(shard_of_user)):
             member_rows = [
                 row for row, owner in enumerate(shard_of_user) if owner == shard_index

@@ -14,7 +14,10 @@ unsubscription (``-``).  It provides:
   paper's evaluation uses;
 * named synthetic datasets standing in for the paper's YouTube / Flickr /
   Orkut / LiveJournal crawls (:mod:`repro.streams.datasets`);
-* plain-text stream I/O (:mod:`repro.streams.io`).
+* array-native stream batches (:class:`~repro.streams.batch.ElementBatch`) —
+  contiguous NumPy columns the vectorized ingest path operates on;
+* stream I/O (:mod:`repro.streams.io`): the plain-text exchange format and the
+  binary columnar ``.vosstream`` format, with chunked batch readers.
 """
 
 from repro.streams.datasets import DATASET_SPECS, DatasetSpec, load_dataset
@@ -30,7 +33,8 @@ from repro.streams.generators import (
     ErdosRenyiBipartiteGenerator,
     PowerLawBipartiteGenerator,
 )
-from repro.streams.io import read_stream, write_stream
+from repro.streams.batch import ElementBatch, id_column
+from repro.streams.io import iter_stream_batches, read_stream, write_stream
 from repro.streams.regular import (
     RegularEdge,
     RegularGraphSimilarity,
@@ -42,6 +46,8 @@ from repro.streams.stream import GraphStream, StreamStatistics, build_dynamic_st
 __all__ = [
     "Action",
     "StreamElement",
+    "ElementBatch",
+    "id_column",
     "GraphStream",
     "StreamStatistics",
     "build_dynamic_stream",
@@ -57,6 +63,7 @@ __all__ = [
     "load_dataset",
     "read_stream",
     "write_stream",
+    "iter_stream_batches",
     "RegularEdge",
     "RegularGraphSimilarity",
     "bipartite_elements",

@@ -1,0 +1,222 @@
+"""Array-native stream batches: contiguous columns instead of element objects.
+
+The ingest path used to move data as Python lists of
+:class:`~repro.streams.edge.StreamElement`; every layer (stream I/O, batch
+assembly, shard routing, the VOS update) paid for object allocation and
+attribute access per element.  :class:`ElementBatch` is the columnar
+replacement: one contiguous NumPy column per field —
+
+* ``users``  — ``int64`` when every user id is a plain Python ``int`` that
+  fits in 64 bits, ``object`` dtype otherwise (string ids, floats, big ints);
+* ``items``  — same rule, independently of ``users``;
+* ``signs``  — ``int8`` with ``+1`` per insertion and ``-1`` per deletion.
+
+The integer/object split mirrors exactly the fallback gate the vectorized
+sketch paths already used (``type(x) is int``, ``OverflowError`` for ints
+beyond 64 bits), so handing a batch to ``process_batch`` is state-identical
+to handing it the element list it was built from.  Sub-batching (``select``,
+``slice``) is a NumPy indexing operation, which is what makes vectorized
+shard routing cheap: one hash over the user column, one ``select`` per shard,
+no per-element list rebuilds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.edge import Action, StreamElement
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def id_column(values: Sequence[object]) -> np.ndarray:
+    """Build one identifier column from a sequence of user/item ids.
+
+    Returns an ``int64`` array when every value is a plain Python ``int``
+    representable in 64 bits — the exact precondition of the vectorized hash
+    paths (``bool`` is excluded, as are floats, so nothing is silently
+    truncated) — and an ``object`` array preserving the original values
+    otherwise.
+    """
+    if not isinstance(values, (list, tuple)):
+        values = list(values)
+    if all(type(value) is int for value in values):
+        try:
+            return np.array(values, dtype=np.int64)
+        except OverflowError:  # ints beyond 64 bits keep exact object identity
+            pass
+    column = np.empty(len(values), dtype=object)
+    for index, value in enumerate(values):
+        column[index] = value
+    return column
+
+
+def _as_id_array(values) -> np.ndarray:
+    """Normalize one id column to the ``int64``-or-``object`` invariant."""
+    if not isinstance(values, np.ndarray):
+        return id_column(values)
+    if values.ndim != 1:
+        raise ConfigurationError(
+            f"id columns must be one-dimensional, got shape {values.shape}"
+        )
+    if values.dtype == np.int64:
+        return values
+    if values.dtype.kind == "i":
+        return values.astype(np.int64)
+    if values.dtype.kind == "u":
+        if values.size and int(values.max()) > _INT64_MAX:
+            return id_column(values.tolist())
+        return values.astype(np.int64)
+    if values.dtype == object:
+        return values
+    # Strings, floats, bools: keep the exact Python values as objects so the
+    # per-element fallback paths see what a StreamElement would have carried.
+    return id_column(values.tolist())
+
+
+class ElementBatch:
+    """A batch of stream elements stored as three parallel NumPy columns.
+
+    Iterating (or :meth:`to_elements`) reconstructs the equivalent
+    :class:`~repro.streams.edge.StreamElement` sequence, so every consumer of
+    element lists accepts an ``ElementBatch`` unchanged; vectorized consumers
+    read the columns directly.
+
+    Examples
+    --------
+    >>> from repro.streams import Action, StreamElement
+    >>> batch = ElementBatch.from_elements(
+    ...     [StreamElement(1, 10, Action.INSERT), StreamElement(2, 11, Action.DELETE)]
+    ... )
+    >>> len(batch), batch.users.tolist(), batch.signs.tolist()
+    (2, [1, 2], [1, -1])
+    """
+
+    __slots__ = ("users", "items", "signs")
+
+    def __init__(self, users, items, signs) -> None:
+        users = _as_id_array(users)
+        items = _as_id_array(items)
+        signs = np.asarray(signs)
+        if signs.ndim != 1:
+            raise ConfigurationError(
+                f"signs must be one-dimensional, got shape {signs.shape}"
+            )
+        # Validate before any dtype cast: 255 or 257 would wrap to a valid
+        # int8 +-1 and silently corrupt the stream instead of failing loudly.
+        if signs.size and not np.all((signs == 1) | (signs == -1)):
+            raise ConfigurationError("signs must be +1 (insert) or -1 (delete)")
+        if signs.dtype != np.int8:
+            signs = signs.astype(np.int8)
+        if not (len(users) == len(items) == len(signs)):
+            raise ConfigurationError(
+                "batch columns differ in length "
+                f"(users {len(users)}, items {len(items)}, signs {len(signs)})"
+            )
+        self.users = users
+        self.items = items
+        self.signs = signs
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_elements(cls, elements: Iterable[StreamElement]) -> "ElementBatch":
+        """Columnarize an element iterable (the adapter from the object world)."""
+        if not isinstance(elements, (list, tuple)):
+            elements = list(elements)
+        count = len(elements)
+        insert = Action.INSERT
+        return cls(
+            id_column([element.user for element in elements]),
+            id_column([element.item for element in elements]),
+            np.fromiter(
+                (1 if element.action is insert else -1 for element in elements),
+                dtype=np.int8,
+                count=count,
+            ),
+        )
+
+    @classmethod
+    def coerce(cls, elements) -> "ElementBatch":
+        """Return ``elements`` as a batch: pass batches through, columnarize rest.
+
+        The single place that defines what batch-accepting entry points
+        (``process_batch``, the parallel ingestor) take as input.
+        """
+        if isinstance(elements, cls):
+            return elements
+        return cls.from_elements(elements)
+
+    @classmethod
+    def empty(cls) -> "ElementBatch":
+        """The zero-length batch (integer columns by convention)."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int8),
+        )
+
+    # -- column facts ----------------------------------------------------------------
+
+    @property
+    def integer_users(self) -> bool:
+        """Whether the user column is ``int64`` (vectorized routing applies)."""
+        return self.users.dtype == np.int64
+
+    @property
+    def integer_items(self) -> bool:
+        """Whether the item column is ``int64``."""
+        return self.items.dtype == np.int64
+
+    @property
+    def insertions(self) -> int:
+        """Number of insertion elements in the batch."""
+        return int(np.count_nonzero(self.signs > 0))
+
+    @property
+    def deletions(self) -> int:
+        """Number of deletion elements in the batch."""
+        return len(self) - self.insertions
+
+    def deltas(self) -> np.ndarray:
+        """The cardinality deltas (``int64``): ``+1`` insert, ``-1`` delete."""
+        return self.signs.astype(np.int64)
+
+    # -- sub-batching ----------------------------------------------------------------
+
+    def select(self, indices) -> "ElementBatch":
+        """The sub-batch at ``indices``, in the order the indices list them."""
+        return ElementBatch(self.users[indices], self.items[indices], self.signs[indices])
+
+    def slice(self, start: int, stop: int) -> "ElementBatch":
+        """The contiguous sub-batch ``[start:stop)`` (views, no copies)."""
+        return ElementBatch(
+            self.users[start:stop], self.items[start:stop], self.signs[start:stop]
+        )
+
+    # -- element adapters --------------------------------------------------------------
+
+    def to_elements(self) -> list[StreamElement]:
+        """Reconstruct the equivalent :class:`StreamElement` list."""
+        insert, delete = Action.INSERT, Action.DELETE
+        return [
+            StreamElement(user, item, insert if sign > 0 else delete)
+            for user, item, sign in zip(
+                self.users.tolist(), self.items.tolist(), self.signs.tolist()
+            )
+        ]
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self.to_elements())
+
+    def __len__(self) -> int:
+        return int(self.signs.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ElementBatch n={len(self)} users={self.users.dtype} "
+            f"items={self.items.dtype}>"
+        )

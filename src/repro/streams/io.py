@@ -1,63 +1,507 @@
-"""Plain-text persistence of graph streams.
+"""Stream persistence: plain-text and binary columnar (`.vosstream`) formats.
 
-Streams are stored one element per line as ``<action> <user> <item>`` where
-``<action>`` is ``+`` or ``-``.  Lines starting with ``#`` and blank lines are
-ignored, so files can carry comments.  This is the usual exchange format for
-dynamic-graph experiments and allows users to bring their own streams.
+Two interchangeable on-disk formats, auto-detected on read:
+
+**Text** — one element per line as ``<action> <user> <item>`` with ``+`` / ``-``
+actions; lines starting with ``#`` and blank lines are ignored.  Identifiers
+may be arbitrary whitespace-free tokens: integer-looking tokens load as
+``int`` and anything else loads as ``str`` (pass ``require_int=True`` for the
+old strict behaviour that rejects non-integer tokens).  This is the usual
+exchange format for dynamic-graph experiments.
+
+**Binary columnar** — the ``.vosstream`` format written for ingest throughput:
+the whole stream is stored as three contiguous columns (users, items, signs)
+so loading is an ``np.frombuffer`` per column instead of a Python parse per
+line.  Layout (little-endian)::
+
+    offset  size  field
+    0       8     magic  b"VOSSTRM\\x00"
+    8       4     format version (currently 1)
+    12      4     header length H
+    16      H     header: UTF-8 JSON (name, count, column table with CRC-32s)
+    16+H    ...   payload: the concatenated column encodings
+
+Integer id columns are raw ``int64`` little-endian; non-integer id columns
+(string ids and such) are stored as a UTF-8 JSON array.  Each column records
+its CRC-32 in the header, so flipped bits and truncation surface as
+:class:`~repro.exceptions.DatasetError` instead of silently corrupt streams.
+
+:func:`iter_stream_batches` is the scale entry point: it yields
+:class:`~repro.streams.batch.ElementBatch` chunks straight off the file —
+seek-and-read column slices for binary streams, incremental line parsing for
+text — without ever materializing the whole stream in memory.
 """
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
+from collections.abc import Iterator
 from pathlib import Path
 
-from repro.exceptions import DatasetError
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.streams.batch import ElementBatch, id_column
 from repro.streams.edge import Action, StreamElement
 from repro.streams.stream import GraphStream
 
+STREAM_MAGIC = b"VOSSTRM\x00"
+STREAM_FORMAT_VERSION = 1
 
-def write_stream(stream: GraphStream, path: str | Path) -> None:
-    """Write ``stream`` to ``path`` in the one-element-per-line text format."""
-    target = Path(path)
+#: Default chunk size of :func:`iter_stream_batches`.
+DEFAULT_READ_BATCH_SIZE = 8192
+
+_PREFIX = struct.Struct("<II")
+_PREFIX_BYTES = len(STREAM_MAGIC) + _PREFIX.size
+_COLUMN_NAMES = ("users", "items", "signs")
+_FORMATS = ("auto", "text", "binary")
+
+
+def _check_format(format: str) -> str:
+    if format not in _FORMATS:
+        known = ", ".join(_FORMATS)
+        raise DatasetError(f"unknown stream format {format!r}; expected one of {known}")
+    return format
+
+
+def _resolve_write_format(path: Path, format: str) -> str:
+    if _check_format(format) != "auto":
+        return format
+    return "binary" if path.suffix == ".vosstream" else "text"
+
+
+def _sniff_format(path: Path) -> str:
+    """Detect a file's format from its leading magic bytes."""
+    with path.open("rb") as handle:
+        return "binary" if handle.read(len(STREAM_MAGIC)) == STREAM_MAGIC else "text"
+
+
+def _resolve_read_format(path: Path, format: str) -> str:
+    if _check_format(format) != "auto":
+        return format
+    return _sniff_format(path)
+
+
+# -- text format --------------------------------------------------------------------
+
+
+def _text_token(value: object, path: Path) -> str:
+    """Serialize one id for the text format, rejecting lossy round trips.
+
+    The text reader int-coerces integer-looking tokens, so any id whose token
+    would load back as a different value/type (floats, bools, the string
+    ``"007"``) must be refused at write time — the binary format preserves
+    such ids exactly.
+    """
+    if not isinstance(value, (int, str)) or isinstance(value, bool):
+        raise DatasetError(
+            f"cannot write id {value!r} to the text format at {path}: text ids "
+            "must be int or str (use the binary .vosstream format)"
+        )
+    token = f"{value}"
+    if not token or any(character.isspace() for character in token):
+        raise DatasetError(
+            f"cannot write id {value!r} to the text format at {path}: tokens must "
+            "be non-empty and whitespace-free (use the binary .vosstream format)"
+        )
+    if isinstance(value, str):
+        try:
+            int(token)
+        except ValueError:
+            pass
+        else:
+            raise DatasetError(
+                f"cannot write string id {value!r} to the text format at {path}: "
+                "it would load back as an integer (use the binary .vosstream "
+                "format)"
+            )
+    return token
+
+
+def _parse_id(token: str, require_int: bool, source: Path, line_number: int) -> int | str:
+    try:
+        return int(token)
+    except ValueError:
+        if require_int:
+            raise DatasetError(
+                f"{source}:{line_number}: expected an integer id, got {token!r}"
+            ) from None
+        return token
+
+
+def _parse_text_line(
+    line: str, require_int: bool, source: Path, line_number: int
+) -> tuple[int | str, int | str, int] | None:
+    """Parse one text line into ``(user, item, sign)``; ``None`` for comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parts = stripped.split()
+    if len(parts) != 3:
+        raise DatasetError(
+            f"{source}:{line_number}: expected '<action> <user> <item>', got {stripped!r}"
+        )
+    action_token, user_token, item_token = parts
+    try:
+        action = Action.from_symbol(action_token)
+    except ValueError as error:
+        raise DatasetError(f"{source}:{line_number}: {error}") from error
+    return (
+        _parse_id(user_token, require_int, source, line_number),
+        _parse_id(item_token, require_int, source, line_number),
+        action.sign,
+    )
+
+
+def _write_text(stream: GraphStream, target: Path) -> None:
     with target.open("w", encoding="utf-8") as handle:
         handle.write(f"# graph stream: {stream.name}\n")
         handle.write("# format: <action> <user> <item>\n")
         for element in stream:
-            handle.write(f"{element.action.symbol} {element.user} {element.item}\n")
+            handle.write(
+                f"{element.action.symbol} "
+                f"{_text_token(element.user, target)} "
+                f"{_text_token(element.item, target)}\n"
+            )
 
 
-def read_stream(path: str | Path, *, name: str | None = None, validate: bool = True) -> GraphStream:
-    """Read a stream previously written by :func:`write_stream` (or hand-authored).
+def _iter_parsed_text_lines(
+    source: Path, require_int: bool
+) -> Iterator[tuple[int | str, int | str, int]]:
+    """The one text parse loop, shared by the eager and chunked readers."""
+    try:
+        with source.open("r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                parsed = _parse_text_line(raw_line, require_int, source, line_number)
+                if parsed is not None:
+                    yield parsed
+    except UnicodeDecodeError as error:
+        raise DatasetError(f"{source}: not a UTF-8 text stream: {error}") from error
+
+
+def _read_text_elements(source: Path, require_int: bool) -> list[StreamElement]:
+    insert, delete = Action.INSERT, Action.DELETE
+    return [
+        StreamElement(user, item, insert if sign > 0 else delete)
+        for user, item, sign in _iter_parsed_text_lines(source, require_int)
+    ]
+
+
+def _iter_text_batches(
+    source: Path, batch_size: int, require_int: bool
+) -> Iterator[ElementBatch]:
+    users: list[int | str] = []
+    items: list[int | str] = []
+    signs: list[int] = []
+    for user, item, sign in _iter_parsed_text_lines(source, require_int):
+        users.append(user)
+        items.append(item)
+        signs.append(sign)
+        if len(signs) >= batch_size:
+            yield ElementBatch(
+                id_column(users), id_column(items), np.array(signs, dtype=np.int8)
+            )
+            users, items, signs = [], [], []
+    if signs:
+        yield ElementBatch(
+            id_column(users), id_column(items), np.array(signs, dtype=np.int8)
+        )
+
+
+# -- binary columnar format ----------------------------------------------------------
+
+
+def _encode_id_column(column: np.ndarray, name: str, path: Path) -> tuple[str, bytes]:
+    if column.dtype == np.int64:
+        return "int64", column.astype("<i8").tobytes()
+    for value in column.tolist():
+        if not isinstance(value, (int, str, float)) or isinstance(value, bool):
+            raise DatasetError(
+                f"cannot write {name} id {value!r} to {path}: the binary format "
+                "supports int, str and float identifiers"
+            )
+    return "json", json.dumps(column.tolist()).encode("utf-8")
+
+
+def _write_binary(stream: GraphStream, target: Path) -> None:
+    batch = ElementBatch.from_elements(
+        stream.elements if isinstance(stream, GraphStream) else list(stream)
+    )
+    encodings = [
+        ("users", *_encode_id_column(batch.users, "user", target)),
+        ("items", *_encode_id_column(batch.items, "item", target)),
+        ("signs", "int8", batch.signs.astype("<i1").tobytes()),
+    ]
+    header = {
+        "name": getattr(stream, "name", target.stem),
+        "count": len(batch),
+        "columns": [
+            {
+                "name": name,
+                "encoding": encoding,
+                "bytes": len(data),
+                "crc32": zlib.crc32(data),
+            }
+            for name, encoding, data in encodings
+        ],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    target.write_bytes(
+        STREAM_MAGIC
+        + _PREFIX.pack(STREAM_FORMAT_VERSION, len(header_bytes))
+        + header_bytes
+        + b"".join(data for _, _, data in encodings)
+    )
+
+
+def _parse_binary_header(prefix: bytes, header_bytes: bytes, source: Path) -> dict:
+    """Validate the fixed prefix + JSON header and return the header dict."""
+    if len(prefix) < _PREFIX_BYTES:
+        raise DatasetError(f"{source}: truncated stream file (no header)")
+    if prefix[: len(STREAM_MAGIC)] != STREAM_MAGIC:
+        raise DatasetError(f"{source}: not a binary .vosstream file (bad magic)")
+    version, header_length = _PREFIX.unpack_from(prefix, len(STREAM_MAGIC))
+    if version != STREAM_FORMAT_VERSION:
+        raise DatasetError(
+            f"{source}: unsupported .vosstream version {version} "
+            f"(this build reads version {STREAM_FORMAT_VERSION})"
+        )
+    if len(header_bytes) != header_length:
+        raise DatasetError(f"{source}: truncated stream file (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise DatasetError(f"{source}: stream header is corrupt: {error}") from error
+    try:
+        count = header["count"]
+        columns = {entry["name"]: entry for entry in header["columns"]}
+    except (KeyError, TypeError) as error:
+        raise DatasetError(f"{source}: stream header is malformed: {error!r}") from error
+    if not isinstance(count, int) or count < 0:
+        raise DatasetError(f"{source}: stream header records a bad count: {count!r}")
+    for name in columns:
+        if name not in _COLUMN_NAMES:
+            raise DatasetError(f"{source}: unknown stream column {name!r}")
+    for name in _COLUMN_NAMES:
+        if name not in columns:
+            raise DatasetError(f"{source}: stream header is missing column {name!r}")
+    return header
+
+
+def _header_length(prefix: bytes, source: Path) -> int:
+    if len(prefix) < _PREFIX_BYTES:
+        raise DatasetError(f"{source}: truncated stream file (no header)")
+    return _PREFIX.unpack_from(prefix, len(STREAM_MAGIC))[1]
+
+
+def _decode_id_column(entry: dict, data: bytes, count: int, source: Path) -> np.ndarray:
+    if zlib.crc32(data) != entry.get("crc32"):
+        raise DatasetError(
+            f"{source}: column {entry['name']!r} failed its CRC-32 check"
+        )
+    encoding = entry.get("encoding")
+    if encoding == "int64":
+        column = np.frombuffer(data, dtype="<i8").astype(np.int64, copy=False)
+    elif encoding == "json":
+        try:
+            values = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise DatasetError(
+                f"{source}: column {entry['name']!r} is corrupt: {error}"
+            ) from error
+        column = id_column(values)
+    else:
+        raise DatasetError(f"{source}: unknown column encoding {encoding!r}")
+    if column.shape[0] != count:
+        raise DatasetError(
+            f"{source}: column {entry['name']!r} holds {column.shape[0]} values "
+            f"but the header records {count}"
+        )
+    return column
+
+
+def _read_binary_batch(source: Path, require_int: bool) -> tuple[ElementBatch, str]:
+    """Read a whole binary stream file into one batch; returns (batch, name)."""
+    data = source.read_bytes()
+    prefix = data[:_PREFIX_BYTES]
+    header_length = _header_length(prefix, source)
+    header = _parse_binary_header(
+        prefix, data[_PREFIX_BYTES : _PREFIX_BYTES + header_length], source
+    )
+    count = header["count"]
+    offset = _PREFIX_BYTES + header_length
+    decoded: dict[str, np.ndarray] = {}
+    for entry in header["columns"]:
+        length = entry.get("bytes")
+        if not isinstance(length, int) or length < 0:
+            raise DatasetError(f"{source}: stream header records bad column sizes")
+        payload = data[offset : offset + length]
+        if len(payload) != length:
+            raise DatasetError(f"{source}: truncated stream file (incomplete payload)")
+        offset += length
+        if entry["name"] == "signs":
+            if zlib.crc32(payload) != entry.get("crc32"):
+                raise DatasetError(f"{source}: column 'signs' failed its CRC-32 check")
+            decoded["signs"] = np.frombuffer(payload, dtype="<i1").astype(
+                np.int8, copy=False
+            )
+        else:
+            decoded[entry["name"]] = _decode_id_column(entry, payload, count, source)
+    if decoded["signs"].shape[0] != count:
+        raise DatasetError(f"{source}: truncated stream file (short signs column)")
+    if require_int and (
+        decoded["users"].dtype == object or decoded["items"].dtype == object
+    ):
+        raise DatasetError(f"{source}: stream holds non-integer ids (require_int)")
+    try:
+        batch = ElementBatch(decoded["users"], decoded["items"], decoded["signs"])
+    except ConfigurationError as error:
+        raise DatasetError(f"{source}: stream payload is corrupt: {error}") from error
+    return batch, str(header.get("name") or source.stem)
+
+
+def _iter_binary_batches(
+    source: Path, batch_size: int, require_int: bool
+) -> Iterator[ElementBatch]:
+    with source.open("rb") as handle:
+        prefix = handle.read(_PREFIX_BYTES)
+        header_bytes = handle.read(_header_length(prefix, source))
+        header = _parse_binary_header(prefix, header_bytes, source)
+        count = header["count"]
+        entries = header["columns"]
+        if any(entry.get("encoding") == "json" for entry in entries):
+            # Object columns are one JSON document; load them fully, then chunk.
+            batch, _ = _read_binary_batch(source, require_int)
+            for start in range(0, len(batch), batch_size):
+                yield batch.slice(start, start + batch_size)
+            return
+        offsets: dict[str, int] = {}
+        item_sizes = {"users": 8, "items": 8, "signs": 1}
+        dtypes = {"users": "<i8", "items": "<i8", "signs": "<i1"}
+        position = _PREFIX_BYTES + len(header_bytes)
+        for entry in entries:
+            expected = count * item_sizes[entry["name"]]
+            if entry.get("bytes") != expected:
+                raise DatasetError(
+                    f"{source}: column {entry['name']!r} records {entry.get('bytes')} "
+                    f"bytes but {count} rows need {expected}"
+                )
+            offsets[entry["name"]] = position
+            position += expected
+        running_crc = {name: 0 for name in _COLUMN_NAMES}
+        recorded_crc = {entry["name"]: entry.get("crc32") for entry in entries}
+
+        def read_chunk(name: str, start: int, rows: int) -> np.ndarray:
+            nbytes = rows * item_sizes[name]
+            handle.seek(offsets[name] + start * item_sizes[name])
+            data = handle.read(nbytes)
+            if len(data) != nbytes:
+                raise DatasetError(
+                    f"{source}: truncated stream file (short column {name!r})"
+                )
+            running_crc[name] = zlib.crc32(data, running_crc[name])
+            return np.frombuffer(data, dtype=dtypes[name])
+
+        for start in range(0, count, batch_size):
+            rows = min(batch_size, count - start)
+            try:
+                # Column validation (e.g. a sign that is not +-1) can trip
+                # before the end-of-stream CRC check does; both are corruption.
+                batch = ElementBatch(
+                    read_chunk("users", start, rows).astype(np.int64, copy=False),
+                    read_chunk("items", start, rows).astype(np.int64, copy=False),
+                    read_chunk("signs", start, rows).astype(np.int8, copy=False),
+                )
+            except ConfigurationError as error:
+                raise DatasetError(
+                    f"{source}: stream payload is corrupt: {error}"
+                ) from error
+            yield batch
+        for name in _COLUMN_NAMES:
+            if running_crc[name] != recorded_crc[name]:
+                raise DatasetError(
+                    f"{source}: column {name!r} failed its CRC-32 check"
+                )
+
+
+# -- public entry points --------------------------------------------------------------
+
+
+def write_stream(stream: GraphStream, path: str | Path, *, format: str = "auto") -> None:
+    """Write ``stream`` to ``path``.
+
+    ``format`` is ``"text"``, ``"binary"`` or ``"auto"`` (the default), where
+    auto picks binary for a ``.vosstream`` suffix and text otherwise.
+    """
+    target = Path(path)
+    if _resolve_write_format(target, format) == "binary":
+        _write_binary(stream, target)
+    else:
+        _write_text(stream, target)
+
+
+def read_stream(
+    path: str | Path,
+    *,
+    name: str | None = None,
+    validate: bool = True,
+    require_int: bool = False,
+    format: str = "auto",
+) -> GraphStream:
+    """Read a stream file in either format (auto-detected by default).
 
     Parameters
     ----------
     path:
         File to read.
     name:
-        Optional stream name; defaults to the file stem.
+        Optional stream name; defaults to the name recorded in a binary file,
+        then to the file stem.
     validate:
         Whether to check feasibility while loading (recommended for
         hand-authored files).
+    require_int:
+        Reject non-integer identifiers (the historical strict behaviour).
+        By default non-integer tokens are preserved as strings, so a stream
+        written with string ids round-trips instead of failing to load.
+    format:
+        ``"auto"`` (detect via magic bytes), ``"text"`` or ``"binary"``.
     """
     source = Path(path)
     if not source.exists():
         raise DatasetError(f"stream file not found: {source}")
-    elements: list[StreamElement] = []
-    with source.open("r", encoding="utf-8") as handle:
-        for line_number, raw_line in enumerate(handle, start=1):
-            line = raw_line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) != 3:
-                raise DatasetError(
-                    f"{source}:{line_number}: expected '<action> <user> <item>', got {line!r}"
-                )
-            action_token, user_token, item_token = parts
-            try:
-                action = Action.from_symbol(action_token)
-                user = int(user_token)
-                item = int(item_token)
-            except ValueError as error:
-                raise DatasetError(f"{source}:{line_number}: {error}") from error
-            elements.append(StreamElement(user, item, action))
+    resolved = _resolve_read_format(source, format)
+    if resolved == "binary":
+        batch, recorded_name = _read_binary_batch(source, require_int)
+        return GraphStream(
+            batch.to_elements(), name=name or recorded_name, validate=validate
+        )
+    elements = _read_text_elements(source, require_int)
     return GraphStream(elements, name=name or source.stem, validate=validate)
+
+
+def iter_stream_batches(
+    path: str | Path,
+    *,
+    batch_size: int = DEFAULT_READ_BATCH_SIZE,
+    require_int: bool = False,
+    format: str = "auto",
+) -> Iterator[ElementBatch]:
+    """Stream a file as :class:`ElementBatch` chunks without loading it whole.
+
+    This is the array-native ingest entry point: binary integer columns are
+    read as seek-and-slice chunks (each column's CRC-32 is verified once the
+    file is fully consumed), text files are parsed incrementally.  Feasibility
+    is *not* validated — chunked reading never sees the whole stream at once.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"stream file not found: {source}")
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    resolved = _resolve_read_format(source, format)
+    if resolved == "binary":
+        return _iter_binary_batches(source, batch_size, require_int)
+    return _iter_text_batches(source, batch_size, require_int)

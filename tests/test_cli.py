@@ -160,3 +160,180 @@ class TestServiceCommands:
         )
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestConvertAndParallelIngest:
+    """``repro convert`` and the ingest ``--workers`` / ``--format`` flags."""
+
+    @pytest.fixture()
+    def text_stream_file(self, tmp_path, small_dynamic_stream):
+        from repro.streams.io import write_stream
+
+        path = tmp_path / "stream.txt"
+        write_stream(small_dynamic_stream.prefix(2000), path)
+        return path
+
+    def test_convert_text_to_binary_and_back(
+        self, text_stream_file, tmp_path, capsys
+    ):
+        from repro.streams.io import read_stream
+
+        binary = tmp_path / "stream.vosstream"
+        assert main(
+            ["convert", "--input", str(text_stream_file), "--output", str(binary)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "converted 2000 elements" in out
+        assert binary.exists()
+
+        text_again = tmp_path / "back.txt"
+        assert main(
+            ["convert", "--input", str(binary), "--output", str(text_again)]
+        ) == 0
+        assert list(read_stream(text_again)) == list(read_stream(text_stream_file))
+
+    def test_convert_missing_input_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "convert",
+                "--input", str(tmp_path / "nope.txt"),
+                "--output", str(tmp_path / "out.vosstream"),
+            ]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_parallel_ingest_matches_serial_snapshot(
+        self, text_stream_file, tmp_path, capsys
+    ):
+        from repro.service.snapshot import load_snapshot
+
+        binary = tmp_path / "stream.vosstream"
+        assert main(
+            ["convert", "--input", str(text_stream_file), "--output", str(binary)]
+        ) == 0
+
+        serial_snapshot = tmp_path / "serial.vos"
+        parallel_snapshot = tmp_path / "parallel.vos"
+        for snapshot, stream, extra in (
+            (serial_snapshot, text_stream_file, []),
+            (parallel_snapshot, binary, ["--workers", "4", "--format", "binary"]),
+        ):
+            code = main(
+                [
+                    "ingest",
+                    "--stream", str(stream),
+                    "--snapshot", str(snapshot),
+                    "--shards", "4",
+                    "--registers", "8",
+                    "--batch-size", "256",
+                ]
+                + extra
+            )
+            assert code == 0
+        capsys.readouterr()
+
+        import numpy as np
+
+        serial = load_snapshot(serial_snapshot)
+        parallel = load_snapshot(parallel_snapshot)
+        for shard_a, shard_b in zip(serial.shards, parallel.shards):
+            assert np.array_equal(
+                shard_a.shared_array._bits._bits, shard_b.shared_array._bits._bits
+            )
+            assert shard_a._cardinalities == shard_b._cardinalities
+
+    def test_ingest_reports_workers(self, text_stream_file, tmp_path, capsys):
+        snapshot = tmp_path / "state.vos"
+        code = main(
+            [
+                "ingest",
+                "--stream", str(text_stream_file),
+                "--snapshot", str(snapshot),
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "workers" in capsys.readouterr().out
+
+    def test_no_validate_ingest_streams_chunks_and_matches(
+        self, text_stream_file, tmp_path, capsys
+    ):
+        """--no-validate takes the chunked columnar path, same final state."""
+        import numpy as np
+
+        from repro.service.snapshot import load_snapshot
+
+        binary = tmp_path / "stream.vosstream"
+        assert main(
+            ["convert", "--input", str(text_stream_file), "--output", str(binary)]
+        ) == 0
+        validated = tmp_path / "validated.vos"
+        streamed = tmp_path / "streamed.vos"
+        for snapshot, extra in (
+            (validated, []),
+            (streamed, ["--no-validate", "--workers", "2"]),
+        ):
+            assert main(
+                [
+                    "ingest",
+                    "--stream", str(binary),
+                    "--snapshot", str(snapshot),
+                    "--shards", "4",
+                    "--registers", "8",
+                ]
+                + extra
+            ) == 0
+        capsys.readouterr()
+        a = load_snapshot(validated)
+        b = load_snapshot(streamed)
+        for shard_a, shard_b in zip(a.shards, b.shards):
+            assert np.array_equal(
+                shard_a.shared_array._bits._bits, shard_b.shared_array._bits._bits
+            )
+            assert shard_a._cardinalities == shard_b._cardinalities
+
+    def test_string_id_stream_ingest_fails_fast_with_exit_2(self, tmp_path, capsys):
+        """Snapshots need int users: string-id ingest must not traceback."""
+        path = tmp_path / "named.txt"
+        path.write_text("+ alice 1\n+ bob 1\n")
+        code = main(
+            [
+                "ingest",
+                "--stream", str(path),
+                "--snapshot", str(tmp_path / "state.vos"),
+            ]
+        )
+        assert code == 2
+        assert "not 64-bit integers" in capsys.readouterr().err
+        assert not (tmp_path / "state.vos").exists()
+
+    def test_missing_stream_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "ingest",
+                "--stream", str(tmp_path / "nope.txt"),
+                "--snapshot", str(tmp_path / "state.vos"),
+            ]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_overflowing_user_ids_fail_fast(self, tmp_path, capsys):
+        """Ids beyond int64 can't be snapshotted either; fail before ingest."""
+        from repro.streams import Action, GraphStream, StreamElement, write_stream
+
+        path = tmp_path / "big.vosstream"
+        write_stream(
+            GraphStream([StreamElement(2**70, 1, Action.INSERT)]), path
+        )
+        code = main(
+            [
+                "ingest",
+                "--stream", str(path),
+                "--snapshot", str(tmp_path / "state.vos"),
+                "--no-validate",
+            ]
+        )
+        assert code == 2
+        assert "not 64-bit integers" in capsys.readouterr().err

@@ -188,3 +188,90 @@ class TestBatchEdgeCases:
         )
         assert count == 10
         assert vos.cardinality(1) == 10
+
+
+class TestIterBatchesArrayNative:
+    """iter_batches accepts ElementBatch sources and always yields batches."""
+
+    def test_yields_element_batches(self):
+        from repro.streams.batch import ElementBatch
+
+        elements = [StreamElement(1, i, Action.INSERT) for i in range(10)]
+        batches = list(iter_batches(elements, 4))
+        assert all(isinstance(batch, ElementBatch) for batch in batches)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_single_batch_source_is_sliced(self):
+        from repro.streams.batch import ElementBatch
+
+        elements = [StreamElement(1, i, Action.INSERT) for i in range(10)]
+        source = ElementBatch.from_elements(elements)
+        batches = list(iter_batches(source, 3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert [e for batch in batches for e in batch] == elements
+
+    def test_batch_iterable_source_is_rechunked(self):
+        from repro.streams.batch import ElementBatch
+
+        elements = [StreamElement(1, i, Action.INSERT) for i in range(12)]
+        source = [
+            ElementBatch.from_elements(elements[:7]),
+            ElementBatch.from_elements(elements[7:]),
+        ]
+        batches = list(iter_batches(source, 5))
+        assert [e for batch in batches for e in batch] == elements
+        assert all(len(b) <= 5 for b in batches)
+
+    def test_mixed_source_preserves_order(self):
+        from repro.streams.batch import ElementBatch
+
+        elements = [StreamElement(1, i, Action.INSERT) for i in range(9)]
+        source = [
+            elements[0],
+            elements[1],
+            ElementBatch.from_elements(elements[2:6]),
+            elements[6],
+            elements[7],
+            elements[8],
+        ]
+        batches = list(iter_batches(source, 4))
+        assert [e for batch in batches for e in batch] == elements
+
+    def test_ingest_from_batches_matches_ingest_from_elements(self, parity_stream):
+        from repro.streams.batch import ElementBatch
+
+        from_elements = VirtualOddSketch(
+            shared_array_bits=16384, virtual_sketch_size=256, seed=3
+        )
+        from_batches = VirtualOddSketch(
+            shared_array_bits=16384, virtual_sketch_size=256, seed=3
+        )
+        ingest_stream(from_elements, parity_stream, batch_size=512)
+        whole = ElementBatch.from_elements(list(parity_stream))
+        ingest_stream(from_batches, whole, batch_size=512)
+        assert np.array_equal(
+            from_elements.shared_array._bits._bits,
+            from_batches.shared_array._bits._bits,
+        )
+        assert from_elements._cardinalities == from_batches._cardinalities
+
+
+class TestIngestReportPhases:
+    def test_phase_timings_are_recorded(self, parity_stream):
+        sketch = ShardedVOS(4, 4096, 128, seed=9)
+        report = ingest_stream(sketch, parity_stream, batch_size=512)
+        assert report.workers == 1
+        assert report.assemble_seconds >= 0.0
+        assert report.process_seconds > 0.0
+        assert report.seconds >= report.process_seconds
+
+    def test_workers_recorded_for_parallel_runs(self, parity_stream):
+        sketch = ShardedVOS(4, 4096, 128, seed=9)
+        report = ingest_stream(sketch, parity_stream, batch_size=512, workers=2)
+        assert report.workers == 2
+
+    def test_plain_vos_ignores_workers(self, parity_stream):
+        sketch = VirtualOddSketch(shared_array_bits=4096, virtual_sketch_size=128)
+        report = ingest_stream(sketch, parity_stream, batch_size=512, workers=8)
+        assert report.workers == 1
+        assert report.elements == len(parity_stream)

@@ -1,0 +1,166 @@
+"""Tests for concurrent shard ingest: parallel must be bit-identical to serial.
+
+The load-bearing guarantee of :mod:`repro.service.parallel`: routing batches
+once and ingesting per-shard sub-batches on worker threads leaves every shard
+in exactly the state serial ingest produces — same shard arrays, same
+counters, same estimates — for 1, 2 and 8 workers, on streams with both
+insertions and deletions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch
+from repro.exceptions import ConfigurationError
+from repro.service.batching import ingest_stream
+from repro.service.parallel import ShardParallelIngestor
+from repro.service.sharding import ShardedVOS
+from repro.similarity.engine import build_sketch, sketch_registry
+from repro.streams.edge import Action, StreamElement
+
+
+@pytest.fixture(scope="module")
+def parity_stream(small_dynamic_stream):
+    return small_dynamic_stream.prefix(5000)
+
+
+def _assert_same_vos_state(a: VirtualOddSketch, b: VirtualOddSketch) -> None:
+    assert np.array_equal(a.shared_array._bits._bits, b.shared_array._bits._bits)
+    assert a.shared_array.ones_count == b.shared_array.ones_count
+    assert a._cardinalities == b._cardinalities
+
+
+def _assert_same_sharded_state(a: ShardedVOS, b: ShardedVOS) -> None:
+    for shard_a, shard_b in zip(a.shards, b.shards):
+        _assert_same_vos_state(shard_a, shard_b)
+
+
+class TestParallelParitySharded:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("num_shards", [2, 3, 8])
+    def test_bit_identical_to_serial(self, parity_stream, workers, num_shards):
+        assert parity_stream.statistics().deletions > 0  # fully dynamic input
+        serial = ShardedVOS(num_shards, 4096, 128, seed=9)
+        parallel = ShardedVOS(num_shards, 4096, 128, seed=9)
+        ingest_stream(serial, parity_stream, batch_size=512)
+        report = ingest_stream(
+            parallel, parity_stream, batch_size=512, workers=workers
+        )
+        assert report.elements == len(parity_stream)
+        expected_workers = min(workers, num_shards) if workers > 1 else 1
+        assert report.workers == expected_workers
+        _assert_same_sharded_state(serial, parallel)
+
+    def test_bit_identical_to_element_loop(self, parity_stream):
+        reference = ShardedVOS(4, 4096, 128, seed=3)
+        for element in parity_stream:
+            reference.process(element)
+        parallel = ShardedVOS(4, 4096, 128, seed=3)
+        ingest_stream(parallel, parity_stream, batch_size=997, workers=8)
+        _assert_same_sharded_state(reference, parallel)
+
+    def test_estimates_identical_after_parallel_ingest(self, parity_stream):
+        serial = ShardedVOS(4, 8192, 128, seed=5)
+        parallel = ShardedVOS(4, 8192, 128, seed=5)
+        ingest_stream(serial, parity_stream, batch_size=1024)
+        ingest_stream(parallel, parity_stream, batch_size=1024, workers=4)
+        users = sorted(serial.users())[:8]
+        for i, user_a in enumerate(users):
+            for user_b in users[i + 1 :]:
+                assert serial.estimate_jaccard(user_a, user_b) == parallel.estimate_jaccard(
+                    user_a, user_b
+                )
+
+    def test_object_ids_take_the_parallel_path_too(self):
+        elements = [
+            StreamElement(f"user-{i % 7}", f"item-{i % 13}", Action.INSERT)
+            for i in range(200)
+        ] + [
+            StreamElement(f"user-{i % 7}", f"item-{i % 13}", Action.DELETE)
+            for i in range(0, 200, 3)
+        ]
+        serial = ShardedVOS(3, 1024, 64, seed=2)
+        parallel = ShardedVOS(3, 1024, 64, seed=2)
+        ingest_stream(serial, elements, batch_size=64)
+        ingest_stream(parallel, elements, batch_size=64, workers=3)
+        _assert_same_sharded_state(serial, parallel)
+
+
+class TestParallelParityRegistry:
+    """Every registered sketch ingests identically at any worker count.
+
+    Sketches without independent shards fall back to serial ingest, so the
+    assertion is that ``workers`` never changes observable state for anyone.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("method", sorted(sketch_registry()))
+    def test_estimates_identical(self, method, workers, parity_stream):
+        budget = MemoryBudget(
+            baseline_registers=16, num_users=len(parity_stream.users())
+        )
+        reference = build_sketch(method, budget, seed=11)
+        threaded = build_sketch(method, budget, seed=11)
+        ingest_stream(reference, parity_stream, batch_size=997)
+        ingest_stream(threaded, parity_stream, batch_size=997, workers=workers)
+        assert threaded.users() == reference.users()
+        users = sorted(reference.users())[:8]
+        for user in users:
+            assert threaded.cardinality(user) == reference.cardinality(user)
+        pairs = [(a, b) for i, a in enumerate(users) for b in users[i + 1 :]][:15]
+        for user_a, user_b in pairs:
+            assert threaded.estimate_jaccard(user_a, user_b) == reference.estimate_jaccard(
+                user_a, user_b
+            )
+
+
+class TestIngestorLifecycle:
+    def test_context_manager_and_counters(self, parity_stream):
+        sketch = ShardedVOS(4, 4096, 128, seed=1)
+        with ShardParallelIngestor(sketch, workers=4) as ingestor:
+            submitted = ingestor.submit(list(parity_stream.prefix(1000)))
+        assert submitted == 1000
+
+    def test_submit_after_close_rejected(self):
+        ingestor = ShardParallelIngestor(ShardedVOS(2, 256, 32), workers=2)
+        ingestor.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            ingestor.submit([StreamElement(1, 1, Action.INSERT)])
+
+    def test_close_is_idempotent(self):
+        ingestor = ShardParallelIngestor(ShardedVOS(2, 256, 32), workers=2)
+        ingestor.close()
+        ingestor.close()
+
+    def test_workers_capped_at_shard_count(self):
+        ingestor = ShardParallelIngestor(ShardedVOS(2, 256, 32), workers=16)
+        assert ingestor.workers == 2
+        ingestor.close()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ShardParallelIngestor(ShardedVOS(2, 256, 32), workers=0)
+        with pytest.raises(ConfigurationError, match="workers"):
+            ingest_stream(ShardedVOS(2, 256, 32), [], workers=0)
+
+    def test_worker_failure_propagates(self):
+        sketch = ShardedVOS(2, 256, 32, seed=1)
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode(batch):
+            raise Boom("shard failure")
+
+        sketch.shards[0].process_batch = explode  # type: ignore[method-assign]
+        sketch.shards[1].process_batch = explode  # type: ignore[method-assign]
+        elements = [StreamElement(user, 1, Action.INSERT) for user in range(64)]
+        with pytest.raises(Boom):
+            ingest_stream(sketch, elements, batch_size=8, workers=2)
+
+    def test_empty_submit(self):
+        with ShardParallelIngestor(ShardedVOS(2, 256, 32), workers=2) as ingestor:
+            assert ingestor.submit([]) == 0

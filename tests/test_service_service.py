@@ -98,3 +98,24 @@ class TestPersistence:
         )
         assert report.elements == 10
         assert restored.sketch.cardinality(1) >= 10
+
+
+def test_load_accepts_workers(tmp_path):
+    """Snapshot-restored services can keep ingesting in parallel."""
+    from repro.service import ServiceConfig, SimilarityService
+    from repro.streams import Action, StreamElement
+
+    service = SimilarityService.from_config(
+        ServiceConfig(expected_users=100, num_shards=4)
+    )
+    service.ingest(
+        [StreamElement(u, i, Action.INSERT) for u in range(8) for i in range(10)]
+    )
+    path = tmp_path / "state.vos"
+    service.save(path)
+    restored = SimilarityService.load(path, workers=4)
+    report = restored.ingest(
+        [StreamElement(u, i, Action.INSERT) for u in range(8) for i in range(10, 20)]
+    )
+    assert report.workers == 4
+    assert restored.stats()["workers"] == 4

@@ -173,3 +173,64 @@ class TestCorruptionPaths:
         vos.process(StreamElement("alice", 1, Action.INSERT))
         with pytest.raises(SnapshotError, match="integer user"):
             dumps_snapshot(vos)
+
+
+def _rebuild_with_header(blob: bytes, mutate) -> bytes:
+    """Re-pack a snapshot after applying ``mutate`` to its JSON header."""
+    import json
+
+    version, header_length = struct.unpack_from("<II", blob, len(MAGIC))
+    start = len(MAGIC) + 8
+    header = json.loads(blob[start : start + header_length])
+    mutate(header)
+    new_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return (
+        MAGIC
+        + struct.pack("<II", version, len(new_header))
+        + new_header
+        + blob[start + header_length :]
+    )
+
+
+class TestHeaderCorruptionPaths:
+    """Header-level corruption the payload CRC cannot catch."""
+
+    def test_unknown_section_name(self, fed_vos):
+        def rename(header):
+            header["sections"][0]["name"] = "mystery-section"
+
+        rebuilt = _rebuild_with_header(dumps_snapshot(fed_vos), rename)
+        with pytest.raises(SnapshotError, match="missing section"):
+            loads_snapshot(rebuilt)
+
+    def test_unknown_section_name_sharded(self, fed_sharded):
+        def rename(header):
+            header["sections"][2]["name"] = "shard0/extras"
+
+        rebuilt = _rebuild_with_header(dumps_snapshot(fed_sharded), rename)
+        with pytest.raises(SnapshotError, match="missing section"):
+            loads_snapshot(rebuilt)
+
+    def test_section_table_overruns_payload(self, fed_vos):
+        def inflate(header):
+            header["sections"][-1]["bytes"] += 16
+
+        rebuilt = _rebuild_with_header(dumps_snapshot(fed_vos), inflate)
+        with pytest.raises(SnapshotError, match="sections describe"):
+            loads_snapshot(rebuilt)
+
+    def test_section_table_underruns_payload(self, fed_vos):
+        def shrink(header):
+            header["sections"][-1]["bytes"] -= 8
+
+        rebuilt = _rebuild_with_header(dumps_snapshot(fed_vos), shrink)
+        with pytest.raises(SnapshotError, match="sections describe"):
+            loads_snapshot(rebuilt)
+
+    def test_mismatched_shard_count(self, fed_sharded):
+        def lie(header):
+            header["parameters"]["num_shards"] += 1
+
+        rebuilt = _rebuild_with_header(dumps_snapshot(fed_sharded), lie)
+        with pytest.raises(SnapshotError, match="shard count"):
+            loads_snapshot(rebuilt)

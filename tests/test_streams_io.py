@@ -1,12 +1,19 @@
-"""Tests for repro.streams.io."""
+"""Tests for repro.streams.io: text + binary formats, detection, chunked reads."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.exceptions import DatasetError
+from repro.streams.batch import ElementBatch
 from repro.streams.edge import Action, StreamElement
-from repro.streams.io import read_stream, write_stream
+from repro.streams.io import (
+    STREAM_MAGIC,
+    iter_stream_batches,
+    read_stream,
+    write_stream,
+)
 from repro.streams.stream import GraphStream
 
 
@@ -57,11 +64,59 @@ def test_bad_action_raises(tmp_path):
         read_stream(path)
 
 
-def test_non_integer_ids_raise(tmp_path):
-    path = tmp_path / "bad.txt"
+def test_non_integer_ids_load_as_strings(tmp_path):
+    """Satellite fix: string ids written via write_stream must load back."""
+    path = tmp_path / "named.txt"
+    path.write_text("+ alice 2\n- alice 2\n+ bob pancakes\n")
+    stream = read_stream(path)
+    assert list(stream) == [
+        StreamElement("alice", 2, Action.INSERT),
+        StreamElement("alice", 2, Action.DELETE),
+        StreamElement("bob", "pancakes", Action.INSERT),
+    ]
+
+
+def test_require_int_restores_strict_behaviour(tmp_path):
+    path = tmp_path / "named.txt"
     path.write_text("+ alice 2\n")
-    with pytest.raises(DatasetError):
-        read_stream(path)
+    with pytest.raises(DatasetError, match="integer id"):
+        read_stream(path, require_int=True)
+
+
+def test_string_id_stream_round_trips(tmp_path):
+    """The write/read asymmetry: f-string write used to fail on read."""
+    elements = [
+        StreamElement("alice", "item-1", Action.INSERT),
+        StreamElement("bob", "item-1", Action.INSERT),
+        StreamElement("alice", "item-1", Action.DELETE),
+    ]
+    stream = GraphStream(elements, name="named")
+    path = tmp_path / "named.txt"
+    write_stream(stream, path)
+    assert list(read_stream(path)) == elements
+
+
+def test_whitespace_ids_rejected_on_text_write(tmp_path):
+    stream = GraphStream([StreamElement("two words", 1, Action.INSERT)])
+    with pytest.raises(DatasetError, match="whitespace"):
+        write_stream(stream, tmp_path / "bad.txt")
+
+
+def test_integer_looking_string_ids_rejected_on_text_write(tmp_path):
+    """'007' would load back as int 7 — a lossy round trip must fail loudly."""
+    stream = GraphStream([StreamElement("007", 1, Action.INSERT)])
+    with pytest.raises(DatasetError, match="load back as an integer"):
+        write_stream(stream, tmp_path / "bad.txt")
+    # The binary format preserves the id exactly.
+    path = tmp_path / "good.vosstream"
+    write_stream(stream, path)
+    assert read_stream(path)[0].user == "007"
+
+
+def test_non_int_non_str_ids_rejected_on_text_write(tmp_path):
+    stream = GraphStream([StreamElement(1.5, 1, Action.INSERT)])
+    with pytest.raises(DatasetError, match="must be int or str"):
+        write_stream(stream, tmp_path / "bad.txt")
 
 
 def test_infeasible_file_rejected_when_validating(tmp_path):
@@ -79,3 +134,152 @@ def test_infeasible_file_accepted_without_validation(tmp_path):
     stream = read_stream(path, validate=False)
     assert isinstance(stream, GraphStream)
     assert len(stream) == 1
+
+
+# -- binary columnar format ----------------------------------------------------------
+
+
+class TestBinaryFormat:
+    def test_round_trip_preserves_elements_and_name(self, tmp_path, tiny_stream):
+        path = tmp_path / "stream.vosstream"
+        write_stream(tiny_stream, path)
+        assert path.read_bytes()[: len(STREAM_MAGIC)] == STREAM_MAGIC
+        loaded = read_stream(path)
+        assert list(loaded) == list(tiny_stream)
+        assert loaded.name == "tiny"  # recorded name wins over the file stem
+
+    def test_auto_detection_ignores_the_suffix(self, tmp_path, tiny_stream):
+        path = tmp_path / "stream.bin"
+        write_stream(tiny_stream, path, format="binary")
+        assert list(read_stream(path)) == list(tiny_stream)
+
+    def test_forced_format_overrides_detection(self, tmp_path, tiny_stream):
+        path = tmp_path / "stream.vosstream"
+        write_stream(tiny_stream, path)
+        with pytest.raises(DatasetError):
+            read_stream(path, format="text")
+
+    def test_string_ids_round_trip_via_json_columns(self, tmp_path):
+        elements = [
+            StreamElement("alice", "item-1", Action.INSERT),
+            StreamElement(7, "item-1", Action.INSERT),
+            StreamElement("alice", "item-1", Action.DELETE),
+        ]
+        path = tmp_path / "named.vosstream"
+        write_stream(GraphStream(elements, name="named"), path)
+        assert list(read_stream(path)) == elements
+
+    def test_require_int_rejects_string_id_binary(self, tmp_path):
+        path = tmp_path / "named.vosstream"
+        write_stream(GraphStream([StreamElement("alice", 1, Action.INSERT)]), path)
+        with pytest.raises(DatasetError, match="non-integer"):
+            read_stream(path, require_int=True)
+
+    def test_empty_stream_round_trips(self, tmp_path):
+        path = tmp_path / "empty.vosstream"
+        write_stream(GraphStream([], name="empty"), path)
+        assert list(read_stream(path)) == []
+
+    def test_unknown_format_name_rejected(self, tmp_path, tiny_stream):
+        with pytest.raises(DatasetError, match="unknown stream format"):
+            write_stream(tiny_stream, tmp_path / "x", format="parquet")
+        path = tmp_path / "stream.txt"
+        write_stream(tiny_stream, path)
+        with pytest.raises(DatasetError, match="unknown stream format"):
+            read_stream(path, format="parquet")
+
+
+class TestBinaryCorruption:
+    @pytest.fixture
+    def binary_path(self, tmp_path, tiny_stream):
+        path = tmp_path / "stream.vosstream"
+        write_stream(tiny_stream, path)
+        return path
+
+    def test_flipped_payload_byte_fails_crc(self, binary_path):
+        blob = bytearray(binary_path.read_bytes())
+        blob[-1] ^= 0xFF
+        binary_path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="CRC-32"):
+            read_stream(binary_path)
+
+    def test_truncated_payload(self, binary_path):
+        binary_path.write_bytes(binary_path.read_bytes()[:-5])
+        with pytest.raises(DatasetError, match="truncated"):
+            read_stream(binary_path)
+
+    def test_truncated_header(self, binary_path):
+        binary_path.write_bytes(binary_path.read_bytes()[:12])
+        with pytest.raises(DatasetError, match="truncated"):
+            read_stream(binary_path)
+
+    def test_bad_version(self, binary_path):
+        import struct
+
+        blob = bytearray(binary_path.read_bytes())
+        blob[len(STREAM_MAGIC) : len(STREAM_MAGIC) + 4] = struct.pack("<I", 99)
+        binary_path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="version 99"):
+            read_stream(binary_path, format="binary")
+
+    def test_bad_magic_with_forced_binary(self, tmp_path):
+        path = tmp_path / "stream.vosstream"
+        path.write_bytes(b"NOTASTREAMFILE....")
+        with pytest.raises(DatasetError, match="magic"):
+            read_stream(path, format="binary")
+
+    def test_chunked_reader_detects_corruption(self, binary_path):
+        blob = bytearray(binary_path.read_bytes())
+        blob[-1] ^= 0xFF
+        binary_path.write_bytes(bytes(blob))
+        with pytest.raises(DatasetError, match="CRC-32|corrupt"):
+            list(iter_stream_batches(binary_path, batch_size=3))
+
+
+# -- chunked batch readers -----------------------------------------------------------
+
+
+class TestIterStreamBatches:
+    @pytest.mark.parametrize("format", ["text", "binary"])
+    @pytest.mark.parametrize("batch_size", [1, 3, 1000])
+    def test_chunks_cover_the_stream_in_order(
+        self, tmp_path, tiny_stream, format, batch_size
+    ):
+        suffix = ".vosstream" if format == "binary" else ".txt"
+        path = tmp_path / f"stream{suffix}"
+        write_stream(tiny_stream, path, format=format)
+        batches = list(iter_stream_batches(path, batch_size=batch_size))
+        assert all(isinstance(batch, ElementBatch) for batch in batches)
+        assert all(len(batch) <= batch_size for batch in batches)
+        recovered = [element for batch in batches for element in batch]
+        assert recovered == list(tiny_stream)
+
+    def test_binary_chunks_are_integer_columns(self, tmp_path, tiny_stream):
+        path = tmp_path / "stream.vosstream"
+        write_stream(tiny_stream, path)
+        for batch in iter_stream_batches(path, batch_size=3):
+            assert batch.users.dtype == np.int64
+            assert batch.items.dtype == np.int64
+
+    def test_string_id_binary_chunks(self, tmp_path):
+        elements = [
+            StreamElement("alice", 1, Action.INSERT),
+            StreamElement("bob", 2, Action.INSERT),
+            StreamElement("carol", 3, Action.INSERT),
+        ]
+        path = tmp_path / "named.vosstream"
+        write_stream(GraphStream(elements), path)
+        batches = list(iter_stream_batches(path, batch_size=2))
+        assert [element for batch in batches for element in batch] == elements
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            list(iter_stream_batches(tmp_path / "nope.txt"))
+
+    def test_bad_batch_size(self, tmp_path, tiny_stream):
+        from repro.exceptions import ConfigurationError
+
+        path = tmp_path / "stream.txt"
+        write_stream(tiny_stream, path)
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            list(iter_stream_batches(path, batch_size=0))
