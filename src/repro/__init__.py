@@ -12,6 +12,8 @@ Guan — ICDE 2019).  It provides:
 * a similarity engine and pair-selection utilities (:mod:`repro.similarity`);
 * a service layer — batch-vectorized ingest, user-sharded VOS, versioned
   snapshots, and the :class:`SimilarityService` facade (:mod:`repro.service`);
+* an LSH banding candidate index over the packed sketch rows, replacing the
+  quadratic all-pairs enumeration on large pools (:mod:`repro.index`);
 * the evaluation harness regenerating the paper's figures (:mod:`repro.evaluation`);
 * analytical companions for bias/variance (:mod:`repro.analysis`).
 
@@ -35,6 +37,7 @@ from repro.baselines import (
 )
 from repro.core import MemoryBudget, SharedBitArray, VirtualOddSketch
 from repro.evaluation import AccuracyExperiment, ExperimentConfig, RuntimeExperiment
+from repro.index import BandedSketchIndex, IndexConfig
 from repro.service import (
     ServiceConfig,
     ShardedVOS,
@@ -72,6 +75,8 @@ __all__ = [
     "ShardedVOS",
     "ServiceConfig",
     "SimilarityService",
+    "BandedSketchIndex",
+    "IndexConfig",
     "save_snapshot",
     "load_snapshot",
     "Action",

@@ -15,8 +15,10 @@ Service commands (the :mod:`repro.service` subsystem)::
 
     repro ingest --stream edges.vosstream --snapshot state.vos --shards 4 --workers 4
     repro convert --input edges.txt --output edges.vosstream
-    repro topk --snapshot state.vos --user 17 -k 10
-    repro pairs --snapshot state.vos -k 10 --prefilter 0.2
+    repro topk --snapshot state.vos --user 17 -k 10 --index lsh
+    repro pairs --snapshot state.vos -k 10 --prefilter 0.2 --index lsh
+    repro index build --snapshot state.vos
+    repro index stats --snapshot state.vos
     repro shards --shard-counts 1 2 4 8 --scale 0.2
 
 ``ingest`` reads a stream file — the plain-text format (``<action> <user>
@@ -25,10 +27,14 @@ Service commands (the :mod:`repro.service` subsystem)::
 VOS service (``--workers N`` ingests shard sub-batches concurrently) and
 snapshots the resulting sketch state; ``convert`` translates a stream between
 the two formats; ``topk`` answers nearest-neighbour queries against a snapshot
-without re-reading the stream; ``pairs`` runs the vectorized all-pairs top-k
-search (with the optional cardinality pre-filter) over a snapshot; ``shards``
-measures the cross-shard estimator's accuracy against single-array VOS across
-shard counts.
+without re-reading the stream; ``pairs`` runs the vectorized top-k similar-pair
+search (with the optional cardinality pre-filter) over a snapshot; ``--index
+lsh`` on either query routes candidate generation through the LSH banding
+index (:mod:`repro.index`) instead of enumerating every pair — the band seeds
+flow from the snapshot's sketch seed, so results are reproducible across runs;
+``index build`` / ``index stats`` report the banding layout, signature memory
+and candidate-reduction numbers for a snapshot; ``shards`` measures the
+cross-shard estimator's accuracy against single-array VOS across shard counts.
 
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
@@ -38,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -53,6 +60,7 @@ from repro.evaluation.reporting import (
 from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
 from repro.evaluation.runtime import RuntimeExperiment
 from repro.exceptions import DatasetError, ReproError
+from repro.index import IndexConfig
 from repro.service import ServiceConfig, SimilarityService
 from repro.similarity.engine import build_sketch
 from repro.similarity.pairs import top_cardinality_users
@@ -276,12 +284,59 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index_config_from_args(args: argparse.Namespace) -> IndexConfig:
+    """Banding knobs shared by the query and ``index`` commands.
+
+    The band seed is deliberately *not* an option: leaving it ``None`` makes
+    it flow from the snapshot's sketch seed, so repeated runs over the same
+    snapshot propose identical candidate sets.
+    """
+    return IndexConfig(
+        bands=args.bands,
+        rows_per_band=args.rows_per_band,
+        target_threshold=args.index_threshold,
+        min_band_bits=args.min_band_bits,
+    )
+
+
+def _add_index_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bands",
+        type=int,
+        default=0,
+        help="LSH bands (0 auto-tunes from the target threshold)",
+    )
+    parser.add_argument(
+        "--rows-per-band",
+        type=int,
+        default=1,
+        help="64-bit words per LSH band",
+    )
+    parser.add_argument(
+        "--index-threshold",
+        type=float,
+        default=0.5,
+        help="Jaccard threshold the band auto-tuner sizes for",
+    )
+    parser.add_argument(
+        "--min-band-bits",
+        type=int,
+        default=2,
+        help="set bits a band needs before it may bucket users",
+    )
+
+
 def _cmd_topk(args: argparse.Namespace) -> int:
     """Answer a top-k similar-user query against a saved snapshot."""
     try:
-        service = SimilarityService.load(args.snapshot)
+        service = SimilarityService.load(
+            args.snapshot, index_config=_index_config_from_args(args)
+        )
         neighbours = service.top_k(
-            args.user, k=args.k, minimum_cardinality=args.min_cardinality
+            args.user,
+            k=args.k,
+            minimum_cardinality=args.min_cardinality,
+            index=args.index,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -298,11 +353,14 @@ def _cmd_topk(args: argparse.Namespace) -> int:
 def _cmd_pairs(args: argparse.Namespace) -> int:
     """Vectorized top-k similar-pair search against a saved snapshot."""
     try:
-        service = SimilarityService.load(args.snapshot)
+        service = SimilarityService.load(
+            args.snapshot, index_config=_index_config_from_args(args)
+        )
         pairs = service.top_k_pairs(
             k=args.k,
             minimum_cardinality=args.min_cardinality,
             prefilter_threshold=args.prefilter,
+            candidates=args.index,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -313,7 +371,75 @@ def _cmd_pairs(args: argparse.Namespace) -> int:
     headers = ["user a", "user b", "jaccard", "common items"]
     print(
         f"# top-{args.k} most similar pairs "
-        f"(prefilter threshold {args.prefilter})"
+        f"(prefilter threshold {args.prefilter}, candidates {args.index})"
+    )
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    """Build the LSH banding index for a snapshot and report its layout."""
+    try:
+        service = SimilarityService.load(
+            args.snapshot, index_config=_index_config_from_args(args)
+        )
+        index = service.index()
+        start = time.perf_counter()
+        index.build()
+        build_seconds = time.perf_counter() - start
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = index.stats()
+    rows = [
+        ["snapshot", str(args.snapshot)],
+        ["users indexed", stats["users_indexed"]],
+        ["shards", stats["shards"]],
+        ["bands", stats["bands"]],
+        ["rows per band", stats["rows_per_band"]],
+        ["band bits", stats["band_bits"]],
+        ["min band bits", stats["min_band_bits"]],
+        ["auto bands", stats["auto_bands"]],
+        ["seed", stats["seed"]],
+        ["signature KiB", round(stats["signature_bytes"] / 1024, 1)],
+        ["build sec", round(build_seconds, 4)],
+    ]
+    headers = ["field", "value"]
+    print(f"# built LSH banding index over {stats['users_indexed']} users")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_index_stats(args: argparse.Namespace) -> int:
+    """Candidate-reduction statistics of the banding index on a snapshot."""
+    try:
+        service = SimilarityService.load(
+            args.snapshot, index_config=_index_config_from_args(args)
+        )
+        index = service.index()
+        pool = sorted(service.sketch.users())
+        index_a, _ = index.candidate_pairs(pool)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = index.stats()
+    fraction = stats["last_candidate_fraction"]
+    rows = [
+        ["snapshot", str(args.snapshot)],
+        ["users indexed", stats["users_indexed"]],
+        ["bands", stats["bands"]],
+        ["band bits", stats["band_bits"]],
+        ["candidate pairs", stats["last_candidate_pairs"]],
+        ["all pairs", stats["last_pool_pairs"]],
+        ["candidate fraction", "" if fraction is None else round(fraction, 6)],
+        ["signature KiB", round(stats["signature_bytes"] / 1024, 1)],
+        ["rebuilds", stats["rebuilds"]],
+        ["incremental updates", stats["incremental_updates"]],
+    ]
+    headers = ["field", "value"]
+    print(
+        f"# LSH banding proposes {int(index_a.shape[0])} of "
+        f"{stats['last_pool_pairs']} pairs"
     )
     print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
     return 0
@@ -496,6 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
     topk_parser.add_argument(
         "--min-cardinality", type=int, default=1, help="ignore smaller users"
     )
+    topk_parser.add_argument(
+        "--index",
+        choices=("none", "lsh"),
+        default="none",
+        help="candidate generation: scan every user, or only the users the "
+        "LSH banding index proposes",
+    )
+    _add_index_options(topk_parser)
     topk_parser.add_argument("--csv", action="store_true")
     topk_parser.set_defaults(handler=_cmd_topk)
 
@@ -514,8 +648,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="cardinality pre-filter threshold (prunes pairs whose size-ratio "
         "bound is below it)",
     )
+    pairs_parser.add_argument(
+        "--index",
+        choices=("all", "lsh"),
+        default="all",
+        help="candidate generation: enumerate all pairs, or only the pairs "
+        "the LSH banding index proposes",
+    )
+    _add_index_options(pairs_parser)
     pairs_parser.add_argument("--csv", action="store_true")
     pairs_parser.set_defaults(handler=_cmd_pairs)
+
+    index_parser = subparsers.add_parser(
+        "index", help="LSH banding candidate index over a snapshot"
+    )
+    index_subparsers = index_parser.add_subparsers(dest="index_command", required=True)
+    for name, handler, description in (
+        ("build", _cmd_index_build, "build the index and report its layout"),
+        ("stats", _cmd_index_stats, "candidate-reduction statistics"),
+    ):
+        sub = index_subparsers.add_parser(name, help=description)
+        sub.add_argument("--snapshot", required=True, help="snapshot to index")
+        _add_index_options(sub)
+        sub.add_argument("--csv", action="store_true")
+        sub.set_defaults(handler=handler)
 
     shards_parser = subparsers.add_parser(
         "shards", help="cross-shard VOS accuracy across shard counts"

@@ -416,10 +416,7 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
         if missing:
             self._sketch_cache_misses += len(missing)
             missing_users = [users[row] for row in missing]
-            positions = self._positions_matrix(missing_users)
-            fresh = np.zeros((len(missing), row_bytes), dtype=np.uint8)
-            bits = np.packbits(self._array.read_bits(positions), axis=1)
-            fresh[:, : bits.shape[1]] = bits
+            fresh = self._gather_packed(missing_users)
             packed[missing] = fresh
             if self._sketch_cache_size:
                 for offset, user in enumerate(missing_users):
@@ -431,6 +428,48 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
                 while len(cache) > self._sketch_cache_size:
                     cache.popitem(last=False)
         return packed
+
+    def _gather_packed(self, users: Sequence[UserId]) -> np.ndarray:
+        """Uncached bulk gather of bit-packed rows (callers validate users)."""
+        row_bytes = packed_row_bytes(self.virtual_sketch_size)
+        packed = np.zeros((len(users), row_bytes), dtype=np.uint8)
+        if users:
+            positions = self._positions_matrix(list(users))
+            bits = np.packbits(self._array.read_bits(positions), axis=1)
+            packed[:, : bits.shape[1]] = bits
+        return packed
+
+    def packed_rows(
+        self, users: Sequence[UserId], *, cache: bool = True
+    ) -> np.ndarray:
+        """Bit-packed virtual sketch rows, one user per row (public form).
+
+        Each row packs the user's recovered virtual sketch 8 bits per byte and
+        is padded to whole 64-bit words (:func:`packed_row_bytes`), so callers
+        may reinterpret the matrix as ``uint64`` lanes.  This is the row
+        representation both the bulk pair scorer and the LSH banding index
+        (:mod:`repro.index`) consume.  With ``cache=True`` reads go through
+        the LRU row cache keyed on the shared array's mutation version; pass
+        ``cache=False`` for one-shot whole-population sweeps (e.g. index
+        rebuilds) so they neither churn nor evict the query-hot rows.
+        """
+        users = list(users)
+        if cache:
+            return self._packed_rows(users)
+        for user in users:
+            if user not in self._cardinalities:
+                raise UnknownUserError(user)
+        return self._gather_packed(users)
+
+    def row_shards(self) -> list["VirtualOddSketch"]:
+        """Row sources for index structures: a single-array sketch is one shard.
+
+        :class:`~repro.service.sharding.ShardedVOS` overrides this with its
+        shard list; exposing the same hook here lets index structures treat
+        both layouts uniformly (each source has its own array version and its
+        own users).
+        """
+        return [self]
 
     def sketch_matrix(self, users: Sequence[UserId]) -> np.ndarray:
         """Recover many users' virtual sketches as an ``(n, k)`` uint8 bit matrix.

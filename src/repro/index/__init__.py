@@ -1,0 +1,32 @@
+"""Candidate generation: LSH banding over packed sketch rows.
+
+The similarity searches are quadratic in the candidate count even when each
+pair estimate costs nanoseconds.  This package provides the blocking layer
+that breaks the quadratic barrier on large pools:
+
+* :class:`~repro.index.banding.BandedSketchIndex` — slices each user's packed
+  virtual-sketch row into bands of 64-bit words, hashes every band, buckets
+  users per band (per shard, merged across shards at query time) and proposes
+  the union of same-bucket pairs as candidates;
+* :class:`~repro.index.banding.IndexConfig` — band count/width/seed knobs,
+  with auto-tuning of the band count from a target Jaccard threshold via the
+  paper's own forward model.
+
+Wired through ``candidates="lsh"`` on the search functions, the
+:class:`~repro.service.service.SimilarityService` query methods, and the
+``repro index`` / ``--index lsh`` CLI surface.
+"""
+
+from repro.index.banding import (
+    BandedSketchIndex,
+    IndexConfig,
+    alpha_at_threshold,
+    required_bands,
+)
+
+__all__ = [
+    "BandedSketchIndex",
+    "IndexConfig",
+    "alpha_at_threshold",
+    "required_bands",
+]

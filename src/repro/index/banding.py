@@ -1,0 +1,626 @@
+"""LSH banding candidate index over packed VOS sketch rows.
+
+The vectorized query path made each pair estimate cost nanoseconds, but the
+all-pairs searches still *enumerate* O(n²) candidate pairs.  This module adds
+the missing blocking layer: each user's bit-packed virtual sketch row (the
+``uint64``-padded rows :meth:`~repro.core.vos.VirtualOddSketch.packed_rows`
+produces) is sliced into ``b`` bands of ``r`` 64-bit words, every band is
+hashed with a seeded universal hash, and users are bucketed per band.  Two
+users become a *candidate pair* when at least one band hashes them into the
+same bucket; the union over bands is deduped and returned as index arrays
+ready for the bulk pair estimators.
+
+Why this works for VOS: two users' recovered rows differ per bit with
+probability ``alpha`` — the same xor load the paper's estimators invert — and
+``alpha`` is monotonically decreasing in similarity.  A band of ``64 * r``
+bits matches with probability ``(1 - alpha)^(64 r)``, so with ``b`` bands a
+pair is proposed with probability ``1 - (1 - (1 - alpha)^(64 r))^b``: near one
+for the low-``alpha`` pairs a top-k search is after, near zero for the bulk of
+dissimilar pairs.  Candidates are always a subset of the pool they are drawn
+from, so a search over them can only *miss* pairs, never invent or re-score
+them — whenever the proposed set covers the true top-k, the ranking is
+bit-identical to the exhaustive search.
+
+Two structural details keep the bucket sizes (and hence the candidate count)
+sub-quadratic on sparse sketches:
+
+* **Sparse bands carry no signal.**  With a lightly filled shared array most
+  64-bit slices are all-zero (a constant fraction of all users would share one
+  giant bucket per band) and most of the rest hold a single set bit (any two
+  users with the same lone bit — usually contamination — would collide).
+  Bands holding fewer than ``min_band_bits`` set bits therefore never bucket.
+  Users *none* of whose bands reach the floor fall back to one residual
+  bucket keyed on the hash of their whole row, so identical rows — including
+  all-zero ones — are still always co-candidates.
+* **Shards partition users, not bands.**  Every shard of a
+  :class:`~repro.service.sharding.ShardedVOS` uses the same seed, so virtual
+  bit ``j`` means the same thing everywhere and band signatures are comparable
+  *across* shards.  The index keeps one signature table per shard (synced
+  incrementally against that shard's array mutation version) and merges all
+  tables at query time, so cross-shard pairs are proposed exactly like
+  same-shard pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vos import _bitwise_count, packed_row_bytes
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.hashing.universal import _MERSENNE_P, UniversalHash, _mix64_array, stable_hash64
+from repro.streams.edge import UserId, user_sort_key
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Knobs of a :class:`BandedSketchIndex`.
+
+    Parameters
+    ----------
+    bands:
+        Number of bands ``b``.  ``0`` (the default) auto-tunes at refresh
+        time: the paper's forward model predicts the xor load ``alpha`` of a
+        pair sitting exactly at ``target_threshold`` Jaccard (given the
+        sketch's current fill fraction and mean cardinality), and the smallest
+        ``b`` proposing such a pair with probability ``confidence`` is used,
+        capped by the words available in a row.
+    rows_per_band:
+        Band width ``r`` in 64-bit words (each band covers ``64 * r`` sketch
+        bits).  Wider bands are more selective but miss more true pairs.
+    seed:
+        Seed for the per-band bucket hashes.  ``None`` (the default) inherits
+        the sketch's own seed, so a service configured with one seed is
+        reproducible end to end — including its candidate sets.
+    target_threshold:
+        The Jaccard similarity the auto-tuner sizes ``b`` for (only used when
+        ``bands == 0``).
+    confidence:
+        Minimum probability that a pair at ``target_threshold`` is proposed
+        (only used when ``bands == 0``).
+    min_band_bits:
+        A band buckets its user only when it holds at least this many set
+        bits.  On sparse rows, all-zero and single-bit bands match a constant
+        fraction of the whole pool (the lone bit is usually contamination), so
+        the default of 2 demands two coinciding set bits — which dissimilar
+        users essentially never share — before a band may propose anything.
+        Users with no band at the floor are bucketed by their whole row
+        instead (identical rows stay co-candidates); lower the floor to 1 for
+        very sparse users whose signal is spread one bit per band.
+    max_bucket:
+        If positive, buckets holding more than this many users are skipped
+        when generating pairs (an escape hatch against adversarial bucket
+        blowup).  ``0`` disables the cap; note that a cap voids the guarantee
+        that identical rows are always co-candidates.
+    """
+
+    bands: int = 0
+    rows_per_band: int = 1
+    seed: int | None = None
+    target_threshold: float = 0.5
+    confidence: float = 0.995
+    min_band_bits: int = 2
+    max_bucket: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bands < 0:
+            raise ConfigurationError(f"bands must be non-negative, got {self.bands}")
+        if self.rows_per_band <= 0:
+            raise ConfigurationError(
+                f"rows_per_band must be positive, got {self.rows_per_band}"
+            )
+        if not 0.0 < self.target_threshold < 1.0:
+            raise ConfigurationError("target_threshold must be in (0, 1)")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError("confidence must be in (0, 1)")
+        if self.min_band_bits <= 0:
+            raise ConfigurationError(
+                f"min_band_bits must be positive, got {self.min_band_bits}"
+            )
+        if self.max_bucket < 0:
+            raise ConfigurationError(
+                f"max_bucket must be non-negative, got {self.max_bucket}"
+            )
+
+
+def alpha_at_threshold(
+    threshold: float,
+    beta_a: float,
+    beta_b: float,
+    sketch_size: int,
+    mean_cardinality: float,
+) -> float:
+    """Expected xor load of a pair sitting at ``threshold`` Jaccard.
+
+    This is the paper's forward model run forwards instead of inverted: two
+    users of ``mean_cardinality`` items at Jaccard ``J`` have a symmetric
+    difference ``n_Δ = 2 n̄ (1 - J) / (1 + J)``, and their recovered sketches
+    disagree per bit with probability
+    ``(1 - (1 - 2 beta_a)(1 - 2 beta_b) exp(-2 n_Δ / k)) / 2``
+    (the cross-array generalization; both betas equal for one shared array).
+    """
+    n_delta = 2.0 * mean_cardinality * (1.0 - threshold) / (1.0 + threshold)
+    damping = (1.0 - 2.0 * beta_a) * (1.0 - 2.0 * beta_b)
+    return (1.0 - damping * math.exp(-2.0 * n_delta / sketch_size)) / 2.0
+
+
+def required_bands(
+    alpha: float,
+    band_bits: int,
+    available: int,
+    confidence: float,
+    set_bit_fraction: float = 0.0,
+    min_band_bits: int = 1,
+) -> int:
+    """Smallest band count proposing an ``alpha``-load pair with ``confidence``.
+
+    A band of ``band_bits`` bits matches with probability
+    ``(1 - alpha)^band_bits``, but a match only *buckets* the pair when the
+    band holds at least ``min_band_bits`` set bits (sparse bands are skipped,
+    see :class:`BandedSketchIndex`).  Modelling a band's set-bit count as
+    Poisson with mean ``band_bits * set_bit_fraction``, the usable fraction of
+    matches is the Poisson tail at the floor; ``b`` bands then propose the
+    pair with probability ``1 - (1 - match * usable)^b``.  The result is
+    clamped to ``[1, available]`` — when even every available band cannot
+    reach the confidence target the index simply uses them all.
+    """
+    alpha = min(max(alpha, 0.0), 1.0)
+    match = (1.0 - alpha) ** band_bits
+    mean_set_bits = band_bits * min(max(set_bit_fraction, 0.0), 1.0)
+    if mean_set_bits <= 0.0:
+        return max(1, available)
+    term = math.exp(-mean_set_bits)
+    below_floor = term
+    for i in range(1, min_band_bits):
+        term *= mean_set_bits / i
+        below_floor += term
+    useful = match * (1.0 - below_floor)
+    if useful <= 0.0:
+        return max(1, available)
+    if useful >= 1.0:
+        return 1
+    # log1p keeps tiny useful probabilities from underflowing log(1 - x) to 0.
+    needed = math.log(1.0 - confidence) / math.log1p(-useful)
+    if needed >= available:
+        return max(1, available)
+    return max(1, math.ceil(needed))
+
+
+class _ShardSignatures:
+    """Band signatures of one shard's users, kept fresh against its array version.
+
+    The shard's :class:`~repro.core.bitarray.SharedBitArray` mutation version
+    — the same counter the packed-row LRU cache keys on — decides freshness:
+    any write may change *any* user's recovered row (a single xor can land in
+    anyone's virtual bits), so a version change marks every signature dirty
+    and triggers a full rebuild on demand.  When the version is unchanged but
+    the shard gained users (e.g. a batch whose toggles cancelled exactly),
+    only the new users' signatures are computed and appended.
+    """
+
+    def __init__(
+        self,
+        shard,
+        band_hashes: Sequence[UniversalHash],
+        residual_hash: UniversalHash,
+        rows_per_band: int,
+        min_band_bits: int,
+    ) -> None:
+        self._shard = shard
+        self._band_hashes = list(band_hashes)
+        self._residual_hash = residual_hash
+        self._rows_per_band = rows_per_band
+        self._min_band_bits = min_band_bits
+        self.users: list[UserId] = []
+        self.ordinal: dict[UserId, int] = {}
+        # One signature column per band plus the residual whole-row column
+        # (valid only for users with no band at the set-bit floor).
+        columns = len(self._band_hashes) + 1
+        self.signatures = np.empty((0, columns), dtype=np.uint64)
+        self.valid = np.empty((0, columns), dtype=bool)
+        self._version: int | None = None
+
+    def sync(self) -> str:
+        """Bring the table up to date; returns ``rebuilt``/``updated``/``fresh``."""
+        version = self._shard.shared_array.version
+        shard_users = self._shard.users()
+        if self._version != version:
+            self.users = sorted(shard_users, key=user_sort_key)
+            self.ordinal = {user: row for row, user in enumerate(self.users)}
+            self.signatures, self.valid = self._compute(self.users)
+            self._version = version
+            return "rebuilt"
+        if len(shard_users) > len(self.users):
+            fresh = sorted(
+                (user for user in shard_users if user not in self.ordinal),
+                key=user_sort_key,
+            )
+            signatures, valid = self._compute(fresh)
+            base = len(self.users)
+            self.users.extend(fresh)
+            for offset, user in enumerate(fresh):
+                self.ordinal[user] = base + offset
+            self.signatures = np.concatenate([self.signatures, signatures])
+            self.valid = np.concatenate([self.valid, valid])
+            return "updated"
+        return "fresh"
+
+    def _compute(self, users: Sequence[UserId]) -> tuple[np.ndarray, np.ndarray]:
+        """Band signatures and validity masks for ``users`` (one gather + hash)."""
+        bands = len(self._band_hashes)
+        r = self._rows_per_band
+        columns = bands + 1
+        if not users:
+            return (
+                np.empty((0, columns), dtype=np.uint64),
+                np.empty((0, columns), dtype=bool),
+            )
+        rows = self._shard.packed_rows(users, cache=False)
+        row_words = rows.view(np.uint64)
+        words = row_words[:, : bands * r].reshape(len(users), bands, r)
+        folded = words[:, :, 0]
+        for word in range(1, r):
+            folded = _mix64_array(folded ^ words[:, :, word])
+        # A band below the set-bit floor says too little about similarity to
+        # bucket (on sparse sketches all-zero and single-bit bands match a
+        # constant fraction of the pool), so it is never valid.  Users with no
+        # band at the floor get the residual column instead: a hash of the
+        # whole row, so identical rows — all-zero ones included — are still
+        # always co-candidates.
+        set_bits = _bitwise_count(words).sum(axis=2, dtype=np.int64)
+        valid = np.empty((len(users), columns), dtype=bool)
+        valid[:, :bands] = set_bits >= self._min_band_bits
+        valid[:, bands] = ~valid[:, :bands].any(axis=1)
+        residual = row_words[:, 0]
+        for word in range(1, row_words.shape[1]):
+            residual = _mix64_array(residual ^ row_words[:, word])
+        signatures = np.empty((len(users), columns), dtype=np.uint64)
+        for band, band_hash in enumerate(self._band_hashes):
+            signatures[:, band] = band_hash.value64_array(
+                np.ascontiguousarray(folded[:, band])
+            )
+        signatures[:, bands] = self._residual_hash.value64_array(
+            np.ascontiguousarray(residual)
+        )
+        return signatures, valid
+
+    def memory_bytes(self) -> int:
+        return int(self.signatures.nbytes + self.valid.nbytes)
+
+
+def _pairs_within_groups(
+    sorted_ordinals: np.ndarray, sorted_keys: np.ndarray, max_bucket: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All within-bucket pairs of one band, given key-sorted ordinals.
+
+    Groups are runs of equal keys; pairs are expanded one distinct group *size*
+    at a time (all buckets of size ``g`` stack into an ``(n_groups, g)`` matrix
+    and expand through one ``triu_indices`` fancy-index), so the whole band is
+    a handful of vectorized operations.  The stable sort keeps ordinals
+    ascending within a bucket, so every emitted pair satisfies ``a < b``.
+    """
+    change = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+    sizes = np.diff(np.concatenate((starts, [sorted_keys.shape[0]])))
+    out_a: list[np.ndarray] = []
+    out_b: list[np.ndarray] = []
+    for size in np.unique(sizes).tolist():
+        if size < 2 or (max_bucket and size > max_bucket):
+            continue
+        group_starts = starts[sizes == size]
+        members = sorted_ordinals[group_starts[:, None] + np.arange(size)]
+        upper_a, upper_b = np.triu_indices(size, k=1)
+        out_a.append(members[:, upper_a].ravel())
+        out_b.append(members[:, upper_b].ravel())
+    if not out_a:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(out_a), np.concatenate(out_b)
+
+
+class BandedSketchIndex:
+    """LSH banding index proposing candidate pairs for a VOS-family sketch.
+
+    Parameters
+    ----------
+    sketch:
+        A :class:`~repro.core.vos.VirtualOddSketch` or
+        :class:`~repro.service.sharding.ShardedVOS` — any sketch exposing
+        ``row_shards()`` / ``packed_rows()``.
+    config:
+        :class:`IndexConfig`; defaults to auto-tuned bands with the sketch's
+        own seed.
+
+    The index is maintained *on demand*: every query calls :meth:`refresh`,
+    which rebuilds a shard's signature table only when that shard's array
+    mutation version moved (and appends incrementally when only new users
+    appeared).  Between ingests, repeated queries reuse the tables untouched.
+
+    Examples
+    --------
+    >>> from repro.core.vos import VirtualOddSketch
+    >>> from repro.streams import Action, StreamElement
+    >>> vos = VirtualOddSketch(shared_array_bits=1 << 14, virtual_sketch_size=256, seed=1)
+    >>> for item in range(30):
+    ...     vos.process(StreamElement(1, item, Action.INSERT))
+    ...     vos.process(StreamElement(2, item, Action.INSERT))
+    >>> index = BandedSketchIndex(vos)
+    >>> index_a, index_b = index.candidate_pairs([1, 2])
+    >>> (index_a.tolist(), index_b.tolist())
+    ([0], [1])
+    """
+
+    def __init__(self, sketch, config: IndexConfig | None = None) -> None:
+        if not hasattr(sketch, "row_shards") or not hasattr(
+            sketch, "virtual_sketch_size"
+        ):
+            raise ConfigurationError(
+                f"{type(sketch).__name__} exposes no packed sketch rows; the "
+                "banding index requires a VOS-family sketch "
+                "(VirtualOddSketch or ShardedVOS)"
+            )
+        self._sketch = sketch
+        self._config = config if config is not None else IndexConfig()
+        self._row_words = packed_row_bytes(sketch.virtual_sketch_size) // 8
+        r = self._config.rows_per_band
+        if r > self._row_words:
+            raise ConfigurationError(
+                f"rows_per_band {r} exceeds the {self._row_words} words of a "
+                f"packed row (virtual_sketch_size {sketch.virtual_sketch_size})"
+            )
+        if self._config.bands and self._config.bands * r > self._row_words:
+            raise ConfigurationError(
+                f"bands * rows_per_band = {self._config.bands * r} exceeds the "
+                f"{self._row_words} words of a packed row"
+            )
+        self._seed = (
+            self._config.seed
+            if self._config.seed is not None
+            else getattr(sketch, "seed", 0)
+        )
+        self._bands = self._config.bands
+        self._shard_signatures: list[_ShardSignatures] = []
+        self._tuning_state: tuple | None = None
+        self._rebuilds = 0
+        self._incremental_updates = 0
+        self._last_candidate_pairs: int | None = None
+        self._last_pool_pairs: int | None = None
+
+    # -- configuration ----------------------------------------------------------------
+
+    @property
+    def config(self) -> IndexConfig:
+        return self._config
+
+    @property
+    def bands(self) -> int:
+        """Current band count (0 until the first refresh resolves auto-tuning)."""
+        return self._bands
+
+    @property
+    def rows_per_band(self) -> int:
+        return self._config.rows_per_band
+
+    @property
+    def seed(self) -> int:
+        """The resolved band seed (the sketch's seed unless overridden)."""
+        return self._seed
+
+    def _band_hashes(self, bands: int) -> list[UniversalHash]:
+        return [
+            UniversalHash(
+                range_size=_MERSENNE_P,
+                seed=stable_hash64(("index-band", self._seed, band)),
+            )
+            for band in range(bands)
+        ]
+
+    def _resolve_bands(self) -> int:
+        if self._config.bands:
+            return self._config.bands
+        available = max(1, self._row_words // self._config.rows_per_band)
+        sketch = self._sketch
+        users = sketch.users()
+        mean_cardinality = (
+            sum(sketch.cardinality(user) for user in users) / len(users)
+            if users
+            else 0.0
+        )
+        beta = sketch.beta
+        size = sketch.virtual_sketch_size
+        alpha = alpha_at_threshold(
+            self._config.target_threshold, beta, beta, size, mean_cardinality
+        )
+        # Per-bit set probability of a recovered row: the user's own odd-sketch
+        # bit (the paper's 0.5 * (1 - exp(-2 n / k)) fill law) xored with the
+        # shared array's contamination.
+        own = 0.5 * (1.0 - math.exp(-2.0 * mean_cardinality / size))
+        set_bit_fraction = own + beta - 2.0 * own * beta
+        return required_bands(
+            alpha,
+            64 * self._config.rows_per_band,
+            available,
+            self._config.confidence,
+            set_bit_fraction=set_bit_fraction,
+            min_band_bits=self._config.min_band_bits,
+        )
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Bring the index in sync with the sketch (rebuild-on-demand).
+
+        Auto-tuned band counts are re-resolved first — they depend on the
+        sketch's live fill fraction and mean cardinality, so a changed count
+        re-layouts every signature table.  The resolution itself is memoized
+        on the shards' (version, user count) state, so repeated queries
+        between ingests skip its O(users) cardinality scan.  Each shard table
+        then syncs against its own array version, rebuilding only when dirty.
+        """
+        if self._config.bands:
+            bands = self._config.bands
+        else:
+            state = tuple(
+                (shard.shared_array.version, len(shard.users()))
+                for shard in self._sketch.row_shards()
+            )
+            if self._shard_signatures and state == self._tuning_state:
+                bands = self._bands
+            else:
+                bands = self._resolve_bands()
+                self._tuning_state = state
+        if bands != self._bands or not self._shard_signatures:
+            self._bands = bands
+            hashes = self._band_hashes(bands)
+            residual = UniversalHash(
+                range_size=_MERSENNE_P,
+                seed=stable_hash64(("index-residual", self._seed)),
+            )
+            self._shard_signatures = [
+                _ShardSignatures(
+                    shard,
+                    hashes,
+                    residual,
+                    self._config.rows_per_band,
+                    self._config.min_band_bits,
+                )
+                for shard in self._sketch.row_shards()
+            ]
+        for table in self._shard_signatures:
+            outcome = table.sync()
+            if outcome == "rebuilt":
+                self._rebuilds += 1
+            elif outcome == "updated":
+                self._incremental_updates += 1
+
+    def build(self) -> None:
+        """Force a full rebuild of every shard's signature table."""
+        self._shard_signatures = []
+        self._tuning_state = None
+        self.refresh()
+
+    # -- queries ----------------------------------------------------------------------
+
+    def _gather(self, users: Sequence[UserId]) -> tuple[np.ndarray, np.ndarray]:
+        """Signature and validity rows for ``users``, in input order."""
+        columns = self._bands + 1
+        signatures = np.empty((len(users), columns), dtype=np.uint64)
+        valid = np.zeros((len(users), columns), dtype=bool)
+        found = np.zeros(len(users), dtype=bool)
+        for table in self._shard_signatures:
+            ordinal = table.ordinal
+            positions = [
+                position for position, user in enumerate(users) if user in ordinal
+            ]
+            if not positions:
+                continue
+            rows = np.fromiter(
+                (ordinal[users[position]] for position in positions),
+                dtype=np.int64,
+                count=len(positions),
+            )
+            signatures[positions] = table.signatures[rows]
+            valid[positions] = table.valid[rows]
+            found[positions] = True
+        if not found.all():
+            raise UnknownUserError(users[int(np.flatnonzero(~found)[0])])
+        return signatures, valid
+
+    def candidate_pairs(
+        self, pool: Sequence[UserId]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate ``(index_a, index_b)`` ordinal pairs over ``pool``.
+
+        Pairs are the union of same-bucket pairs across every band, deduped,
+        with ``index_a < index_b``, sorted lexicographically — exactly the
+        order the exhaustive enumeration visits them, so downstream
+        tie-breaking behaves identically.  Always a subset of the pool's
+        ``i < j`` pairs.
+        """
+        self.refresh()
+        pool = list(pool)
+        n = len(pool)
+        self._last_pool_pairs = n * (n - 1) // 2
+        empty = np.empty(0, dtype=np.int64)
+        if n < 2:
+            self._last_candidate_pairs = 0
+            return empty, empty.copy()
+        signatures, valid = self._gather(pool)
+        key_blocks: list[np.ndarray] = []
+        for band in range(self._bands + 1):
+            ordinals = np.flatnonzero(valid[:, band])
+            if ordinals.shape[0] < 2:
+                continue
+            keys = signatures[ordinals, band]
+            order = np.argsort(keys, kind="stable")
+            pair_a, pair_b = _pairs_within_groups(
+                ordinals[order], keys[order], self._config.max_bucket
+            )
+            if pair_a.size:
+                key_blocks.append(pair_a * n + pair_b)
+        if not key_blocks:
+            self._last_candidate_pairs = 0
+            return empty, empty.copy()
+        pair_keys = np.unique(np.concatenate(key_blocks))
+        self._last_candidate_pairs = int(pair_keys.shape[0])
+        return pair_keys // n, pair_keys % n
+
+    def neighbour_candidates(
+        self, target: UserId, pool: Sequence[UserId]
+    ) -> list[UserId]:
+        """Members of ``pool`` sharing at least one band bucket with ``target``.
+
+        Pool order is preserved; ``target`` itself is never returned.  This is
+        the nearest-neighbour analogue of :meth:`candidate_pairs`: the linear
+        scan over the pool shrinks to the users the banding proposes.
+        """
+        self.refresh()
+        pool = list(pool)
+        if not pool:
+            return []
+        signatures, valid = self._gather([target, *pool])
+        matches = (
+            (signatures[1:] == signatures[0]) & valid[1:] & valid[0]
+        ).any(axis=1)
+        return [
+            user
+            for user, keep in zip(pool, matches.tolist())
+            if keep and user != target
+        ]
+
+    # -- accounting -------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational summary: layout, memory, maintenance and candidate counters.
+
+        ``last_candidate_fraction`` is the proposed share of the last query's
+        full pair pool — the knob-tuning signal for the recall/speed tradeoff
+        (1.0 would mean no pruning at all).
+        """
+        users_indexed = sum(len(table.users) for table in self._shard_signatures)
+        fraction = (
+            self._last_candidate_pairs / self._last_pool_pairs
+            if self._last_candidate_pairs is not None and self._last_pool_pairs
+            else None
+        )
+        return {
+            "bands": self._bands,
+            "rows_per_band": self._config.rows_per_band,
+            "band_bits": 64 * self._config.rows_per_band,
+            "min_band_bits": self._config.min_band_bits,
+            "auto_bands": self._config.bands == 0,
+            "seed": self._seed,
+            "shards": len(self._shard_signatures),
+            "users_indexed": users_indexed,
+            "signature_bytes": sum(
+                table.memory_bytes() for table in self._shard_signatures
+            ),
+            "rebuilds": self._rebuilds,
+            "incremental_updates": self._incremental_updates,
+            "last_candidate_pairs": self._last_candidate_pairs,
+            "last_pool_pairs": self._last_pool_pairs,
+            "last_candidate_fraction": fraction,
+        }

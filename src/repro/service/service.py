@@ -27,10 +27,16 @@ from repro.baselines.base import PairEstimate
 from repro.core.memory import MemoryBudget
 from repro.core.vos import VirtualOddSketch
 from repro.exceptions import ConfigurationError
+from repro.index import BandedSketchIndex, IndexConfig
 from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stream
 from repro.service.sharding import ShardedVOS
 from repro.service.snapshot import load_snapshot, save_snapshot
-from repro.similarity.search import ScoredPair, nearest_neighbours, top_k_similar_pairs
+from repro.similarity.search import (
+    ScoredPair,
+    nearest_neighbours,
+    pairs_above_threshold,
+    top_k_similar_pairs,
+)
 from repro.streams.batch import ElementBatch
 from repro.streams.edge import StreamElement, UserId
 
@@ -59,6 +65,11 @@ class ServiceConfig:
     #: Per-shard capacity of the packed-row LRU cache used by the bulk query
     #: path (hot users' recovered virtual sketches); 0 disables caching.
     sketch_cache_size: int = 1024
+    #: LSH banding layout used by ``candidates="lsh"`` queries.  The default
+    #: auto-tunes the band count from the index's target threshold; the band
+    #: seed is left at ``None`` so it flows from this config's ``seed`` (via
+    #: the sketch), keeping candidate sets reproducible across runs.
+    index: IndexConfig = IndexConfig()
 
     def budget(self) -> MemoryBudget:
         """The equal-memory budget this configuration provisions."""
@@ -90,6 +101,7 @@ class SimilarityService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int = 1,
+        index_config: IndexConfig | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
@@ -98,6 +110,8 @@ class SimilarityService:
         self._sketch = sketch
         self._batch_size = batch_size
         self._workers = workers
+        self._index_config = index_config if index_config is not None else IndexConfig()
+        self._index: BandedSketchIndex | None = None
         self._elements_ingested = 0
         self._batches_ingested = 0
 
@@ -111,7 +125,12 @@ class SimilarityService:
             seed=config.seed,
             sketch_cache_size=config.sketch_cache_size,
         )
-        return cls(sketch, batch_size=config.batch_size, workers=config.workers)
+        return cls(
+            sketch,
+            batch_size=config.batch_size,
+            workers=config.workers,
+            index_config=config.index,
+        )
 
     # -- ingest ----------------------------------------------------------------------
 
@@ -162,6 +181,19 @@ class SimilarityService:
         """
         return self._sketch.estimate_pairs(pairs)
 
+    def index(self) -> BandedSketchIndex:
+        """The service's banding index, created lazily from its config.
+
+        The same instance is reused across queries, so its per-shard signature
+        tables stay warm between ingests (rebuild-on-demand keyed on the
+        shards' array mutation versions).  Its seed flows from the sketch's
+        seed unless the :class:`~repro.index.banding.IndexConfig` overrides
+        it, so candidate sets are reproducible for a given service seed.
+        """
+        if self._index is None:
+            self._index = BandedSketchIndex(self._sketch, self._index_config)
+        return self._index
+
     def top_k(
         self,
         user: UserId,
@@ -169,14 +201,22 @@ class SimilarityService:
         k: int = 10,
         candidates: Iterable[UserId] | None = None,
         minimum_cardinality: int = 1,
+        index: str = "none",
     ) -> list[ScoredPair]:
-        """The ``k`` users most similar to ``user`` (via :mod:`repro.similarity.search`)."""
+        """The ``k`` users most similar to ``user`` (via :mod:`repro.similarity.search`).
+
+        ``index="lsh"`` shrinks the linear candidate scan to the users sharing
+        at least one band bucket with ``user``.
+        """
+        if index not in ("none", "lsh"):
+            raise ConfigurationError(f"index must be 'none' or 'lsh', got {index!r}")
         return nearest_neighbours(
             self._sketch,
             user,
             k=k,
             candidates=candidates,
             minimum_cardinality=minimum_cardinality,
+            index=self.index() if index == "lsh" else None,
         )
 
     def top_k_pairs(
@@ -186,12 +226,16 @@ class SimilarityService:
         users: Iterable[UserId] | None = None,
         minimum_cardinality: int = 1,
         prefilter_threshold: float = 0.0,
+        candidates: str = "all",
     ) -> list[ScoredPair]:
         """The ``k`` most similar pairs among ``users`` (all users by default).
 
         ``prefilter_threshold`` enables the vectorized cardinality pre-filter:
         pairs whose size-ratio bound falls below it are pruned before any
-        sketch gather is spent on them.
+        sketch gather is spent on them.  ``candidates="lsh"`` scores only the
+        pairs the service's banding index proposes — a sub-quadratic candidate
+        count on large pools, bit-identical results whenever the proposals
+        cover the true top ``k``.
         """
         return top_k_similar_pairs(
             self._sketch,
@@ -199,6 +243,30 @@ class SimilarityService:
             users=users,
             minimum_cardinality=minimum_cardinality,
             prefilter_threshold=prefilter_threshold,
+            candidates=candidates,
+            index=self.index() if candidates == "lsh" else None,
+        )
+
+    def pairs_above(
+        self,
+        threshold: float,
+        *,
+        users: Iterable[UserId] | None = None,
+        minimum_cardinality: int = 1,
+        candidates: str = "all",
+    ) -> list[ScoredPair]:
+        """Every pair whose estimated Jaccard reaches ``threshold``.
+
+        The screening primitive behind duplicate detection; with
+        ``candidates="lsh"`` the banding index proposes the pairs to screen.
+        """
+        return pairs_above_threshold(
+            self._sketch,
+            threshold,
+            users=users,
+            minimum_cardinality=minimum_cardinality,
+            candidates=candidates,
+            index=self.index() if candidates == "lsh" else None,
         )
 
     def stats(self) -> dict:
@@ -219,6 +287,9 @@ class SimilarityService:
         else:
             stats["num_shards"] = 1
         stats["sketch_cache"] = sketch.sketch_cache_info()
+        # Candidate-index counters (layout, signature memory, rebuild activity,
+        # last candidate fraction) appear once an ``lsh`` query created it.
+        stats["index"] = None if self._index is None else self._index.stats()
         return stats
 
     # -- persistence -----------------------------------------------------------------
@@ -234,6 +305,17 @@ class SimilarityService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int = 1,
+        index_config: IndexConfig | None = None,
     ) -> "SimilarityService":
-        """Restore a service from a snapshot written by :meth:`save`."""
-        return cls(load_snapshot(path), batch_size=batch_size, workers=workers)
+        """Restore a service from a snapshot written by :meth:`save`.
+
+        The banding index is not persisted — it rebuilds on demand from the
+        restored rows, and because the snapshot preserves the sketch seed the
+        rebuilt candidate sets are identical across restarts.
+        """
+        return cls(
+            load_snapshot(path),
+            batch_size=batch_size,
+            workers=workers,
+            index_config=index_config,
+        )

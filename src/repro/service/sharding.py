@@ -159,6 +159,18 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
         """The underlying shard sketches (exposed for snapshots and tests)."""
         return self._shards
 
+    def row_shards(self) -> list[VirtualOddSketch]:
+        """Per-shard packed-row sources for index structures.
+
+        Users are hash-partitioned, so each user's packed sketch row lives in
+        exactly one shard — but all shards share the same seed (same ``psi``,
+        same user hashes), so rows, and hence LSH band signatures, remain
+        comparable *across* shards.  The banding index keeps one signature
+        table per source and merges them at query time, which is what makes
+        cross-shard candidate pairs possible.
+        """
+        return list(self._shards)
+
     # -- stream consumption ----------------------------------------------------------
 
     def process(self, element: StreamElement) -> None:

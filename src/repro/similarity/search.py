@@ -11,9 +11,13 @@ already bounds their Jaccard coefficient below the requested threshold
 All three search functions are built on the sketch interface's *bulk* query
 API (:meth:`~repro.baselines.base.SimilaritySketch.estimate_jaccard_indexed`):
 candidate pairs are enumerated as numpy index arrays in bounded-size blocks
-(at most :data:`SEARCH_PAIR_BLOCK` pairs each, so memory stays O(block) even
-for huge pools), pruned with a vectorized cardinality pre-filter, scored in
-bulk, and ranked lexicographically.  For VOS this makes the whole search a
+of at most :data:`SEARCH_PAIR_BLOCK` pairs each, pruned with a vectorized
+cardinality pre-filter, scored in bulk, and ranked lexicographically.  With
+``candidates="all"`` the exhaustive enumeration is streamed, so memory stays
+O(block) even for huge pools; ``candidates="lsh"`` scores only the
+sub-quadratic subset an LSH banding index proposes (VOS-family sketches —
+see :mod:`repro.index`), whose full candidate arrays are materialized once
+for dedup before being re-chunked into the same blocks.  For VOS this makes the whole search a
 handful of numpy passes; for sketches without a vectorized override the bulk
 API falls back to the per-pair loop, so results are identical either way —
 just slower.
@@ -35,7 +39,8 @@ import numpy as np
 
 from repro.baselines.base import SimilaritySketch
 from repro.exceptions import ConfigurationError
-from repro.streams.edge import UserId
+from repro.index import BandedSketchIndex
+from repro.streams.edge import UserId, user_sort_key as _user_sort_key
 
 #: Upper bound on candidate pairs enumerated and scored per bulk call.  The
 #: all-pairs searches stream ``i < j`` blocks of at most this many pairs, so
@@ -55,16 +60,6 @@ class ScoredPair:
     user_b: UserId
     jaccard: float
     common_items: float
-
-
-def _user_sort_key(user: UserId) -> tuple[str, UserId]:
-    """Stable, type-safe ordering key for user identifiers.
-
-    Sorting on ``(type name, value)`` keeps the natural order within every
-    uniformly typed population and never compares values of different types,
-    so mixed ``int``/``str`` user ids cannot raise ``TypeError``.
-    """
-    return (type(user).__name__, user)
 
 
 def _candidate_users(
@@ -119,6 +114,43 @@ def _iter_pair_blocks(
         )
         yield index_a, index_a + 1 + within_row
         start = end
+
+
+def _candidate_pair_blocks(
+    sketch: SimilaritySketch,
+    pool: Sequence[UserId],
+    candidates: str,
+    index: BandedSketchIndex | None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield candidate ``(index_a, index_b)`` blocks for the chosen strategy.
+
+    ``"all"`` streams every ``i < j`` pair of the pool; ``"lsh"`` asks a
+    :class:`~repro.index.banding.BandedSketchIndex` (the one supplied, or a
+    fresh default-configured index) for its proposed subset and re-chunks it
+    into the same bounded-size blocks, so scoring and memory behaviour are
+    identical downstream — only the candidate enumeration changes.
+    """
+    if candidates == "all":
+        yield from _iter_pair_blocks(len(pool))
+        return
+    if index is None:
+        index = BandedSketchIndex(sketch)
+    index_a, index_b = index.candidate_pairs(pool)
+    for start in range(0, index_a.shape[0], SEARCH_PAIR_BLOCK):
+        stop = start + SEARCH_PAIR_BLOCK
+        yield index_a[start:stop], index_b[start:stop]
+
+
+def _validate_candidates_mode(candidates: str) -> None:
+    """Reject bad ``candidates=`` values eagerly, before any early return.
+
+    Validating at function entry (like ``k`` and the thresholds) means a typo
+    fails loudly even on pools too small to reach the block generator.
+    """
+    if candidates not in ("all", "lsh"):
+        raise ConfigurationError(
+            f"candidates must be 'all' or 'lsh', got {candidates!r}"
+        )
 
 
 def _prefilter_pairs(
@@ -185,6 +217,8 @@ def top_k_similar_pairs(
     users: Iterable[UserId] | None = None,
     minimum_cardinality: int = 1,
     prefilter_threshold: float = 0.0,
+    candidates: str = "all",
+    index: BandedSketchIndex | None = None,
 ) -> list[ScoredPair]:
     """Return the ``k`` most similar user pairs according to the sketch.
 
@@ -198,7 +232,7 @@ def top_k_similar_pairs(
     users:
         Candidate users; defaults to every user the sketch has seen.  For
         large populations pass a pre-selected subset (e.g. the top-cardinality
-        users) — the search is quadratic in the candidate count.
+        users) — the exhaustive search is quadratic in the candidate count.
     minimum_cardinality:
         Ignore users currently subscribing to fewer items than this.
     prefilter_threshold:
@@ -206,31 +240,43 @@ def top_k_similar_pairs(
         ``min(|A|,|B|)/max(|A|,|B|)`` is already below the threshold — those
         pairs cannot reach it regardless of overlap, so no sketch query is
         spent on them.
+    candidates:
+        ``"all"`` (default) enumerates every pair of the pool; ``"lsh"``
+        scores only the pairs a banding index proposes (a sub-quadratic
+        candidate count, at the cost of possibly missing pairs — see
+        :mod:`repro.index`).  VOS-family sketches only.
+    index:
+        A prebuilt :class:`~repro.index.banding.BandedSketchIndex` to use with
+        ``candidates="lsh"`` (kept fresh incrementally across calls); when
+        omitted a default-configured index is built for this call.
 
     Returns
     -------
     list of :class:`ScoredPair`, sorted by descending Jaccard estimate with
-    ties broken by candidate order (deterministic for any input).
+    ties broken by candidate order (deterministic for any input).  With
+    ``candidates="lsh"`` the result is bit-identical to the exhaustive search
+    whenever the proposed pairs cover the true top ``k``.
     """
     if k <= 0:
         raise ConfigurationError(f"k must be positive, got {k}")
     if not 0.0 <= prefilter_threshold <= 1.0:
         raise ConfigurationError("prefilter_threshold must be in [0, 1]")
-    candidates = _candidate_users(sketch, users, minimum_cardinality)
-    if len(candidates) < 2:
+    _validate_candidates_mode(candidates)
+    pool = _candidate_users(sketch, users, minimum_cardinality)
+    if len(pool) < 2:
         return []
     cardinalities = (
-        _cardinalities(sketch, candidates) if prefilter_threshold > 0.0 else None
+        _cardinalities(sketch, pool) if prefilter_threshold > 0.0 else None
     )
     best: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-    for index_a, index_b in _iter_pair_blocks(len(candidates)):
+    for index_a, index_b in _candidate_pair_blocks(sketch, pool, candidates, index):
         if cardinalities is not None:
             index_a, index_b = _prefilter_pairs(
                 cardinalities, index_a, index_b, prefilter_threshold
             )
-            if index_a.size == 0:
-                continue
-        jaccards = sketch.estimate_jaccard_indexed(candidates, index_a, index_b)
+        if index_a.size == 0:
+            continue
+        jaccards = sketch.estimate_jaccard_indexed(pool, index_a, index_b)
         if best is not None:
             jaccards = np.concatenate([best[0], jaccards])
             index_a = np.concatenate([best[1], index_a])
@@ -242,7 +288,7 @@ def top_k_similar_pairs(
     if best is None:
         return []
     jaccards, index_a, index_b = best
-    return _ranked_scored_pairs(sketch, candidates, index_a, index_b, jaccards)
+    return _ranked_scored_pairs(sketch, pool, index_a, index_b, jaccards)
 
 
 def nearest_neighbours(
@@ -252,11 +298,15 @@ def nearest_neighbours(
     k: int = 10,
     candidates: Iterable[UserId] | None = None,
     minimum_cardinality: int = 1,
+    index: BandedSketchIndex | None = None,
 ) -> list[ScoredPair]:
     """Return the ``k`` users most similar to ``target`` according to the sketch.
 
     ``candidates`` defaults to every other user the sketch has seen; pass a
-    subset (e.g. high-cardinality users) to bound the linear scan.
+    subset (e.g. high-cardinality users) to bound the linear scan.  Passing a
+    banding ``index`` shrinks the scan further to the users sharing at least
+    one band bucket with ``target`` (see
+    :meth:`~repro.index.banding.BandedSketchIndex.neighbour_candidates`).
     """
     if k <= 0:
         raise ConfigurationError(f"k must be positive, got {k}")
@@ -264,6 +314,8 @@ def nearest_neighbours(
         raise ConfigurationError(f"target user {target!r} has never appeared in the stream")
     pool = _candidate_users(sketch, candidates, minimum_cardinality)
     others = [user for user in pool if user != target]
+    if index is not None:
+        others = index.neighbour_candidates(target, others)
     if not others:
         return []
     indexed_users = [target, *others]
@@ -283,30 +335,36 @@ def pairs_above_threshold(
     users: Iterable[UserId] | None = None,
     minimum_cardinality: int = 1,
     use_prefilter: bool = True,
+    candidates: str = "all",
+    index: BandedSketchIndex | None = None,
 ) -> list[ScoredPair]:
     """Return every candidate pair whose estimated Jaccard reaches ``threshold``.
 
     This is the screening primitive used by the duplicate-detection example:
     the sketch cheaply discards the vast majority of pairs and only the
-    returned candidates need exact verification.
+    returned candidates need exact verification.  ``candidates="lsh"`` scores
+    only the pairs a banding index proposes (see :func:`top_k_similar_pairs`)
+    — a natural fit here, since the banding's own target threshold can be
+    tuned to the screening threshold.
     """
     if not 0.0 <= threshold <= 1.0:
         raise ConfigurationError("threshold must be in [0, 1]")
-    candidates = _candidate_users(sketch, users, minimum_cardinality)
-    if len(candidates) < 2:
+    _validate_candidates_mode(candidates)
+    pool = _candidate_users(sketch, users, minimum_cardinality)
+    if len(pool) < 2:
         return []
     cardinalities = (
-        _cardinalities(sketch, candidates) if use_prefilter and threshold > 0.0 else None
+        _cardinalities(sketch, pool) if use_prefilter and threshold > 0.0 else None
     )
     kept: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    for index_a, index_b in _iter_pair_blocks(len(candidates)):
+    for index_a, index_b in _candidate_pair_blocks(sketch, pool, candidates, index):
         if cardinalities is not None:
             index_a, index_b = _prefilter_pairs(
                 cardinalities, index_a, index_b, threshold
             )
-            if index_a.size == 0:
-                continue
-        jaccards = sketch.estimate_jaccard_indexed(candidates, index_a, index_b)
+        if index_a.size == 0:
+            continue
+        jaccards = sketch.estimate_jaccard_indexed(pool, index_a, index_b)
         qualifying = jaccards >= threshold
         if np.any(qualifying):
             kept.append(
@@ -319,7 +377,7 @@ def pairs_above_threshold(
     index_b = np.concatenate([block[2] for block in kept])
     order = np.lexsort((index_b, index_a, -jaccards))
     return _ranked_scored_pairs(
-        sketch, candidates, index_a[order], index_b[order], jaccards[order]
+        sketch, pool, index_a[order], index_b[order], jaccards[order]
     )
 
 

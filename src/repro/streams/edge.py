@@ -15,6 +15,18 @@ UserId: TypeAlias = int
 ItemId: TypeAlias = int
 
 
+def user_sort_key(user: UserId) -> tuple[str, UserId]:
+    """Stable, type-safe ordering key for user identifiers.
+
+    Sorting on ``(type name, value)`` keeps the natural order within every
+    uniformly typed population and never compares values of different types,
+    so mixed ``int``/``str`` user populations cannot raise ``TypeError``.
+    Shared by the search layer's deterministic tiebreakers and the candidate
+    index's signature-table ordering, which must agree.
+    """
+    return (type(user).__name__, user)
+
+
 class Action(enum.Enum):
     """The two element actions of a fully dynamic stream."""
 

@@ -337,3 +337,88 @@ class TestConvertAndParallelIngest:
         )
         assert code == 2
         assert "not 64-bit integers" in capsys.readouterr().err
+
+
+class TestIndexCommands:
+    """``repro index`` and ``--index lsh`` on the query commands."""
+
+    @pytest.fixture()
+    def snapshot(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        lines = []
+        for pair in range(100):
+            items = rng.integers(0, 10**6, size=12)
+            for user in (2 * pair, 2 * pair + 1):
+                lines += [f"+ {user} {item}" for item in items]
+        stream = tmp_path / "clones.txt"
+        stream.write_text("\n".join(lines) + "\n")
+        snapshot = tmp_path / "state.vos"
+        code = main(
+            [
+                "ingest",
+                "--stream", str(stream),
+                "--snapshot", str(snapshot),
+                "--shards", "4",
+                "--registers", "8",
+                "--batch-size", "512",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        return snapshot
+
+    def test_pairs_lsh_is_deterministic_across_runs(self, snapshot, capsys):
+        """Band seeds flow from the snapshot's sketch seed: identical output."""
+        assert main(["pairs", "--snapshot", str(snapshot), "-k", "5", "--index", "lsh"]) == 0
+        first = capsys.readouterr().out
+        assert main(["pairs", "--snapshot", str(snapshot), "-k", "5", "--index", "lsh"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "candidates lsh" in first
+        assert "jaccard" in first
+        # Header comment + column headers + rule + at least one scored pair.
+        assert len(first.strip().splitlines()) >= 4
+
+    def test_topk_lsh_is_deterministic_across_runs(self, snapshot, capsys):
+        argv = ["topk", "--snapshot", str(snapshot), "--user", "0", "-k", "3", "--index", "lsh"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_index_build_reports_layout_and_seed(self, snapshot, capsys):
+        assert main(["index", "build", "--snapshot", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "bands," in out
+        # The band seed is the snapshot's sketch seed (ingest ran with --seed 3).
+        assert "seed,3" in out
+        assert "build sec," in out
+
+    def test_index_stats_reports_candidate_reduction(self, snapshot, capsys):
+        assert main(["index", "stats", "--snapshot", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate pairs," in out
+        assert "candidate fraction," in out
+        assert "all pairs,19900" in out
+
+    def test_index_accepts_explicit_band_layout(self, snapshot, capsys):
+        code = main(
+            [
+                "index", "build",
+                "--snapshot", str(snapshot),
+                "--bands", "4",
+                "--rows-per-band", "2",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bands,4" in out
+        assert "band bits,128" in out
+
+    def test_index_build_missing_snapshot_exits_2(self, tmp_path, capsys):
+        code = main(["index", "build", "--snapshot", str(tmp_path / "nope.vos")])
+        assert code == 2
+        assert capsys.readouterr().err

@@ -1,0 +1,377 @@
+"""Tests for the LSH banding candidate index (:mod:`repro.index`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.memory import MemoryBudget
+from repro.similarity.engine import build_sketch
+from repro.core.vos import VirtualOddSketch, packed_row_bytes
+from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.index import BandedSketchIndex, IndexConfig, required_bands
+from repro.index.banding import alpha_at_threshold
+from repro.service import ServiceConfig, ShardedVOS, SimilarityService
+from repro.similarity.search import (
+    nearest_neighbours,
+    pairs_above_threshold,
+    top_k_similar_pairs,
+)
+from repro.streams.edge import Action, StreamElement
+
+
+def clone_pool_elements(num_users=400, items_per_user=40, seed=11):
+    """Every user paired with an identical clone: users (2i, 2i+1) share items."""
+    rng = np.random.default_rng(seed)
+    elements = []
+    for pair in range(num_users // 2):
+        items = rng.integers(0, 10**9, size=items_per_user)
+        for user in (2 * pair, 2 * pair + 1):
+            elements += [
+                StreamElement(int(user), int(item), Action.INSERT) for item in items
+            ]
+    return elements
+
+
+@pytest.fixture(scope="module")
+def clone_vos():
+    """A sparse single-array VOS holding 200 clone pairs."""
+    vos = VirtualOddSketch(
+        shared_array_bits=1 << 22, virtual_sketch_size=1024, seed=3
+    )
+    vos.process_batch(clone_pool_elements())
+    return vos
+
+
+@pytest.fixture(scope="module")
+def clone_sharded():
+    """The same clone workload hash-partitioned over four shards."""
+    sketch = ShardedVOS(4, shard_array_bits=1 << 20, virtual_sketch_size=1024, seed=3)
+    sketch.process_batch(clone_pool_elements())
+    return sketch
+
+
+class TestIndexConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            IndexConfig(bands=-1)
+        with pytest.raises(ConfigurationError):
+            IndexConfig(rows_per_band=0)
+        with pytest.raises(ConfigurationError):
+            IndexConfig(target_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            IndexConfig(confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            IndexConfig(min_band_bits=0)
+        with pytest.raises(ConfigurationError):
+            IndexConfig(max_bucket=-3)
+
+    def test_band_layout_must_fit_the_row(self, clone_vos):
+        row_words = packed_row_bytes(clone_vos.virtual_sketch_size) // 8
+        with pytest.raises(ConfigurationError):
+            BandedSketchIndex(clone_vos, IndexConfig(rows_per_band=row_words + 1))
+        with pytest.raises(ConfigurationError):
+            BandedSketchIndex(clone_vos, IndexConfig(bands=row_words, rows_per_band=2))
+
+    def test_rejects_sketches_without_packed_rows(self):
+        budget = MemoryBudget(baseline_registers=8, num_users=10)
+        with pytest.raises(ConfigurationError):
+            BandedSketchIndex(build_sketch("MinHash", budget, seed=1))
+
+
+class TestRequiredBands:
+    def test_clamped_to_available(self):
+        assert required_bands(0.5, 64, 16, 0.99, set_bit_fraction=0.05) == 16
+
+    def test_monotone_in_confidence(self):
+        low = required_bands(0.02, 64, 1024, 0.5, set_bit_fraction=0.05)
+        high = required_bands(0.02, 64, 1024, 0.999, set_bit_fraction=0.05)
+        assert 1 <= low <= high <= 1024
+
+    def test_zero_density_uses_everything(self):
+        assert required_bands(0.01, 64, 12, 0.9, set_bit_fraction=0.0) == 12
+
+    def test_alpha_at_threshold_brackets(self):
+        # Identical pair (threshold 1 would be the floor), dissimilar pair higher.
+        near = alpha_at_threshold(0.99, 0.01, 0.01, 1024, 40.0)
+        far = alpha_at_threshold(0.1, 0.01, 0.01, 1024, 40.0)
+        assert 0.0 < near < far < 0.5
+
+
+class TestCandidatePairs:
+    def test_candidates_are_a_subset_of_all_pairs(self, clone_vos):
+        pool = sorted(clone_vos.users())
+        index = BandedSketchIndex(clone_vos)
+        index_a, index_b = index.candidate_pairs(pool)
+        n = len(pool)
+        assert index_a.shape == index_b.shape
+        assert (index_a < index_b).all()
+        assert index_a.size == 0 or (0 <= index_a.min() and index_b.max() < n)
+        assert index_a.size < n * (n - 1) // 2
+        # No duplicates, lexicographic order.
+        keys = index_a * n + index_b
+        assert (np.diff(keys) > 0).all()
+
+    def test_clone_pairs_are_proposed_and_ranked_identically(self, clone_vos):
+        index = BandedSketchIndex(clone_vos)
+        exact = top_k_similar_pairs(clone_vos, k=50)
+        lsh = top_k_similar_pairs(clone_vos, k=50, candidates="lsh", index=index)
+        assert [(p.user_a, p.user_b, p.jaccard) for p in exact] == [
+            (p.user_a, p.user_b, p.jaccard) for p in lsh
+        ]
+
+    def test_candidates_deterministic_across_instances(self, clone_vos):
+        pool = sorted(clone_vos.users())
+        first = BandedSketchIndex(clone_vos).candidate_pairs(pool)
+        second = BandedSketchIndex(clone_vos).candidate_pairs(pool)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_seed_changes_the_auto_banding(self, clone_vos):
+        default_seed = BandedSketchIndex(clone_vos)
+        override = BandedSketchIndex(clone_vos, IndexConfig(seed=99))
+        assert default_seed.seed == clone_vos.seed
+        assert override.seed == 99
+
+    def test_pool_subset_restricts_ordinals(self, clone_vos):
+        pool = sorted(clone_vos.users())[:40]
+        index = BandedSketchIndex(clone_vos)
+        index_a, index_b = index.candidate_pairs(pool)
+        assert index_a.size == 0 or index_b.max() < len(pool)
+
+    def test_unknown_pool_user_raises(self, clone_vos):
+        index = BandedSketchIndex(clone_vos)
+        with pytest.raises(UnknownUserError):
+            index.candidate_pairs([0, 1, 10**9])
+
+    def test_max_bucket_skips_overfull_buckets(self, clone_vos):
+        pool = sorted(clone_vos.users())
+        capped = BandedSketchIndex(clone_vos, IndexConfig(max_bucket=1))
+        index_a, _ = capped.candidate_pairs(pool)
+        assert index_a.size == 0
+
+    def test_multi_word_bands_still_find_clones(self, clone_vos):
+        index = BandedSketchIndex(clone_vos, IndexConfig(rows_per_band=2))
+        pool = sorted(clone_vos.users())
+        index_a, index_b = index.candidate_pairs(pool)
+        proposed = set(zip(index_a.tolist(), index_b.tolist()))
+        clone_hits = sum(
+            1 for a in range(0, len(pool), 2) if (a, a + 1) in proposed
+        )
+        assert clone_hits >= 0.9 * (len(pool) // 2)
+
+    def test_fixed_band_count_is_respected(self, clone_vos):
+        index = BandedSketchIndex(clone_vos, IndexConfig(bands=4))
+        index.refresh()
+        assert index.bands == 4
+        assert index.stats()["auto_bands"] is False
+
+
+class TestIncrementalMaintenance:
+    def _loaded_index(self):
+        vos = VirtualOddSketch(
+            shared_array_bits=1 << 20, virtual_sketch_size=1024, seed=5
+        )
+        vos.process_batch(clone_pool_elements(num_users=100, seed=5))
+        index = BandedSketchIndex(vos, IndexConfig(bands=16))
+        index.refresh()
+        return vos, index
+
+    def test_refresh_is_a_noop_when_nothing_changed(self):
+        _, index = self._loaded_index()
+        before = index.stats()
+        index.refresh()
+        after = index.stats()
+        assert after["rebuilds"] == before["rebuilds"]
+        assert after["incremental_updates"] == before["incremental_updates"]
+
+    def test_ingest_triggers_rebuild_on_demand(self):
+        vos, index = self._loaded_index()
+        before = index.stats()["rebuilds"]
+        vos.process(StreamElement(1, 424242, Action.INSERT))
+        index.refresh()
+        assert index.stats()["rebuilds"] == before + 1
+
+    def test_cancelling_batch_appends_new_users_incrementally(self):
+        vos = VirtualOddSketch(
+            shared_array_bits=1 << 16, virtual_sketch_size=1024, seed=5
+        )
+        index = BandedSketchIndex(vos, IndexConfig(bands=16))
+        index.refresh()
+        before = index.stats()
+        # Insert+delete of one item cancels inside xor_bulk: the array version
+        # does not move, yet two brand-new users appeared.
+        vos.process_batch(
+            [
+                StreamElement(7001, 1, Action.INSERT),
+                StreamElement(7001, 1, Action.DELETE),
+                StreamElement(7002, 2, Action.INSERT),
+                StreamElement(7002, 2, Action.DELETE),
+            ]
+        )
+        index.refresh()
+        after = index.stats()
+        assert after["rebuilds"] == before["rebuilds"]
+        assert after["incremental_updates"] == before["incremental_updates"] + 1
+        assert after["users_indexed"] == before["users_indexed"] + 2
+        # The array is untouched, so both users recover identical (all-zero)
+        # rows and must be co-candidates via the residual whole-row bucket.
+        index_a, index_b = index.candidate_pairs([7001, 7002])
+        assert (index_a.tolist(), index_b.tolist()) == ([0], [1])
+
+    def test_stats_report_signature_memory(self):
+        _, index = self._loaded_index()
+        stats = index.stats()
+        assert stats["signature_bytes"] > 0
+        assert stats["users_indexed"] == 100
+        assert stats["bands"] == 16
+
+
+class TestShardedIndex:
+    def test_cross_shard_clone_pairs_are_proposed(self, clone_sharded):
+        cross = [
+            (2 * i, 2 * i + 1)
+            for i in range(200)
+            if clone_sharded.shard_of(2 * i) != clone_sharded.shard_of(2 * i + 1)
+        ]
+        assert cross, "workload should produce cross-shard clone pairs"
+        pool = sorted(clone_sharded.users())
+        index = BandedSketchIndex(clone_sharded)
+        index_a, index_b = index.candidate_pairs(pool)
+        proposed = set(zip(index_a.tolist(), index_b.tolist()))
+        hits = sum(
+            1 for a, b in cross if (pool.index(a), pool.index(b)) in proposed
+        )
+        assert hits >= 0.9 * len(cross)
+
+    def test_sharded_search_matches_exact_ranking(self, clone_sharded):
+        exact = top_k_similar_pairs(clone_sharded, k=40)
+        lsh = top_k_similar_pairs(clone_sharded, k=40, candidates="lsh")
+        assert [(p.user_a, p.user_b, p.jaccard) for p in exact] == [
+            (p.user_a, p.user_b, p.jaccard) for p in lsh
+        ]
+
+    def test_one_signature_table_per_shard(self, clone_sharded):
+        index = BandedSketchIndex(clone_sharded)
+        index.refresh()
+        stats = index.stats()
+        assert stats["shards"] == 4
+        assert stats["users_indexed"] == len(clone_sharded.users())
+
+
+class TestSearchIntegration:
+    def test_invalid_candidates_mode_raises(self, clone_vos):
+        with pytest.raises(ConfigurationError):
+            top_k_similar_pairs(clone_vos, k=5, candidates="bogus")
+        # Validated eagerly: a typo fails even on a pool too small to search.
+        with pytest.raises(ConfigurationError):
+            top_k_similar_pairs(clone_vos, k=5, candidates="bogus", users=[])
+        with pytest.raises(ConfigurationError):
+            pairs_above_threshold(clone_vos, 0.5, candidates="bogus", users=[])
+
+    def test_pairs_above_threshold_lsh_subset_of_exhaustive(self, clone_vos):
+        exhaustive = pairs_above_threshold(clone_vos, 0.8)
+        lsh = pairs_above_threshold(clone_vos, 0.8, candidates="lsh")
+        exhaustive_keys = {(p.user_a, p.user_b) for p in exhaustive}
+        lsh_keys = {(p.user_a, p.user_b) for p in lsh}
+        assert lsh_keys <= exhaustive_keys
+        assert len(lsh_keys) >= 0.95 * len(exhaustive_keys)
+
+    def test_nearest_neighbours_with_index_finds_clone(self, clone_vos):
+        index = BandedSketchIndex(clone_vos)
+        results = nearest_neighbours(clone_vos, 0, k=3, index=index)
+        assert results and results[0].user_b == 1
+
+    def test_neighbour_candidates_subset_and_excludes_target(self, clone_vos):
+        index = BandedSketchIndex(clone_vos)
+        pool = sorted(clone_vos.users())
+        neighbours = index.neighbour_candidates(0, pool)
+        assert 0 not in neighbours
+        assert set(neighbours) <= set(pool)
+        assert 1 in neighbours
+
+
+class TestServiceIntegration:
+    @pytest.fixture()
+    def service(self):
+        # Provisioned with headroom (2000 expected users, 200 ingested) so the
+        # shared arrays stay sparse enough for high banding recall.
+        config = ServiceConfig(
+            expected_users=2000, baseline_registers=64, num_shards=2, seed=9
+        )
+        service = SimilarityService.from_config(config)
+        service.ingest(clone_pool_elements(num_users=200, items_per_user=60, seed=9))
+        return service
+
+    def test_index_config_flows_from_service_config(self, service):
+        index = service.index()
+        assert index.config == IndexConfig()
+        assert index.seed == 9  # inherited from ServiceConfig.seed via the sketch
+
+    def test_stats_expose_index_counters_after_lsh_query(self, service):
+        assert service.stats()["index"] is None
+        service.top_k_pairs(k=5, candidates="lsh")
+        index_stats = service.stats()["index"]
+        assert index_stats is not None
+        assert index_stats["last_candidate_pairs"] is not None
+        assert index_stats["signature_bytes"] > 0
+
+    def test_lsh_top_k_pairs_matches_exhaustive(self, service):
+        exact = service.top_k_pairs(k=20)
+        lsh = service.top_k_pairs(k=20, candidates="lsh")
+        assert [(p.user_a, p.user_b) for p in lsh] == [
+            (p.user_a, p.user_b) for p in exact
+        ]
+
+    def test_pairs_above_and_lsh_topk_user(self, service):
+        screened = service.pairs_above(0.9, candidates="lsh")
+        assert {(p.user_a, p.user_b) for p in screened} >= {
+            (2 * i, 2 * i + 1) for i in range(5)
+        }
+        neighbours = service.top_k(0, k=1, index="lsh")
+        assert neighbours and neighbours[0].user_b == 1
+        with pytest.raises(ConfigurationError):
+            service.top_k(0, index="bogus")
+
+    def test_index_survives_snapshot_round_trip(self, service, tmp_path):
+        path = tmp_path / "state.vos"
+        before = service.top_k_pairs(k=10, candidates="lsh")
+        service.save(path)
+        restored = SimilarityService.load(path)
+        after = restored.top_k_pairs(k=10, candidates="lsh")
+        assert [(p.user_a, p.user_b, p.jaccard) for p in before] == [
+            (p.user_a, p.user_b, p.jaccard) for p in after
+        ]
+
+
+class TestIdenticalRowsGuarantee:
+    def test_identical_rows_always_co_candidates(self):
+        """Users whose packed rows are equal share every band, hence a bucket.
+
+        A huge array over a 10-user population makes cross-contamination so
+        unlikely that the clone pairs recover literally identical rows.
+        """
+        vos = VirtualOddSketch(
+            shared_array_bits=1 << 24, virtual_sketch_size=1024, seed=2
+        )
+        vos.process_batch(clone_pool_elements(num_users=10, seed=2))
+        pool = sorted(vos.users())
+        rows = vos.packed_rows(pool)
+        identical = [
+            (i, i + 1)
+            for i in range(0, len(pool), 2)
+            if np.array_equal(rows[i], rows[i + 1])
+        ]
+        assert identical, "a near-empty array should leave clone rows identical"
+        for config in (
+            IndexConfig(),
+            IndexConfig(bands=3, seed=123),
+            IndexConfig(rows_per_band=4, seed=7),
+            IndexConfig(min_band_bits=1),
+            IndexConfig(bands=16, min_band_bits=5, seed=42),
+        ):
+            index = BandedSketchIndex(vos, config)
+            index_a, index_b = index.candidate_pairs(pool)
+            proposed = set(zip(index_a.tolist(), index_b.tolist()))
+            for i, j in identical:
+                assert (i, j) in proposed, (config, i, j)

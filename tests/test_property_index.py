@@ -1,0 +1,159 @@
+"""Property-based tests for the LSH banding candidate index.
+
+Two invariants the rest of the system leans on:
+
+* the proposed candidate set is always a *subset* of the pool's ``i < j``
+  pairs (the index can only prune work, never invent or duplicate it), and
+* users whose recovered packed rows are identical are always co-candidates,
+  whatever the band count, band width, set-bit floor or seed — identical rows
+  agree on every band, and when no band reaches the floor they share the
+  residual whole-row bucket.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.vos import VirtualOddSketch
+from repro.index import BandedSketchIndex, IndexConfig
+from repro.similarity.search import pairs_above_threshold
+from repro.streams.edge import Action, StreamElement
+
+element_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=400),
+        st.booleans(),
+    ),
+    max_size=150,
+)
+
+# (rows_per_band, bands) choices; 0 bands means auto-tune.  Kept within the
+# 4..8 words the small test sketches provide.
+layouts = st.tuples(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=2))
+
+
+@given(
+    elements=element_lists,
+    layout=layouts,
+    seed=st.integers(min_value=0, max_value=1000),
+    min_bits=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_candidates_are_subset_of_pool_pairs(elements, layout, seed, min_bits):
+    rows_per_band, bands = layout
+    sketch = VirtualOddSketch(
+        shared_array_bits=1 << 14, virtual_sketch_size=512, seed=seed % 7
+    )
+    for user, item, insert in elements:
+        sketch.process(
+            StreamElement(user, item, Action.INSERT if insert else Action.DELETE)
+        )
+    pool = sorted(sketch.users())
+    index = BandedSketchIndex(
+        sketch,
+        IndexConfig(
+            bands=bands, rows_per_band=rows_per_band, seed=seed, min_band_bits=min_bits
+        ),
+    )
+    index_a, index_b = index.candidate_pairs(pool)
+    proposed = set(zip(index_a.tolist(), index_b.tolist()))
+    assert len(proposed) == index_a.shape[0], "no duplicate pairs"
+    all_pairs = set(combinations(range(len(pool)), 2))
+    assert proposed <= all_pairs
+
+
+@given(
+    items=st.sets(st.integers(min_value=0, max_value=10**6), max_size=60),
+    layout=layouts,
+    seed=st.integers(min_value=0, max_value=1000),
+    min_bits=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_identical_sketch_users_always_co_candidates(items, layout, seed, min_bits):
+    """Equal recovered rows => co-candidates, for every layout and seed."""
+    rows_per_band, bands = layout
+    sketch = VirtualOddSketch(
+        shared_array_bits=1 << 20, virtual_sketch_size=256, seed=3
+    )
+    sketch.process_batch(
+        [
+            StreamElement(user, item, Action.INSERT)
+            for user in (1, 2)
+            for item in items
+        ]
+    )
+    if not items:
+        # Users the sketch never saw cannot be indexed; seed two empty rows by
+        # inserting and deleting one item instead.
+        for user in (1, 2):
+            sketch.process(StreamElement(user, 9, Action.INSERT))
+            sketch.process(StreamElement(user, 9, Action.DELETE))
+    rows = sketch.packed_rows([1, 2])
+    # The huge array makes cross-contamination rare; skip the cases where the
+    # two users' reads happen to collide with each other's writes.
+    assume(np.array_equal(rows[0], rows[1]))
+    index = BandedSketchIndex(
+        sketch,
+        IndexConfig(
+            bands=min(bands, 4 // rows_per_band),
+            rows_per_band=rows_per_band,
+            seed=seed,
+            min_band_bits=min_bits,
+        ),
+    )
+    index_a, index_b = index.candidate_pairs([1, 2])
+    assert (index_a.tolist(), index_b.tolist()) == ([0], [1])
+
+
+@given(
+    items=st.sets(
+        st.integers(min_value=0, max_value=10**6), min_size=1, max_size=40
+    ),
+    layout=layouts,
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_fully_cancelled_users_are_co_candidates(items, layout, seed):
+    """Unsubscribe-everything users leave identical all-zero rows: residual bucket."""
+    rows_per_band, bands = layout
+    sketch = VirtualOddSketch(
+        shared_array_bits=1 << 14, virtual_sketch_size=256, seed=seed % 13
+    )
+    for user in (5, 6):
+        for item in items:
+            sketch.process(StreamElement(user, item, Action.INSERT))
+        for item in items:
+            sketch.process(StreamElement(user, item, Action.DELETE))
+    assert sketch.shared_array.ones_count == 0
+    index = BandedSketchIndex(
+        sketch,
+        IndexConfig(
+            bands=min(bands, 4 // rows_per_band), rows_per_band=rows_per_band, seed=seed
+        ),
+    )
+    index_a, index_b = index.candidate_pairs([5, 6])
+    assert (index_a.tolist(), index_b.tolist()) == ([0], [1])
+
+
+@given(elements=element_lists, seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_lsh_screening_is_subset_of_exhaustive_screening(elements, seed):
+    sketch = VirtualOddSketch(
+        shared_array_bits=1 << 14, virtual_sketch_size=512, seed=seed
+    )
+    for user, item, insert in elements:
+        sketch.process(
+            StreamElement(user, item, Action.INSERT if insert else Action.DELETE)
+        )
+    if len(sketch.users()) < 2:
+        return
+    exhaustive = pairs_above_threshold(sketch, 0.3)
+    lsh = pairs_above_threshold(sketch, 0.3, candidates="lsh")
+    exhaustive_keys = {(p.user_a, p.user_b) for p in exhaustive}
+    lsh_keys = {(p.user_a, p.user_b) for p in lsh}
+    assert lsh_keys <= exhaustive_keys

@@ -373,3 +373,63 @@ class TestSketchRowCache:
         info = sketch.sketch_cache_info()
         assert info["misses"] == len(users)
         assert info["capacity"] == 4 * 1024
+
+    def test_cache_invalidated_by_pure_deletion_batch(self, small_dynamic_stream_module):
+        """The xor_bulk delete path must bump the mutation version like inserts do."""
+        extra_items = (987654, 987655, 987656)
+        sketch = self._loaded(small_dynamic_stream_module)
+        users = _candidates(sketch)[:10]
+        inserts = [StreamElement(users[0], item, Action.INSERT) for item in extra_items]
+        sketch.process_batch(inserts)
+        pairs = list(combinations(users, 2))
+        columns = ([a for a, _ in pairs], [b for _, b in pairs])
+        sketch.estimate_jaccard_many(*columns)
+        assert sketch.sketch_cache_info()["entries"] == len(users)
+        version_before = sketch.shared_array.version
+        deletions = [
+            StreamElement(users[0], item, Action.DELETE) for item in extra_items
+        ]
+        sketch.process_batch(deletions)
+        assert sketch.shared_array.version > version_before
+        fresh = sketch.estimate_jaccard_many(*columns)
+        uncached = VirtualOddSketch.from_budget(BUDGET, seed=11, sketch_cache_size=0)
+        uncached.process_batch(small_dynamic_stream_module)
+        uncached.process_batch(inserts)
+        uncached.process_batch(deletions)
+        assert np.array_equal(fresh, uncached.estimate_jaccard_many(*columns))
+
+    def test_cancelling_deletion_batch_keeps_cached_rows_valid(
+        self, small_dynamic_stream_module
+    ):
+        """Insert+delete of the same item in one batch flips no bit: rows stay hot.
+
+        ``xor_bulk`` folds the two toggles modulo 2, flips nothing and leaves
+        the mutation version untouched — so the cached rows are still exactly
+        what an uncached gather would return, and the second query may serve
+        every row from the cache.
+        """
+        sketch = self._loaded(small_dynamic_stream_module)
+        users = _candidates(sketch)[:10]
+        pairs = list(combinations(users, 2))
+        columns = ([a for a, _ in pairs], [b for _, b in pairs])
+        sketch.estimate_jaccard_many(*columns)
+        hits_before = sketch.sketch_cache_info()["hits"]
+        version_before = sketch.shared_array.version
+        sketch.process_batch(
+            [
+                StreamElement(users[0], 31337, Action.INSERT),
+                StreamElement(users[0], 31337, Action.DELETE),
+            ]
+        )
+        assert sketch.shared_array.version == version_before
+        fresh = sketch.estimate_jaccard_many(*columns)
+        assert sketch.sketch_cache_info()["hits"] == hits_before + len(users)
+        uncached = VirtualOddSketch.from_budget(BUDGET, seed=11, sketch_cache_size=0)
+        uncached.process_batch(small_dynamic_stream_module)
+        uncached.process_batch(
+            [
+                StreamElement(users[0], 31337, Action.INSERT),
+                StreamElement(users[0], 31337, Action.DELETE),
+            ]
+        )
+        assert np.array_equal(fresh, uncached.estimate_jaccard_many(*columns))
