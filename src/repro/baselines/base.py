@@ -130,6 +130,11 @@ class SimilaritySketch(abc.ABC):
 
     def __init__(self) -> None:
         self._cardinalities: dict[UserId, int] = {}
+        # Users whose counter changed since the last persist — the counter
+        # analogue of the shared array's dirty-word bitmap.  Delta checkpoints
+        # read and clear it; sketches that are never persisted just accumulate
+        # a set no larger than their user population.
+        self._dirty_counters: set[UserId] = set()
 
     # -- stream consumption --------------------------------------------------------
 
@@ -142,6 +147,7 @@ class SimilaritySketch(abc.ABC):
         else:
             self._cardinalities[user] = max(0, self._cardinalities.get(user, 0) - 1)
             self._process_deletion(element)
+        self._dirty_counters.add(user)
 
     def process_stream(self, elements: Iterable[StreamElement]) -> None:
         """Consume every element of an iterable (convenience wrapper)."""
@@ -205,6 +211,7 @@ class SimilaritySketch(abc.ABC):
             finals[index] = value
         for user, value in zip(users_list, finals.tolist()):
             self._cardinalities[user] = value
+        self._dirty_counters.update(users_list)
 
     @abc.abstractmethod
     def _process_insertion(self, element: StreamElement) -> None:
@@ -229,6 +236,14 @@ class SimilaritySketch(abc.ABC):
     def users(self) -> set[UserId]:
         """All users ever observed."""
         return set(self._cardinalities)
+
+    def dirty_counter_users(self) -> set[UserId]:
+        """Users whose cardinality counter changed since the last persist."""
+        return set(self._dirty_counters)
+
+    def clear_dirty_counters(self) -> None:
+        """Mark every counter clean (their state has just been persisted)."""
+        self._dirty_counters.clear()
 
     @abc.abstractmethod
     def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:

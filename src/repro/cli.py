@@ -19,6 +19,10 @@ Service commands (the :mod:`repro.service` subsystem)::
     repro pairs --snapshot state.vos -k 10 --prefilter 0.2 --index lsh
     repro index build --snapshot state.vos
     repro index stats --snapshot state.vos
+    repro snapshot save --snapshot state.vos --stream more.vosstream --with-index
+    repro snapshot delta --snapshot state.vos --stream more.vosstream
+    repro snapshot compact --snapshot state.vos
+    repro snapshot info --snapshot state.vos
     repro shards --shard-counts 1 2 4 8 --scale 0.2
 
 ``ingest`` reads a stream file — the plain-text format (``<action> <user>
@@ -35,6 +39,15 @@ flow from the snapshot's sketch seed, so results are reproducible across runs;
 ``index build`` / ``index stats`` report the banding layout, signature memory
 and candidate-reduction numbers for a snapshot; ``shards`` measures the
 cross-shard estimator's accuracy against single-array VOS across shard counts.
+
+The ``snapshot`` sub-commands drive the incremental persistence layer:
+``save`` loads a snapshot (replaying its journal), optionally ingests another
+stream, and rewrites a full checkpoint (``--with-index`` also persists the
+banding index's signature tables, making the next restart's first ``lsh``
+query O(1)); ``delta`` ingests a stream and appends only the changed array
+words and counters to the write-ahead journal instead of rewriting the
+snapshot; ``compact`` folds the journal back into a fresh full checkpoint;
+``info`` describes a snapshot file and its journal without restoring state.
 
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
@@ -62,6 +75,8 @@ from repro.evaluation.runtime import RuntimeExperiment
 from repro.exceptions import DatasetError, ReproError
 from repro.index import IndexConfig
 from repro.service import ServiceConfig, SimilarityService
+from repro.service.journal import default_journal_path, journal_info
+from repro.service.snapshot import snapshot_info
 from repro.similarity.engine import build_sketch
 from repro.similarity.pairs import top_cardinality_users
 from repro.similarity.search import top_k_similar_pairs
@@ -435,12 +450,136 @@ def _cmd_index_stats(args: argparse.Namespace) -> int:
         ["signature KiB", round(stats["signature_bytes"] / 1024, 1)],
         ["rebuilds", stats["rebuilds"]],
         ["incremental updates", stats["incremental_updates"]],
+        ["restored", stats["restored"]],
     ]
     headers = ["field", "value"]
     print(
         f"# LSH banding proposes {int(index_a.shape[0])} of "
         f"{stats['last_pool_pairs']} pairs"
     )
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _load_snapshot_service(args: argparse.Namespace) -> SimilarityService:
+    """Load a snapshot (replaying its journal) for the ``snapshot`` commands."""
+    return SimilarityService.load(args.snapshot)
+
+
+def _ingest_stream_file(service: SimilarityService, args: argparse.Namespace) -> int:
+    """Ingest ``--stream`` (if given) through the chunked columnar reader."""
+    if getattr(args, "stream", None) is None:
+        return 0
+    report = service.ingest(
+        iter_stream_batches(args.stream, format=getattr(args, "format", "auto"))
+    )
+    return report.elements
+
+
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    """Full checkpoint: replay journal, optionally ingest, rewrite the snapshot."""
+    try:
+        service = _load_snapshot_service(args)
+        elements = _ingest_stream_file(service, args)
+        # include_index=True builds or refreshes through export_state(): a
+        # restored index stays adopted, only stale tables are recomputed.
+        checkpoint_id = service.save(include_index=True if args.with_index else None)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    info = snapshot_info(args.snapshot)
+    rows = [
+        ["snapshot", str(args.snapshot)],
+        ["elements ingested", elements],
+        ["checkpoint id", checkpoint_id],
+        ["file bytes", info["file_bytes"]],
+        ["sections", len(info["sections"])],
+        ["index persisted", "index/banding" in info["extra_sections"]],
+        ["users", len(service.sketch.users())],
+    ]
+    headers = ["field", "value"]
+    print(f"# wrote full checkpoint {checkpoint_id} (journal reset)")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_snapshot_delta(args: argparse.Namespace) -> int:
+    """Delta checkpoint: ingest a stream, append only the changes to the journal."""
+    try:
+        service = _load_snapshot_service(args)
+        elements = _ingest_stream_file(service, args)
+        delta = service.save_delta()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    full_bytes = Path(args.snapshot).stat().st_size
+    rows = [
+        ["snapshot", str(args.snapshot)],
+        ["elements ingested", elements],
+        ["delta records", delta["records"]],
+        ["delta bytes", delta["bytes"]],
+        ["journal bytes", delta["journal_bytes"]],
+        ["full snapshot bytes", full_bytes],
+        ["delta / full", round(delta["bytes"] / full_bytes, 6) if full_bytes else ""],
+    ]
+    headers = ["field", "value"]
+    print(f"# appended {delta['records']} delta record(s) to the journal")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_snapshot_compact(args: argparse.Namespace) -> int:
+    """Fold the journal into a fresh full checkpoint and reset it."""
+    try:
+        service = _load_snapshot_service(args)
+        checkpoint_id = service.compact()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        ["snapshot", str(args.snapshot)],
+        ["checkpoint id", checkpoint_id],
+        ["file bytes", Path(args.snapshot).stat().st_size],
+        ["journal bytes", 0],
+    ]
+    headers = ["field", "value"]
+    print(f"# compacted journal into full checkpoint {checkpoint_id}")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_snapshot_info(args: argparse.Namespace) -> int:
+    """Describe a snapshot file and its journal without restoring state."""
+    try:
+        info = snapshot_info(args.snapshot)
+        journal_path = default_journal_path(args.snapshot)
+        journal = journal_info(journal_path) if journal_path.exists() else None
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        ["snapshot", info["path"]],
+        ["format version", info["format_version"]],
+        ["kind", info["kind"]],
+        ["checkpoint id", info["checkpoint_id"]],
+        ["shards", info["num_shards"]],
+        ["seed", info["seed"]],
+        ["file bytes", info["file_bytes"]],
+        ["sections", len(info["sections"])],
+        ["extra sections", ", ".join(info["extra_sections"]) or "none"],
+        ["extra bytes", info["extra_bytes"]],
+    ]
+    if journal is None:
+        rows.append(["journal", "none"])
+    else:
+        rows += [
+            ["journal", journal["path"]],
+            ["journal records", journal["records"]],
+            ["journal bytes", journal["file_bytes"]],
+            ["journal matches", journal["checkpoint_id"] == info["checkpoint_id"]],
+        ]
+    headers = ["field", "value"]
+    print(f"# snapshot format v{info['format_version']} ({info['kind']})")
     print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
     return 0
 
@@ -670,6 +809,43 @@ def build_parser() -> argparse.ArgumentParser:
         sub = index_subparsers.add_parser(name, help=description)
         sub.add_argument("--snapshot", required=True, help="snapshot to index")
         _add_index_options(sub)
+        sub.add_argument("--csv", action="store_true")
+        sub.set_defaults(handler=handler)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="incremental persistence: full/delta checkpoints and compaction"
+    )
+    snapshot_subparsers = snapshot_parser.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    for name, handler, description, takes_stream in (
+        ("save", _cmd_snapshot_save, "rewrite a full checkpoint (resets the journal)", True),
+        ("delta", _cmd_snapshot_delta, "append changed words/counters to the journal", True),
+        ("compact", _cmd_snapshot_compact, "fold the journal into a fresh full checkpoint", False),
+        ("info", _cmd_snapshot_info, "describe a snapshot file and its journal", False),
+    ):
+        sub = snapshot_subparsers.add_parser(name, help=description)
+        sub.add_argument("--snapshot", required=True, help="snapshot file to operate on")
+        if takes_stream:
+            sub.add_argument(
+                "--stream",
+                default=None,
+                required=(name == "delta"),
+                help="stream file to ingest first (chunked columnar reader)",
+            )
+            sub.add_argument(
+                "--format",
+                choices=("auto", "text", "binary"),
+                default="auto",
+                help="stream file format (auto detects via magic bytes)",
+            )
+        if name == "save":
+            sub.add_argument(
+                "--with-index",
+                action="store_true",
+                help="build the LSH banding index and persist its signature "
+                "tables inside the snapshot (O(1) restart to first lsh query)",
+            )
         sub.add_argument("--csv", action="store_true")
         sub.set_defaults(handler=handler)
 

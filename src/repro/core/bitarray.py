@@ -87,6 +87,39 @@ class SharedBitArray:
         """
         return self._bits.xor_bulk(positions)
 
+    # -- incremental persistence ------------------------------------------------------
+    #
+    # Delta checkpoints ship only the 64-bit words mutated since the last
+    # persist instead of rewriting all ``m`` bits.  The dirty bitmap lives in
+    # the backing PackedBitArray and piggybacks on the same mutation paths
+    # that bump :attr:`version`.
+
+    @property
+    def num_words(self) -> int:
+        """Number of 64-bit words covering the array (``ceil(m / 64)``)."""
+        return self._bits.num_words
+
+    @property
+    def dirty_word_count(self) -> int:
+        """Words mutated since the last :meth:`clear_dirty`."""
+        return self._bits.dirty_word_count
+
+    def dirty_words(self) -> "np.ndarray":
+        """Sorted indices of the words mutated since the last :meth:`clear_dirty`."""
+        return self._bits.dirty_words()
+
+    def packed_words(self, word_indices) -> bytes:
+        """Packed bytes (8 per word) of the listed 64-bit words."""
+        return self._bits.packed_words(word_indices)
+
+    def apply_packed_words(self, word_indices, data: bytes) -> None:
+        """Overwrite the listed words from :meth:`packed_words` bytes (delta replay)."""
+        self._bits.apply_packed_words(word_indices, data)
+
+    def clear_dirty(self) -> None:
+        """Mark the array clean (its state has just been persisted)."""
+        self._bits.clear_dirty()
+
     def to_packed_bytes(self) -> bytes:
         """Serialize the array 8 bits per byte (used by snapshots)."""
         return self._bits.to_packed_bytes()

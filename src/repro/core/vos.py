@@ -541,6 +541,25 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
             self.cardinality(user_b),
         )
 
+    # -- incremental persistence -----------------------------------------------------------------
+
+    def clear_dirty(self) -> None:
+        """Mark the shared array's words and the counters clean (just persisted).
+
+        Full and delta checkpoints call this after writing, so the dirty
+        trackers always describe exactly the state mutated since the last
+        durable record.
+        """
+        self._array.clear_dirty()
+        self.clear_dirty_counters()
+
+    def dirty_info(self) -> dict[str, int]:
+        """Pending un-persisted state: mutated 64-bit words and counters."""
+        return {
+            "dirty_words": self._array.dirty_word_count,
+            "dirty_counters": len(self._dirty_counters),
+        }
+
     # -- accounting ------------------------------------------------------------------------------
 
     def memory_bits(self) -> int:

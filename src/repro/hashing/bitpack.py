@@ -42,7 +42,12 @@ class PackedBitArray:
     0.125
     """
 
-    __slots__ = ("_bits", "_ones", "_version")
+    __slots__ = ("_bits", "_ones", "_version", "_dirty_words")
+
+    #: Bits per dirty-tracking word.  Matches the ``uint64`` lanes of the
+    #: packed representation, so one dirty word maps to exactly 8 bytes of
+    #: :meth:`to_packed_bytes` output — the unit a delta checkpoint ships.
+    WORD_BITS = 64
 
     def __init__(self, size: int) -> None:
         if size <= 0:
@@ -50,6 +55,7 @@ class PackedBitArray:
         self._bits = np.zeros(size, dtype=np.uint8)
         self._ones = 0
         self._version = 0
+        self._dirty_words = np.zeros(self.num_words, dtype=bool)
 
     def __len__(self) -> int:
         return int(self._bits.shape[0])
@@ -82,6 +88,88 @@ class PackedBitArray:
         """
         return self._version
 
+    @property
+    def num_words(self) -> int:
+        """Number of 64-bit words covering the array (``ceil(size / 64)``)."""
+        return (len(self._bits) + self.WORD_BITS - 1) // self.WORD_BITS
+
+    @property
+    def dirty_word_count(self) -> int:
+        """Number of words mutated since the last :meth:`clear_dirty`."""
+        return int(np.count_nonzero(self._dirty_words))
+
+    def dirty_words(self) -> np.ndarray:
+        """Sorted indices of the words mutated since the last :meth:`clear_dirty`.
+
+        Together with :meth:`packed_words` this is the write set a delta
+        checkpoint records instead of rewriting the whole array; the bitmap
+        piggybacks on the same mutation paths that bump :attr:`version`.
+        """
+        return np.flatnonzero(self._dirty_words).astype(np.int64)
+
+    def clear_dirty(self) -> None:
+        """Mark the whole array clean (called after its state is persisted)."""
+        self._dirty_words[:] = False
+
+    def packed_words(self, word_indices) -> bytes:
+        """The packed bytes of the listed 64-bit words (8 bytes per word).
+
+        Word ``w`` covers bit positions ``[64w, 64w + 64)`` and serializes to
+        bytes ``[8w, 8w + 8)`` of :meth:`to_packed_bytes` output; positions
+        past the end of the array pack as zero pad bits, exactly as the full
+        serialization pads them.
+        """
+        words = np.asarray(word_indices, dtype=np.int64).ravel()
+        if words.size == 0:
+            return b""
+        if int(words.min()) < 0 or int(words.max()) >= self.num_words:
+            raise ConfigurationError(
+                f"word index out of range [0, {self.num_words}) in packed_words"
+            )
+        positions = words[:, None] * self.WORD_BITS + np.arange(self.WORD_BITS)
+        in_range = positions < len(self._bits)
+        bits = np.where(in_range, self._bits[np.minimum(positions, len(self._bits) - 1)], 0)
+        return np.packbits(bits.astype(np.uint8), axis=1).tobytes()
+
+    def apply_packed_words(self, word_indices, data: bytes) -> None:
+        """Overwrite the listed words from :meth:`packed_words` bytes.
+
+        This is the delta-replay primitive: the popcount is re-derived from
+        the before/after bits of the touched words, so ``beta`` stays exact,
+        and the words are marked dirty (replayed state has not itself been
+        persisted yet).
+        """
+        words = np.asarray(word_indices, dtype=np.int64).ravel()
+        if len(data) != words.size * 8:
+            raise ConfigurationError(
+                f"packed word payload holds {len(data)} bytes, "
+                f"expected {words.size * 8} for {words.size} words"
+            )
+        if words.size == 0:
+            return
+        if int(words.min()) < 0 or int(words.max()) >= self.num_words:
+            raise ConfigurationError(
+                f"word index out of range [0, {self.num_words}) in apply_packed_words"
+            )
+        if np.unique(words).size != words.size:
+            raise ConfigurationError("apply_packed_words requires distinct word indices")
+        fresh = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8).reshape(words.size, 8), axis=1
+        )
+        positions = words[:, None] * self.WORD_BITS + np.arange(self.WORD_BITS)
+        in_range = positions < len(self._bits)
+        if int(fresh[~in_range].sum()) != 0:
+            raise ConfigurationError(
+                "packed word payload sets pad bits past the end of the array"
+            )
+        flat_positions = positions[in_range]
+        flat_fresh = fresh[in_range]
+        before = int(self._bits[flat_positions].sum(dtype=np.int64))
+        self._bits[flat_positions] = flat_fresh
+        self._ones += int(flat_fresh.sum(dtype=np.int64)) - before
+        self._version += 1
+        self._dirty_words[words] = True
+
     def set(self, index: int, value: int) -> None:
         """Set bit ``index`` to ``value`` (0 or 1), updating the popcount."""
         value = 1 if value else 0
@@ -90,6 +178,7 @@ class PackedBitArray:
             self._bits[index] = value
             self._ones += value - old
             self._version += 1
+            self._dirty_words[index // self.WORD_BITS] = True
 
     def flip(self, index: int) -> int:
         """Xor bit ``index`` with 1 and return its new value."""
@@ -97,6 +186,7 @@ class PackedBitArray:
         self._bits[index] = new
         self._ones += 1 if new else -1
         self._version += 1
+        self._dirty_words[index // self.WORD_BITS] = True
         return new
 
     def xor_value(self, index: int, value: int) -> int:
@@ -144,6 +234,9 @@ class PackedBitArray:
         self._bits[odd] ^= 1
         self._ones += int(odd.size) - 2 * previously_set
         self._version += 1
+        # Fancy-index assignment tolerates duplicate word indices, so no
+        # dedup pass is needed on the per-batch hot path.
+        self._dirty_words[odd // self.WORD_BITS] = True
         return int(odd.size)
 
     def to_list(self) -> list[int]:
@@ -155,6 +248,7 @@ class PackedBitArray:
         self._bits[:] = 0
         self._ones = 0
         self._version += 1
+        self._dirty_words[:] = True
 
     def to_packed_bytes(self) -> bytes:
         """Serialize the bits 8-per-byte (``ceil(len/8)`` bytes, big-endian bit order)."""
@@ -175,6 +269,7 @@ class PackedBitArray:
         self._bits = bits
         self._ones = int(bits.sum(dtype=np.int64))
         self._version += 1
+        self._dirty_words[:] = True
 
     def memory_bits(self) -> int:
         """Memory this array accounts for under the paper's cost model (1 bit/position)."""

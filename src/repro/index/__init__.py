@@ -18,15 +18,26 @@ Wired through ``candidates="lsh"`` on the search functions, the
 """
 
 from repro.index.banding import (
+    INDEX_SNAPSHOT_SECTION,
     BandedSketchIndex,
     IndexConfig,
     alpha_at_threshold,
+    decode_index_state,
+    encode_index_state,
     required_bands,
 )
+
+# The ``index/banding`` snapshot extra section is registered by the service
+# layer (repro.service.service), which owns both this package and the
+# snapshot registry — importing repro.service.snapshot from here would close
+# an import cycle through repro.similarity.search.
 
 __all__ = [
     "BandedSketchIndex",
     "IndexConfig",
+    "INDEX_SNAPSHOT_SECTION",
     "alpha_at_threshold",
     "required_bands",
+    "encode_index_state",
+    "decode_index_state",
 ]

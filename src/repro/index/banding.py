@@ -43,16 +43,23 @@ sub-quadratic on sparse sketches:
 
 from __future__ import annotations
 
+import json
 import math
+import struct
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.vos import _bitwise_count, packed_row_bytes
-from repro.exceptions import ConfigurationError, UnknownUserError
+from repro.exceptions import ConfigurationError, SnapshotError, UnknownUserError
 from repro.hashing.universal import _MERSENNE_P, UniversalHash, _mix64_array, stable_hash64
+from repro.streams.batch import decode_id_column, encode_id_column
 from repro.streams.edge import UserId, user_sort_key
+
+#: Name under which the banding index persists its signature tables inside
+#: snapshot extra sections (registered in :mod:`repro.index`'s ``__init__``).
+INDEX_SNAPSHOT_SECTION = "index/banding"
 
 
 @dataclass(frozen=True)
@@ -386,6 +393,7 @@ class BandedSketchIndex:
         self._tuning_state: tuple | None = None
         self._rebuilds = 0
         self._incremental_updates = 0
+        self._restored = 0
         self._last_candidate_pairs: int | None = None
         self._last_pool_pairs: int | None = None
 
@@ -408,6 +416,11 @@ class BandedSketchIndex:
     def seed(self) -> int:
         """The resolved band seed (the sketch's seed unless overridden)."""
         return self._seed
+
+    @property
+    def is_built(self) -> bool:
+        """Whether signature tables exist (built, synced or restored)."""
+        return bool(self._shard_signatures)
 
     def _band_hashes(self, bands: int) -> list[UniversalHash]:
         return [
@@ -501,6 +514,155 @@ class BandedSketchIndex:
         self._shard_signatures = []
         self._tuning_state = None
         self.refresh()
+
+    # -- persistence ------------------------------------------------------------------
+    #
+    # The signature tables are the index's only state (band buckets are
+    # derived per query by sorting signatures), so persisting them inside a
+    # snapshot's ``index/banding`` extra section makes restart-to-first-query
+    # O(1): a restored table is marked fresh against its shard's current array
+    # version and ``sync()`` finds nothing to rebuild.
+
+    def export_state(self) -> dict:
+        """Capture the synced signature tables for snapshot persistence.
+
+        Returns a plain state dict (layout parameters plus per-shard users,
+        signatures and validity masks) that :func:`encode_index_state` turns
+        into section bytes.  The index is refreshed first, so the exported
+        tables always describe the sketch's current bits.
+        """
+        self.refresh()
+        return {
+            "bands": self._bands,
+            "rows_per_band": self._config.rows_per_band,
+            "min_band_bits": self._config.min_band_bits,
+            "seed": self._seed,
+            "shards": [
+                {
+                    "users": list(table.users),
+                    "signatures": table.signatures,
+                    "valid": table.valid,
+                }
+                for table in self._shard_signatures
+            ],
+        }
+
+    def restore_state(self, state: dict, *, stale_shards: Sequence[int] = ()) -> bool:
+        """Reinstate signature tables captured by :meth:`export_state`.
+
+        Tables are restored only when the persisted layout matches this
+        index's configuration (band count unless auto-tuned, band width,
+        set-bit floor, seed) and the sketch's shard count; on any mismatch
+        the method returns ``False`` and the index simply rebuilds on demand.
+        Shards listed in ``stale_shards`` (journal replay changed their array
+        words, so their persisted signatures no longer describe the bits) are
+        restored structurally but marked dirty, so their next query rebuilds
+        just those tables.  Returns ``True`` when the tables were adopted.
+        """
+        bands = state["bands"]
+        if self._config.bands and self._config.bands != bands:
+            return False
+        if (
+            state["rows_per_band"] != self._config.rows_per_band
+            or state["min_band_bits"] != self._config.min_band_bits
+            or state["seed"] != self._seed
+            or bands * self._config.rows_per_band > self._row_words
+        ):
+            return False
+        shards = self._sketch.row_shards()
+        if len(state["shards"]) != len(shards):
+            return False
+        stale = set(stale_shards)
+        hashes = self._band_hashes(bands)
+        residual = UniversalHash(
+            range_size=_MERSENNE_P,
+            seed=stable_hash64(("index-residual", self._seed)),
+        )
+        tables: list[_ShardSignatures] = []
+        columns = bands + 1
+        for index, (shard, entry) in enumerate(zip(shards, state["shards"])):
+            table = _ShardSignatures(
+                shard,
+                hashes,
+                residual,
+                self._config.rows_per_band,
+                self._config.min_band_bits,
+            )
+            users = list(entry["users"])
+            signatures = np.asarray(entry["signatures"], dtype=np.uint64)
+            valid = np.asarray(entry["valid"], dtype=bool)
+            if signatures.shape != (len(users), columns) or valid.shape != signatures.shape:
+                return False
+            table.users = users
+            table.ordinal = {user: row for row, user in enumerate(users)}
+            table.signatures = signatures
+            table.valid = valid
+            # A fresh version pins the table to the restored bits; stale
+            # shards keep version None so their next sync() rebuilds.
+            table._version = None if index in stale else shard.shared_array.version
+            tables.append(table)
+        self._bands = bands
+        self._shard_signatures = tables
+        self._tuning_state = tuple(
+            (shard.shared_array.version, len(shard.users())) for shard in shards
+        )
+        self._restored += len(tables) - len(stale & set(range(len(tables))))
+        return True
+
+    def export_append(self, shard_index: int, users: Sequence[UserId]) -> dict | None:
+        """Signature rows for ``users`` of one shard, for journal delta records.
+
+        Used when a delta checkpoint finds new users on a shard whose array
+        words did not change (batches whose toggles cancelled exactly): the
+        journal ships these rows so a restart can extend the restored table
+        without recomputing anything.  Returns ``None`` when the index holds
+        no table for the shard or any listed user is missing from it.
+        """
+        if not self._shard_signatures or shard_index >= len(self._shard_signatures):
+            return None
+        self.refresh()
+        table = self._shard_signatures[shard_index]
+        try:
+            rows = np.fromiter(
+                (table.ordinal[user] for user in users),
+                dtype=np.int64,
+                count=len(users),
+            )
+        except KeyError:
+            return None
+        return {
+            "users": list(users),
+            "signatures": table.signatures[rows],
+            "valid": table.valid[rows],
+        }
+
+    def apply_append(
+        self, shard_index: int, users: Sequence[UserId], signatures, valid
+    ) -> None:
+        """Extend one restored shard table with journaled signature rows.
+
+        Users already present are skipped (replaying the same journal twice is
+        idempotent); the table's freshness version is left untouched, so an
+        appended table stays fresh exactly when it was fresh before.
+        """
+        if not self._shard_signatures or shard_index >= len(self._shard_signatures):
+            return
+        table = self._shard_signatures[shard_index]
+        signatures = np.asarray(signatures, dtype=np.uint64)
+        valid = np.asarray(valid, dtype=bool)
+        if signatures.ndim != 2 or signatures.shape[1] != table.signatures.shape[1]:
+            return  # rows recorded under a different band layout: rebuild instead
+        fresh_rows = [
+            row for row, user in enumerate(users) if user not in table.ordinal
+        ]
+        if not fresh_rows:
+            return
+        base = len(table.users)
+        for offset, row in enumerate(fresh_rows):
+            table.users.append(users[row])
+            table.ordinal[users[row]] = base + offset
+        table.signatures = np.concatenate([table.signatures, signatures[fresh_rows]])
+        table.valid = np.concatenate([table.valid, valid[fresh_rows]])
 
     # -- queries ----------------------------------------------------------------------
 
@@ -620,7 +782,115 @@ class BandedSketchIndex:
             ),
             "rebuilds": self._rebuilds,
             "incremental_updates": self._incremental_updates,
+            "restored": self._restored,
             "last_candidate_pairs": self._last_candidate_pairs,
             "last_pool_pairs": self._last_pool_pairs,
             "last_candidate_fraction": fraction,
         }
+
+
+# -- snapshot section codec -----------------------------------------------------------
+#
+# Binary layout of the ``index/banding`` snapshot extra section::
+#
+#     u32 header length | header JSON | per-shard payloads
+#
+# The header records the band layout and, per shard, the row count and the
+# byte lengths/encodings of its three payloads: the user column (raw int64 or
+# a UTF-8 JSON array — the same id-column scheme as ``.vosstream``), the
+# signature matrix (row-major little-endian uint64, ``bands + 1`` columns) and
+# the validity mask (``np.packbits`` of the flattened boolean matrix).  The
+# snapshot's payload CRC already covers these bytes, so the codec validates
+# structure only.
+
+
+def encode_index_state(state: dict) -> bytes:
+    """Serialize an :meth:`BandedSketchIndex.export_state` dict to section bytes."""
+    shard_entries: list[dict] = []
+    payloads: list[bytes] = []
+    for entry in state["shards"]:
+        users = list(entry["users"])
+        signatures = np.ascontiguousarray(entry["signatures"], dtype=np.uint64)
+        valid = np.asarray(entry["valid"], dtype=bool)
+        users_blob, users_encoding = encode_id_column(users)
+        signatures_blob = signatures.astype("<u8").tobytes()
+        valid_blob = np.packbits(valid.ravel()).tobytes()
+        shard_entries.append(
+            {
+                "rows": len(users),
+                "users_encoding": users_encoding,
+                "users_bytes": len(users_blob),
+                "signatures_bytes": len(signatures_blob),
+                "valid_bytes": len(valid_blob),
+            }
+        )
+        payloads.extend((users_blob, signatures_blob, valid_blob))
+    header = {
+        "bands": state["bands"],
+        "rows_per_band": state["rows_per_band"],
+        "min_band_bits": state["min_band_bits"],
+        "seed": state["seed"],
+        "shards": shard_entries,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return struct.pack("<I", len(header_bytes)) + header_bytes + b"".join(payloads)
+
+
+def decode_index_state(data: bytes) -> dict:
+    """Inverse of :func:`encode_index_state`; raises :class:`SnapshotError` on damage."""
+    if len(data) < 4:
+        raise SnapshotError("index section is truncated (no header)")
+    (header_length,) = struct.unpack_from("<I", data)
+    header_bytes = data[4 : 4 + header_length]
+    if len(header_bytes) != header_length:
+        raise SnapshotError("index section is truncated (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+        bands = header["bands"]
+        shard_entries = header["shards"]
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as error:
+        raise SnapshotError(f"index section header is corrupt: {error!r}") from error
+    if not isinstance(bands, int) or bands < 0 or not isinstance(shard_entries, list):
+        raise SnapshotError("index section header is corrupt: bad bands/shards")
+    columns = bands + 1
+    offset = 4 + header_length
+    shards: list[dict] = []
+    try:
+        for entry in shard_entries:
+            rows = entry["rows"]
+            users_blob = data[offset : offset + entry["users_bytes"]]
+            offset += entry["users_bytes"]
+            signatures_blob = data[offset : offset + entry["signatures_bytes"]]
+            offset += entry["signatures_bytes"]
+            valid_blob = data[offset : offset + entry["valid_bytes"]]
+            offset += entry["valid_bytes"]
+            if (
+                len(signatures_blob) != rows * columns * 8
+                or len(valid_blob) != (rows * columns + 7) // 8
+            ):
+                raise SnapshotError("index section payload disagrees with its header")
+            users = decode_id_column(users_blob, entry["users_encoding"], rows)
+            signatures = (
+                np.frombuffer(signatures_blob, dtype="<u8")
+                .astype(np.uint64)
+                .reshape(rows, columns)
+            )
+            valid = (
+                np.unpackbits(
+                    np.frombuffer(valid_blob, dtype=np.uint8), count=rows * columns
+                )
+                .astype(bool)
+                .reshape(rows, columns)
+            )
+            shards.append({"users": users, "signatures": signatures, "valid": valid})
+    except (KeyError, TypeError) as error:
+        raise SnapshotError(f"index section header is corrupt: {error!r}") from error
+    if offset != len(data):
+        raise SnapshotError("index section payload disagrees with its header")
+    return {
+        "bands": bands,
+        "rows_per_band": header.get("rows_per_band", 1),
+        "min_band_bits": header.get("min_band_bits", 2),
+        "seed": header.get("seed", 0),
+        "shards": shards,
+    }

@@ -8,10 +8,17 @@ system component.  Four pieces compose:
 * :mod:`repro.service.sharding` — :class:`ShardedVOS`, hash-partitioning users
   across independent VOS shards with sound cross-shard pair estimates;
 * :mod:`repro.service.snapshot` — versioned, checksummed binary save/load of
-  sketch state with a bit-exact round-trip guarantee;
+  sketch state with a bit-exact round-trip guarantee, atomic writes, and a
+  pluggable extra-section registry (the banding index persists its signature
+  tables through it);
+* :mod:`repro.service.journal` — the write-ahead shard journal: CRC-framed
+  delta records (dirty array words, counter updates, index signature appends)
+  between full checkpoints, replayed on load;
 * :mod:`repro.service.service` — :class:`SimilarityService`, the facade that
   owns a sharded sketch and exposes ``ingest`` / ``estimate`` / ``top_k`` plus
-  snapshot persistence (wired to the ``repro ingest`` / ``repro topk`` CLI).
+  full/delta checkpointing and journal compaction under a
+  :class:`CheckpointPolicy` (wired to the ``repro ingest`` / ``repro topk`` /
+  ``repro snapshot`` CLI).
 """
 
 from repro.service.batching import (
@@ -20,14 +27,26 @@ from repro.service.batching import (
     ingest_stream,
     iter_batches,
 )
+from repro.service.journal import (
+    JournalWriter,
+    default_journal_path,
+    journal_info,
+    read_journal,
+    replay_journal,
+)
 from repro.service.parallel import ShardParallelIngestor
-from repro.service.service import ServiceConfig, SimilarityService
+from repro.service.service import CheckpointPolicy, ServiceConfig, SimilarityService
 from repro.service.sharding import ShardedVOS
 from repro.service.snapshot import (
+    SnapshotState,
     dumps_snapshot,
     load_snapshot,
+    load_snapshot_state,
     loads_snapshot,
+    loads_snapshot_state,
+    register_snapshot_section,
     save_snapshot,
+    snapshot_info,
 )
 
 __all__ = [
@@ -37,10 +56,21 @@ __all__ = [
     "iter_batches",
     "ShardedVOS",
     "ShardParallelIngestor",
+    "CheckpointPolicy",
     "ServiceConfig",
     "SimilarityService",
     "save_snapshot",
     "load_snapshot",
     "dumps_snapshot",
     "loads_snapshot",
+    "load_snapshot_state",
+    "loads_snapshot_state",
+    "register_snapshot_section",
+    "snapshot_info",
+    "SnapshotState",
+    "JournalWriter",
+    "default_journal_path",
+    "journal_info",
+    "read_journal",
+    "replay_journal",
 ]

@@ -26,11 +26,28 @@ from pathlib import Path
 from repro.baselines.base import PairEstimate
 from repro.core.memory import MemoryBudget
 from repro.core.vos import VirtualOddSketch
-from repro.exceptions import ConfigurationError
-from repro.index import BandedSketchIndex, IndexConfig
+from repro.exceptions import ConfigurationError, SnapshotError
+from repro.index import (
+    INDEX_SNAPSHOT_SECTION,
+    BandedSketchIndex,
+    IndexConfig,
+    decode_index_state,
+    encode_index_state,
+)
 from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stream
+from repro.service.journal import (
+    JournalWriter,
+    default_journal_path,
+    journal_checkpoint_id,
+    replay_journal,
+)
 from repro.service.sharding import ShardedVOS
-from repro.service.snapshot import load_snapshot, save_snapshot
+from repro.service.snapshot import (
+    load_snapshot_state,
+    new_checkpoint_id,
+    register_snapshot_section,
+    save_snapshot,
+)
 from repro.similarity.search import (
     ScoredPair,
     nearest_neighbours,
@@ -38,7 +55,49 @@ from repro.similarity.search import (
     top_k_similar_pairs,
 )
 from repro.streams.batch import ElementBatch
-from repro.streams.edge import StreamElement, UserId
+from repro.streams.edge import StreamElement, UserId, user_sort_key
+
+# The service layer owns both the snapshot registry and its subsystems, so it
+# performs the section wiring: the banding index persists its signature
+# tables under the ``index/banding`` extra section (registering from
+# ``repro.index`` itself would close an import cycle through the search
+# layer).
+register_snapshot_section(
+    INDEX_SNAPSHOT_SECTION, encode=encode_index_state, decode=decode_index_state
+)
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When the service persists incrementally between explicit saves.
+
+    Both knobs are off (0) by default, so persistence stays fully manual
+    unless configured.  Policy checks run after every :meth:`~SimilarityService.ingest`
+    call — never mid-batch, so a checkpoint always captures a batch-consistent
+    state (and never races parallel shard workers).
+
+    Parameters
+    ----------
+    every_n_elements:
+        Append a delta checkpoint to the journal once at least this many
+        elements were ingested since the last checkpoint (full or delta).
+    max_journal_bytes:
+        Compact — fold the journal into a fresh full snapshot and reset it —
+        once the journal file exceeds this size.
+    """
+
+    every_n_elements: int = 0
+    max_journal_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every_n_elements < 0:
+            raise ConfigurationError(
+                f"every_n_elements must be non-negative, got {self.every_n_elements}"
+            )
+        if self.max_journal_bytes < 0:
+            raise ConfigurationError(
+                f"max_journal_bytes must be non-negative, got {self.max_journal_bytes}"
+            )
 
 
 @dataclass(frozen=True)
@@ -70,6 +129,9 @@ class ServiceConfig:
     #: seed is left at ``None`` so it flows from this config's ``seed`` (via
     #: the sketch), keeping candidate sets reproducible across runs.
     index: IndexConfig = IndexConfig()
+    #: Incremental-persistence policy (delta checkpoints / journal compaction);
+    #: inert until the service is bound to a snapshot path via ``save``/``load``.
+    checkpoint: CheckpointPolicy = CheckpointPolicy()
 
     def budget(self) -> MemoryBudget:
         """The equal-memory budget this configuration provisions."""
@@ -102,6 +164,7 @@ class SimilarityService:
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int = 1,
         index_config: IndexConfig | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
@@ -114,6 +177,21 @@ class SimilarityService:
         self._index: BandedSketchIndex | None = None
         self._elements_ingested = 0
         self._batches_ingested = 0
+        self._policy = (
+            checkpoint_policy if checkpoint_policy is not None else CheckpointPolicy()
+        )
+        self._snapshot_path: Path | None = None
+        self._journal_path: Path | None = None
+        self._journal: JournalWriter | None = None
+        self._checkpoint_id: str | None = None
+        # True when a journal bound to this service's checkpoint exists on
+        # disk but was NOT replayed into this state (load(journal=None)):
+        # appending to it would record deltas against the wrong base, so
+        # delta checkpoints are refused until a full save rotates it.
+        self._unreplayed_journal = False
+        self._elements_since_checkpoint = 0
+        self._deltas_written = 0
+        self._compactions = 0
 
     @classmethod
     def from_config(cls, config: ServiceConfig) -> "SimilarityService":
@@ -130,6 +208,7 @@ class SimilarityService:
             batch_size=config.batch_size,
             workers=config.workers,
             index_config=config.index,
+            checkpoint_policy=config.checkpoint,
         )
 
     # -- ingest ----------------------------------------------------------------------
@@ -152,6 +231,8 @@ class SimilarityService:
         )
         self._elements_ingested += report.elements
         self._batches_ingested += report.batches
+        self._elements_since_checkpoint += report.elements
+        self._enforce_checkpoint_policy()
         return report
 
     # -- queries ---------------------------------------------------------------------
@@ -288,15 +369,192 @@ class SimilarityService:
             stats["num_shards"] = 1
         stats["sketch_cache"] = sketch.sketch_cache_info()
         # Candidate-index counters (layout, signature memory, rebuild activity,
-        # last candidate fraction) appear once an ``lsh`` query created it.
+        # restored-from-snapshot tables, last candidate fraction) appear once
+        # an ``lsh`` query created — or a snapshot load restored — the index.
         stats["index"] = None if self._index is None else self._index.stats()
+        stats["persistence"] = {
+            "snapshot_path": None if self._snapshot_path is None else str(self._snapshot_path),
+            "checkpoint_id": self._checkpoint_id,
+            "every_n_elements": self._policy.every_n_elements,
+            "max_journal_bytes": self._policy.max_journal_bytes,
+            "elements_since_checkpoint": self._elements_since_checkpoint,
+            "deltas_written": self._deltas_written,
+            "compactions": self._compactions,
+            "journal_bytes": self._journal_size_bytes(),
+            "dirty": sketch.dirty_info(),
+        }
         return stats
 
     # -- persistence -----------------------------------------------------------------
+    #
+    # Full checkpoints rewrite everything (snapshot v2, atomically) and rotate
+    # the journal; delta checkpoints append each shard's dirty words and
+    # counters to the journal; compaction folds the journal back into a fresh
+    # full checkpoint.  ``load`` replays any journal bound to the snapshot's
+    # checkpoint id, and restores the persisted banding index so the first
+    # query needs no O(users) rebuild.
 
-    def save(self, path: str | Path) -> None:
-        """Snapshot the sketch state to ``path`` (bit-exact restore guaranteed)."""
-        save_snapshot(self._sketch, path)
+    def save(
+        self,
+        path: str | Path | None = None,
+        *,
+        journal_path: str | Path | None = None,
+        include_index: bool | None = None,
+    ) -> str:
+        """Write a full checkpoint; returns its checkpoint id.
+
+        ``path`` defaults to the snapshot the service is already bound to
+        (via an earlier :meth:`save` or :meth:`load`).  ``include_index``
+        persists the banding index's signature tables as a snapshot section:
+        ``None`` (default) persists them whenever the index is already built,
+        ``True`` forces a build first, ``False`` omits them.  The journal (if
+        any) is rotated: a full checkpoint supersedes every delta before it.
+        """
+        if path is None:
+            path = self._snapshot_path
+            if path is None:
+                raise ConfigurationError(
+                    "service is not bound to a snapshot path; pass one to save()"
+                )
+        extras: dict[str, object] = {}
+        if include_index is None:
+            include_index = self._index is not None and self._index.is_built
+        if include_index:
+            extras[INDEX_SNAPSHOT_SECTION] = self.index().export_state()
+        checkpoint_id = save_snapshot(
+            self._sketch,
+            path,
+            extras=extras or None,
+            checkpoint_id=new_checkpoint_id(),
+        )
+        self._sketch.clear_dirty()
+        self._snapshot_path = Path(path)
+        self._journal_path = (
+            Path(journal_path) if journal_path else default_journal_path(path)
+        )
+        self._checkpoint_id = checkpoint_id
+        self._elements_since_checkpoint = 0
+        self._journal = None
+        self._unreplayed_journal = False
+        # Any journal on disk recorded deltas against an older checkpoint the
+        # new snapshot already contains; drop it so the binding stays clean.
+        if self._journal_path.exists():
+            self._journal_path.unlink()
+        return checkpoint_id
+
+    def save_delta(self) -> dict:
+        """Append a delta checkpoint (dirty words + counters) to the journal.
+
+        Requires a bound snapshot (an earlier :meth:`save` or :meth:`load`).
+        One CRC-framed record is appended per shard with pending changes; a
+        shard whose array words did not change but which gained users (e.g. a
+        batch whose toggles cancelled exactly) additionally ships its fresh
+        index signature rows, so a persisted index stays warm across replay.
+        Returns ``{"records", "bytes", "journal_bytes"}``.
+        """
+        if self._snapshot_path is None:
+            raise ConfigurationError(
+                "save_delta requires a bound snapshot; call save() or load() first"
+            )
+        if self._checkpoint_id is None:
+            raise ConfigurationError(
+                f"snapshot {self._snapshot_path} predates checkpoint ids "
+                "(format v1), so no journal can bind to it; write a full "
+                "checkpoint with save() to upgrade it first"
+            )
+        if self._unreplayed_journal:
+            raise ConfigurationError(
+                f"journal {self._journal_path} was not replayed into this "
+                "service (loaded with journal=None); appending would record "
+                "deltas against the wrong base state — write a full "
+                "checkpoint with save() to rotate it first"
+            )
+        if self._journal is None:
+            if self._journal_path.exists():
+                bound_to = journal_checkpoint_id(self._journal_path)
+                if bound_to != self._checkpoint_id:
+                    # Leftover from an older checkpoint (e.g. a crash between
+                    # a full save and its journal rotation); its deltas are
+                    # already folded into our snapshot, so drop it.
+                    self._journal_path.unlink()
+            self._journal = JournalWriter(self._journal_path, self._checkpoint_id)
+        journal = self._journal
+        records = 0
+        bytes_written = 0
+        for shard_index, shard in enumerate(self._sketch.row_shards()):
+            words = shard.shared_array.dirty_words()
+            dirty_users = sorted(shard.dirty_counter_users(), key=user_sort_key)
+            if words.size == 0 and not dirty_users:
+                continue
+            index_append = None
+            if (
+                words.size == 0
+                and dirty_users
+                and self._index is not None
+                and self._index.is_built
+                and not journal.shard_words_changed(shard_index)
+            ):
+                index_append = self._index.export_append(shard_index, dirty_users)
+            bytes_written += journal.append_delta(
+                shard_index,
+                words,
+                shard.shared_array.packed_words(words),
+                dirty_users,
+                [shard._cardinalities.get(user, 0) for user in dirty_users],
+                ones_count=shard.shared_array.ones_count,
+                num_users=len(shard._cardinalities),
+                index_append=index_append,
+            )
+            shard.clear_dirty()
+            records += 1
+        self._elements_since_checkpoint = 0
+        self._deltas_written += records
+        return {
+            "records": records,
+            "bytes": bytes_written,
+            "journal_bytes": journal.size_bytes,
+        }
+
+    def compact(self) -> str:
+        """Fold the journal into a fresh full snapshot and reset it.
+
+        Equivalent to a full :meth:`save` at the bound path — the live sketch
+        already holds snapshot+journal state, so rewriting it *is* the fold —
+        tracked separately in :meth:`stats`.
+        """
+        checkpoint_id = self.save()
+        self._compactions += 1
+        return checkpoint_id
+
+    def _journal_size_bytes(self) -> int:
+        """Size of the journal on disk (writer-backed or replayed-but-idle)."""
+        if self._journal is not None:
+            return self._journal.size_bytes
+        if self._journal_path is not None and self._journal_path.exists():
+            return self._journal_path.stat().st_size
+        return 0
+
+    def _enforce_checkpoint_policy(self) -> None:
+        """Apply the checkpoint policy after an ingest call (never mid-batch)."""
+        if self._snapshot_path is None:
+            return
+        if (
+            self._policy.every_n_elements
+            and self._elements_since_checkpoint >= self._policy.every_n_elements
+        ):
+            if self._checkpoint_id is None or self._unreplayed_journal:
+                # Delta checkpoints need a clean base: a pre-checkpoint-id
+                # (v1) snapshot, or a journal this load deliberately did not
+                # replay, both upgrade to a full v2 checkpoint first; deltas
+                # flow from then on.
+                self.save()
+            else:
+                self.save_delta()
+        if (
+            self._policy.max_journal_bytes
+            and self._journal_size_bytes() > self._policy.max_journal_bytes
+        ):
+            self.compact()
 
     @classmethod
     def load(
@@ -306,16 +564,85 @@ class SimilarityService:
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int = 1,
         index_config: IndexConfig | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        journal: str | Path | None = "auto",
     ) -> "SimilarityService":
         """Restore a service from a snapshot written by :meth:`save`.
 
-        The banding index is not persisted — it rebuilds on demand from the
-        restored rows, and because the snapshot preserves the sketch seed the
-        rebuilt candidate sets are identical across restarts.
+        ``journal="auto"`` (default) replays ``<path>.journal`` when it exists
+        and is bound to this snapshot's checkpoint id (a journal left behind
+        by an older checkpoint is skipped — its deltas are already folded into
+        the newer snapshot).  Pass an explicit journal path to *require* it
+        (binding mismatches raise :class:`~repro.exceptions.SnapshotError`),
+        or ``None`` to ignore journals entirely.
+
+        When the snapshot carries an ``index/banding`` section, the banding
+        index is restored with it: shards untouched by journal replay answer
+        their first ``lsh`` query without any signature rebuild
+        (``stats()["index"]["restored"]`` counts the adopted tables).
         """
-        return cls(
-            load_snapshot(path),
+        state = load_snapshot_state(path)
+        replay = None
+        journal_path: Path | None = None
+        unreplayed = False
+        if journal is not None:
+            candidate = (
+                default_journal_path(path) if journal == "auto" else Path(journal)
+            )
+            if candidate.exists():
+                bound_to = journal_checkpoint_id(candidate)
+                if bound_to == state.checkpoint_id and state.checkpoint_id:
+                    replay = replay_journal(
+                        state.sketch, candidate, checkpoint_id=state.checkpoint_id
+                    )
+                    journal_path = candidate
+                elif journal != "auto":
+                    raise SnapshotError(
+                        f"journal {candidate} is bound to checkpoint "
+                        f"{bound_to!r}, not this snapshot's "
+                        f"{state.checkpoint_id!r}"
+                    )
+            elif journal != "auto":
+                raise SnapshotError(f"journal file not found: {candidate}")
+        else:
+            # Journals deliberately ignored: if one bound to this snapshot
+            # exists, this service's state is *behind* it — delta checkpoints
+            # must not resume that journal (save_delta refuses until a full
+            # save rotates it).
+            candidate = default_journal_path(path)
+            if candidate.exists() and state.checkpoint_id:
+                try:
+                    unreplayed = (
+                        journal_checkpoint_id(candidate) == state.checkpoint_id
+                    )
+                except SnapshotError:
+                    unreplayed = True  # unreadable journal: stay hands-off
+        service = cls(
+            state.sketch,
             batch_size=batch_size,
             workers=workers,
             index_config=index_config,
+            checkpoint_policy=checkpoint_policy,
         )
+        service._snapshot_path = Path(path)
+        service._journal_path = journal_path or default_journal_path(path)
+        service._checkpoint_id = state.checkpoint_id or None
+        service._unreplayed_journal = unreplayed
+        index_state = state.extras.get(INDEX_SNAPSHOT_SECTION)
+        if index_state is not None:
+            index = BandedSketchIndex(state.sketch, service._index_config)
+            stale = replay.shards_touched if replay is not None else set()
+            if index.restore_state(index_state, stale_shards=stale):
+                if replay is not None:
+                    for shard_index, appends in replay.index_appends.items():
+                        if shard_index in stale:
+                            continue
+                        for record in appends:
+                            index.apply_append(
+                                shard_index,
+                                record.index_users,
+                                record.index_signatures,
+                                record.index_valid,
+                            )
+                service._index = index
+        return service

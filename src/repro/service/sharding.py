@@ -359,6 +359,21 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
                 totals[key] += value
         return totals
 
+    # -- incremental persistence -----------------------------------------------------
+
+    def clear_dirty(self) -> None:
+        """Mark every shard's array words and counters clean (just persisted)."""
+        for shard in self._shards:
+            shard.clear_dirty()
+
+    def dirty_info(self) -> dict[str, int]:
+        """Pending un-persisted state summed over shards (words and counters)."""
+        totals = {"dirty_words": 0, "dirty_counters": 0}
+        for shard in self._shards:
+            for key, value in shard.dirty_info().items():
+                totals[key] += value
+        return totals
+
     # -- accounting ------------------------------------------------------------------
 
     def memory_bits(self) -> int:

@@ -22,14 +22,73 @@ no per-element list rebuilds.
 
 from __future__ import annotations
 
+import json
+import numbers
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SnapshotError
 from repro.streams.edge import Action, StreamElement
 
 _INT64_MAX = np.iinfo(np.int64).max
+
+
+def encode_id_column(values: list) -> tuple[bytes, str]:
+    """Serialize an id list for persistence; returns ``(bytes, encoding)``.
+
+    Integer populations write a raw little-endian ``int64`` column; anything
+    else falls back to a UTF-8 JSON array, so string/float/big-int ids
+    round-trip exactly.  ``bool`` and arbitrary objects are rejected — they
+    would not survive a JSON round trip.  This is the one id-column codec
+    shared by the snapshot counter sections, the journal's delta records and
+    the banding index's persisted user columns.
+    """
+    if all(
+        isinstance(value, numbers.Integral) and not isinstance(value, bool)
+        for value in values
+    ):
+        try:
+            # Accepts numpy integer scalars too (coerced like format v1 did).
+            return np.array(values, dtype=np.int64).astype("<i8").tobytes(), "int64"
+        except (OverflowError, TypeError):
+            pass  # ints beyond 64 bits take the JSON column below
+    normalized: list = []
+    for value in values:
+        if isinstance(value, bool):
+            pass  # rejected below: True/1 would collide after a round trip
+        elif isinstance(value, numbers.Integral):
+            normalized.append(int(value))
+            continue
+        elif isinstance(value, str):
+            normalized.append(value)
+            continue
+        elif isinstance(value, numbers.Real):
+            normalized.append(float(value))
+            continue
+        raise SnapshotError(
+            f"cannot persist user id {value!r}: persisted id columns "
+            "support int, str and float identifiers"
+        )
+    return json.dumps(normalized).encode("utf-8"), "json"
+
+
+def decode_id_column(data: bytes, encoding: str | None, expected: int) -> list:
+    """Inverse of :func:`encode_id_column` (``None`` encoding means ``int64``)."""
+    if encoding in (None, "int64"):
+        if len(data) != expected * 8:
+            raise SnapshotError("user-id column disagrees with recorded user count")
+        column = np.frombuffer(data, dtype="<i8").astype(np.int64).tolist()
+        return column
+    if encoding == "json":
+        try:
+            values = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SnapshotError(f"user-id column is corrupt: {error}") from error
+        if not isinstance(values, list) or len(values) != expected:
+            raise SnapshotError("user-id column disagrees with recorded user count")
+        return values
+    raise SnapshotError(f"unknown user-id column encoding {encoding!r}")
 
 
 def id_column(values: Sequence[object]) -> np.ndarray:

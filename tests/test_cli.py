@@ -422,3 +422,131 @@ class TestIndexCommands:
         code = main(["index", "build", "--snapshot", str(tmp_path / "nope.vos")])
         assert code == 2
         assert capsys.readouterr().err
+
+
+class TestSnapshotCommands:
+    """``repro snapshot save|delta|compact|info`` — the incremental persistence CLI."""
+
+    @pytest.fixture()
+    def seeded(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        lines = []
+        for pair in range(40):
+            items = rng.integers(0, 10**6, size=10)
+            for user in (2 * pair, 2 * pair + 1):
+                lines += [f"+ {user} {item}" for item in items]
+        stream = tmp_path / "base.txt"
+        stream.write_text("\n".join(lines) + "\n")
+        more = tmp_path / "more.txt"
+        more.write_text(
+            "\n".join(f"+ {user} {9_000_000 + item}" for user in (0, 1) for item in range(5))
+            + "\n"
+        )
+        snapshot = tmp_path / "state.vos"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--stream", str(stream),
+                    "--snapshot", str(snapshot),
+                    "--shards", "4",
+                    "--registers", "8",
+                    "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        return snapshot, more
+
+    def test_info_reports_v2_and_no_journal(self, seeded, capsys):
+        snapshot, _ = seeded
+        assert main(["snapshot", "info", "--snapshot", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "format version,2" in out
+        assert "journal,none" in out
+
+    def test_delta_then_load_matches_full_rewrite(self, seeded, capsys, tmp_path):
+        from repro.service import SimilarityService
+        from repro.service.journal import default_journal_path
+
+        snapshot, more = seeded
+        reference = SimilarityService.load(snapshot)
+        assert (
+            main(
+                [
+                    "snapshot", "delta",
+                    "--snapshot", str(snapshot),
+                    "--stream", str(more),
+                    "--csv",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "delta records," in out
+        assert default_journal_path(snapshot).exists()
+        # The journal-replayed state equals re-ingesting through the library.
+        from repro.streams.io import iter_stream_batches
+
+        reference.ingest(iter_stream_batches(more))
+        restored = SimilarityService.load(snapshot)
+        for a, b in zip(reference.sketch.shards, restored.sketch.shards):
+            assert a._cardinalities == b._cardinalities
+            import numpy as np
+
+            assert np.array_equal(
+                a.shared_array._bits._bits, b.shared_array._bits._bits
+            )
+
+    def test_compact_resets_the_journal(self, seeded, capsys):
+        from repro.service.journal import default_journal_path
+
+        snapshot, more = seeded
+        assert (
+            main(
+                ["snapshot", "delta", "--snapshot", str(snapshot), "--stream", str(more)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["snapshot", "compact", "--snapshot", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "journal bytes,0" in out
+        assert not default_journal_path(snapshot).exists()
+
+    def test_save_with_index_makes_restart_report_restored(self, seeded, capsys):
+        """The satellite contract: stats()["index"]["restored"] after load."""
+        snapshot, _ = seeded
+        assert (
+            main(
+                ["snapshot", "save", "--snapshot", str(snapshot), "--with-index", "--csv"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "index persisted,True" in out
+        assert main(["index", "stats", "--snapshot", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "restored,4" in out
+        assert "rebuilds,0" in out
+        # Library-level assertion of the same counter.
+        from repro.service import SimilarityService
+
+        restored = SimilarityService.load(snapshot)
+        assert restored.stats()["index"]["restored"] == 4
+
+    def test_save_without_index_rebuilds_on_stats(self, seeded, capsys):
+        snapshot, _ = seeded
+        assert main(["index", "stats", "--snapshot", str(snapshot), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "restored,0" in out
+        assert "rebuilds," in out and "rebuilds,0" not in out
+
+    def test_missing_snapshot_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["snapshot", "info", "--snapshot", str(tmp_path / "missing.vos")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

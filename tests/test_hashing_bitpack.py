@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
@@ -186,3 +187,86 @@ class TestPackedBytesRoundTrip:
         bits.load_packed_bytes(bytes(1))
         bits.flip(0)
         assert bits.ones_count == 1
+
+
+class TestDirtyWordTracking:
+    """The changed-word bitmap behind delta checkpoints."""
+
+    def test_fresh_array_is_clean(self):
+        bits = PackedBitArray(256)
+        assert bits.dirty_word_count == 0
+        assert bits.dirty_words().tolist() == []
+
+    def test_flip_and_set_mark_their_word(self):
+        bits = PackedBitArray(256)
+        bits.flip(3)
+        bits.set(130, 1)
+        assert bits.dirty_words().tolist() == [0, 2]
+        bits.clear_dirty()
+        assert bits.dirty_word_count == 0
+        # A set that changes nothing stays clean.
+        bits.set(130, 1)
+        assert bits.dirty_word_count == 0
+
+    def test_xor_bulk_marks_only_touched_words(self):
+        bits = PackedBitArray(64 * 5)
+        bits.xor_bulk(np.array([0, 1, 64 * 3 + 2]))
+        assert bits.dirty_words().tolist() == [0, 3]
+        # Cancelling repeats touch nothing.
+        bits.clear_dirty()
+        bits.xor_bulk(np.array([7, 7]))
+        assert bits.dirty_word_count == 0
+
+    def test_packed_words_match_full_serialization(self):
+        import random
+
+        rng = random.Random(3)
+        bits = PackedBitArray(77)  # a ragged final word
+        for _ in range(120):
+            bits.flip(rng.randrange(77))
+        full = bits.to_packed_bytes()
+        for word in range(bits.num_words):
+            chunk = bits.packed_words([word])
+            expected = full[8 * word : 8 * (word + 1)]
+            assert chunk[: len(expected)] == expected
+            assert all(byte == 0 for byte in chunk[len(expected) :])
+
+    def test_apply_packed_words_round_trips_dirty_state(self):
+        import random
+
+        rng = random.Random(4)
+        source = PackedBitArray(300)
+        target = PackedBitArray(300)
+        for _ in range(64):
+            source.flip(rng.randrange(300))
+        source.clear_dirty()
+        for _ in range(40):
+            source.flip(rng.randrange(300))
+        words = source.dirty_words()
+        payload = source.packed_words(words)
+        # Target starts from the source's pre-mutation state.
+        target.load_packed_bytes(source.to_packed_bytes())
+        target.apply_packed_words(words, payload)
+        assert target.to_list() == source.to_list()
+        assert target.ones_count == source.ones_count
+
+    def test_apply_rejects_bad_payloads(self):
+        bits = PackedBitArray(100)
+        with pytest.raises(ConfigurationError, match="expected"):
+            bits.apply_packed_words(np.array([0]), b"\x00" * 7)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            bits.apply_packed_words(np.array([9]), b"\x00" * 8)
+        with pytest.raises(ConfigurationError, match="distinct"):
+            bits.apply_packed_words(np.array([0, 0]), b"\x00" * 16)
+        # Word 1 covers bits 64..99: the trailing 28 bits are pad and must be 0.
+        with pytest.raises(ConfigurationError, match="pad bits"):
+            bits.apply_packed_words(np.array([1]), b"\xff" * 8)
+
+    def test_clear_and_load_mark_everything_dirty(self):
+        bits = PackedBitArray(128)
+        bits.clear_dirty()
+        bits.clear()
+        assert bits.dirty_word_count == bits.num_words
+        bits.clear_dirty()
+        bits.load_packed_bytes(bytes(16))
+        assert bits.dirty_word_count == bits.num_words

@@ -375,3 +375,90 @@ class TestIdenticalRowsGuarantee:
             proposed = set(zip(index_a.tolist(), index_b.tolist()))
             for i, j in identical:
                 assert (i, j) in proposed, (config, i, j)
+
+class TestIndexPersistence:
+    """export_state/restore_state and the snapshot section codec."""
+
+    def test_state_round_trips_through_section_bytes(self, clone_vos):
+        from repro.index import decode_index_state, encode_index_state
+        from repro.service.snapshot import dumps_snapshot, loads_snapshot
+
+        index = BandedSketchIndex(clone_vos)
+        pool = sorted(clone_vos.users())
+        live_a, live_b = index.candidate_pairs(pool)
+        state = decode_index_state(encode_index_state(index.export_state()))
+
+        restored_sketch = loads_snapshot(dumps_snapshot(clone_vos))
+        restored_index = BandedSketchIndex(restored_sketch)
+        assert restored_index.restore_state(state) is True
+        assert restored_index.stats()["restored"] == 1
+        got_a, got_b = restored_index.candidate_pairs(pool)
+        assert got_a.tolist() == live_a.tolist()
+        assert got_b.tolist() == live_b.tolist()
+        # The restored tables answered without any signature rebuild.
+        assert restored_index.stats()["rebuilds"] == 0
+
+    def test_restore_rejects_mismatched_layouts(self, clone_vos):
+        index = BandedSketchIndex(clone_vos, IndexConfig(bands=4))
+        index.build()
+        state = index.export_state()
+        other = BandedSketchIndex(clone_vos, IndexConfig(bands=6))
+        assert other.restore_state(state) is False
+        wrong_seed = BandedSketchIndex(clone_vos, IndexConfig(bands=4, seed=999))
+        assert wrong_seed.restore_state(state) is False
+        wrong_width = BandedSketchIndex(
+            clone_vos, IndexConfig(bands=4, rows_per_band=2)
+        )
+        assert wrong_width.restore_state(state) is False
+
+    def test_stale_shards_rebuild_on_demand(self, clone_sharded):
+        from repro.service.snapshot import dumps_snapshot, loads_snapshot
+
+        index = BandedSketchIndex(clone_sharded)
+        pool = sorted(clone_sharded.users())
+        index.candidate_pairs(pool)
+        state = index.export_state()
+        restored_sketch = loads_snapshot(dumps_snapshot(clone_sharded))
+        restored_index = BandedSketchIndex(restored_sketch)
+        assert restored_index.restore_state(state, stale_shards=[1]) is True
+        stats = restored_index.stats()
+        assert stats["restored"] == clone_sharded.num_shards - 1
+        got_a, got_b = restored_index.candidate_pairs(pool)
+        live_a, live_b = index.candidate_pairs(pool)
+        assert got_a.tolist() == live_a.tolist()
+        assert got_b.tolist() == live_b.tolist()
+        # Exactly the stale shard's table was rebuilt.
+        assert restored_index.stats()["rebuilds"] == 1
+
+    def test_apply_append_extends_restored_tables(self, clone_vos):
+        index = BandedSketchIndex(clone_vos)
+        pool = sorted(clone_vos.users())
+        index.refresh()
+        export = index.export_append(0, pool[:3])
+        assert export is not None
+        fresh = BandedSketchIndex(clone_vos)
+        assert fresh.restore_state(index.export_state()) is True
+        before_rows = len(fresh._shard_signatures[0].users)
+        # Appending known users is a no-op; unknown layouts are ignored.
+        fresh.apply_append(0, export["users"], export["signatures"], export["valid"])
+        assert len(fresh._shard_signatures[0].users) == before_rows
+
+    def test_service_save_load_restores_index(self, tmp_path):
+        from repro.service import ServiceConfig, SimilarityService
+
+        service = SimilarityService.from_config(
+            ServiceConfig(expected_users=200, num_shards=4, seed=6)
+        )
+        service.ingest(clone_pool_elements(num_users=120))
+        before = service.top_k_pairs(k=10, candidates="lsh")
+        path = tmp_path / "state.vos"
+        service.save(path)  # index is built, so it is persisted automatically
+        restored = SimilarityService.load(path)
+        stats = restored.stats()
+        assert stats["index"] is not None
+        assert stats["index"]["restored"] == 4
+        after = restored.top_k_pairs(k=10, candidates="lsh")
+        assert [(p.user_a, p.user_b, p.jaccard) for p in before] == [
+            (p.user_a, p.user_b, p.jaccard) for p in after
+        ]
+        assert restored.stats()["index"]["rebuilds"] == 0

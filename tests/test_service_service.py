@@ -119,3 +119,149 @@ def test_load_accepts_workers(tmp_path):
     )
     assert report.workers == 4
     assert restored.stats()["workers"] == 4
+
+
+class TestCheckpointPolicy:
+    """every_n_elements / max_journal_bytes wiring through ServiceConfig."""
+
+    def _service(self, tmp_path, **policy_kwargs):
+        from repro.service import CheckpointPolicy, ServiceConfig, SimilarityService
+
+        service = SimilarityService.from_config(
+            ServiceConfig(
+                expected_users=100,
+                num_shards=2,
+                seed=3,
+                checkpoint=CheckpointPolicy(**policy_kwargs),
+            )
+        )
+        service.ingest(
+            [StreamElement(u, i, Action.INSERT) for u in range(10) for i in range(10)]
+        )
+        service.save(tmp_path / "state.vos")
+        return service
+
+    def test_policy_validation(self):
+        from repro.exceptions import ConfigurationError
+        from repro.service import CheckpointPolicy
+
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(every_n_elements=-1)
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(max_journal_bytes=-1)
+
+    def test_every_n_elements_writes_deltas(self, tmp_path):
+        from repro.service.journal import default_journal_path
+
+        service = self._service(tmp_path, every_n_elements=50)
+        assert service.stats()["persistence"]["deltas_written"] == 0
+        service.ingest(
+            [StreamElement(1, 10_000 + i, Action.INSERT) for i in range(60)]
+        )
+        stats = service.stats()["persistence"]
+        assert stats["deltas_written"] >= 1
+        assert stats["elements_since_checkpoint"] == 0
+        assert default_journal_path(tmp_path / "state.vos").exists()
+        # Below the threshold nothing new is written.
+        service.ingest([StreamElement(1, 99_999, Action.INSERT)])
+        assert service.stats()["persistence"]["deltas_written"] == stats["deltas_written"]
+
+    def test_max_journal_bytes_triggers_compaction(self, tmp_path):
+        from repro.service.journal import default_journal_path
+
+        service = self._service(
+            tmp_path, every_n_elements=10, max_journal_bytes=2000
+        )
+        for round_index in range(6):
+            service.ingest(
+                [
+                    StreamElement(u, 10_000 + 100 * round_index + i, Action.INSERT)
+                    for u in range(10)
+                    for i in range(5)
+                ]
+            )
+        stats = service.stats()["persistence"]
+        assert stats["compactions"] >= 1
+        # Compaction resets the journal file.
+        assert not default_journal_path(tmp_path / "state.vos").exists() or (
+            default_journal_path(tmp_path / "state.vos").stat().st_size < 2000
+        )
+
+    def test_policy_is_inert_without_a_bound_snapshot(self):
+        from repro.service import CheckpointPolicy, ServiceConfig, SimilarityService
+
+        service = SimilarityService.from_config(
+            ServiceConfig(
+                expected_users=50,
+                checkpoint=CheckpointPolicy(every_n_elements=1),
+            )
+        )
+        service.ingest([StreamElement(1, i, Action.INSERT) for i in range(10)])
+        assert service.stats()["persistence"]["deltas_written"] == 0
+        assert service.stats()["persistence"]["snapshot_path"] is None
+
+    def test_save_delta_requires_binding(self):
+        from repro.exceptions import ConfigurationError
+        from repro.service import ServiceConfig, SimilarityService
+
+        service = SimilarityService.from_config(ServiceConfig(expected_users=10))
+        with pytest.raises(ConfigurationError, match="bound"):
+            service.save_delta()
+
+    def test_stats_reports_dirty_state(self, tmp_path):
+        service = self._service(tmp_path)
+        dirty = service.stats()["persistence"]["dirty"]
+        assert dirty == {"dirty_words": 0, "dirty_counters": 0}
+        service.ingest([StreamElement(1, 123456, Action.INSERT)])
+        dirty = service.stats()["persistence"]["dirty"]
+        assert dirty["dirty_counters"] == 1
+        assert dirty["dirty_words"] >= 0
+
+    def test_v1_loaded_service_upgrades_on_policy_trigger(self, tmp_path):
+        """A v1 snapshot has no checkpoint id: the policy's first trigger
+        writes a full v2 checkpoint instead of crashing in save_delta."""
+        import json
+        import struct
+
+        from repro.service import CheckpointPolicy, ServiceConfig, SimilarityService
+        from repro.service.snapshot import MAGIC, dumps_snapshot, snapshot_info
+
+        service = SimilarityService.from_config(
+            ServiceConfig(expected_users=20, num_shards=2, seed=1)
+        )
+        service.ingest([StreamElement(1, i, Action.INSERT) for i in range(10)])
+        blob = dumps_snapshot(service.sketch)
+        _, header_length = struct.unpack_from("<II", blob, len(MAGIC))
+        start = len(MAGIC) + 8
+        header = json.loads(blob[start : start + header_length])
+        del header["checkpoint_id"]
+        del header["extras"]
+        for entry in header["sections"]:
+            entry.pop("encoding", None)
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        path = tmp_path / "v1.vos"
+        path.write_bytes(
+            MAGIC
+            + struct.pack("<II", 1, len(header_bytes))
+            + header_bytes
+            + blob[start + header_length :]
+        )
+        loaded = SimilarityService.load(
+            path, checkpoint_policy=CheckpointPolicy(every_n_elements=5)
+        )
+        assert loaded.stats()["persistence"]["checkpoint_id"] is None
+        loaded.ingest([StreamElement(2, i, Action.INSERT) for i in range(10)])
+        # The trigger upgraded the file to v2 and bound a checkpoint id.
+        assert snapshot_info(path)["format_version"] == 2
+        assert loaded.stats()["persistence"]["checkpoint_id"] is not None
+
+    def test_journal_bytes_reported_after_restart(self, tmp_path):
+        from repro.service import SimilarityService
+
+        service = self._service(tmp_path)
+        service.ingest([StreamElement(1, 555555, Action.INSERT)])
+        service.save_delta()
+        journal_bytes = service.stats()["persistence"]["journal_bytes"]
+        assert journal_bytes > 0
+        restored = SimilarityService.load(tmp_path / "state.vos")
+        assert restored.stats()["persistence"]["journal_bytes"] == journal_bytes

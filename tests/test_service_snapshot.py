@@ -168,10 +168,10 @@ class TestCorruptionPaths:
         with pytest.raises(SnapshotError, match="unknown snapshot kind"):
             loads_snapshot(rebuilt)
 
-    def test_non_integer_users_are_rejected(self):
+    def test_unsupported_user_id_types_are_rejected(self):
         vos = VirtualOddSketch(shared_array_bits=64, virtual_sketch_size=8)
-        vos.process(StreamElement("alice", 1, Action.INSERT))
-        with pytest.raises(SnapshotError, match="integer user"):
+        vos.process(StreamElement((1, 2), 1, Action.INSERT))
+        with pytest.raises(SnapshotError, match="user id"):
             dumps_snapshot(vos)
 
 
@@ -234,3 +234,162 @@ class TestHeaderCorruptionPaths:
         rebuilt = _rebuild_with_header(dumps_snapshot(fed_sharded), lie)
         with pytest.raises(SnapshotError, match="shard count"):
             loads_snapshot(rebuilt)
+
+
+class TestObjectUserIds:
+    """String and mixed user ids persist via the JSON id-column encoding."""
+
+    def test_string_ids_round_trip(self):
+        vos = VirtualOddSketch(shared_array_bits=4096, virtual_sketch_size=64, seed=2)
+        for user in ("alice", "bob", "carol"):
+            for item in range(15):
+                vos.process(StreamElement(user, f"item-{item}", Action.INSERT))
+        vos.process(StreamElement("alice", "item-3", Action.DELETE))
+        restored = loads_snapshot(dumps_snapshot(vos))
+        _assert_same_vos_state(vos, restored)
+        assert restored.estimate_jaccard("alice", "bob") == vos.estimate_jaccard(
+            "alice", "bob"
+        )
+
+    def test_mixed_and_big_int_ids_round_trip(self):
+        vos = VirtualOddSketch(shared_array_bits=4096, virtual_sketch_size=64, seed=2)
+        users = [7, "seven", 2**70]
+        for user in users:
+            for item in range(10):
+                vos.process(StreamElement(user, item, Action.INSERT))
+        restored = loads_snapshot(dumps_snapshot(vos))
+        _assert_same_vos_state(vos, restored)
+        for user in users:
+            assert restored.cardinality(user) == vos.cardinality(user)
+            assert type(user) in (int, str)  # sanity: ids keep their types
+            assert user in restored._cardinalities
+
+    def test_sharded_string_ids_round_trip(self, tmp_path):
+        sketch = ShardedVOS(3, 2048, 64, seed=5)
+        for user in ("u1", "u2", "u3", "u4"):
+            for item in range(12):
+                sketch.process(StreamElement(user, item, Action.INSERT))
+        path = tmp_path / "strings.vos"
+        save_snapshot(sketch, path)
+        restored = load_snapshot(path)
+        for original, copy in zip(sketch.shards, restored.shards):
+            _assert_same_vos_state(original, copy)
+
+
+class TestFormatV2:
+    def test_writes_version_2_with_checkpoint_id(self, fed_vos, tmp_path):
+        from repro.service.snapshot import FORMAT_VERSION, load_snapshot_state, snapshot_info
+
+        path = tmp_path / "v2.vos"
+        save_snapshot(fed_vos, path)
+        info = snapshot_info(path)
+        assert info["format_version"] == FORMAT_VERSION == 2
+        assert len(info["checkpoint_id"]) == 16
+        state = load_snapshot_state(path)
+        assert state.version == 2
+        assert state.checkpoint_id == info["checkpoint_id"]
+        assert state.extras == {}
+
+    def test_v1_snapshots_still_load(self, fed_vos):
+        """A faithful v1 blob (v1 header keys, same core sections) restores."""
+        import json
+
+        blob = dumps_snapshot(fed_vos)
+        version, header_length = struct.unpack_from("<II", blob, len(MAGIC))
+        start = len(MAGIC) + 8
+        header = json.loads(blob[start : start + header_length])
+        # v1 headers had no checkpoint id, no extras table and no encodings.
+        del header["checkpoint_id"]
+        del header["extras"]
+        for entry in header["sections"]:
+            entry.pop("encoding", None)
+        v1_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        v1_blob = (
+            MAGIC
+            + struct.pack("<II", 1, len(v1_header))
+            + v1_header
+            + blob[start + header_length :]
+        )
+        from repro.service.snapshot import loads_snapshot_state
+
+        state = loads_snapshot_state(v1_blob)
+        assert state.version == 1
+        assert state.checkpoint_id == ""
+        _assert_same_vos_state(fed_vos, state.sketch)
+
+    def test_unknown_extra_sections_are_skipped(self, fed_vos):
+        from repro.service.snapshot import (
+            loads_snapshot_state,
+            register_snapshot_section,
+        )
+
+        register_snapshot_section(
+            "test/extra", encode=lambda state: state, decode=lambda data: data
+        )
+        blob = dumps_snapshot(fed_vos, extras={"test/extra": b"hello"})
+        state = loads_snapshot_state(blob)
+        assert state.extras == {"test/extra": b"hello"}
+        # A build without the codec must skip the section, not fail.
+        from repro.service import snapshot as snapshot_module
+
+        del snapshot_module._EXTRA_SECTIONS["test/extra"]
+        state = loads_snapshot_state(blob)
+        assert state.extras == {}
+        assert state.unknown_extras == ("test/extra",)
+
+    def test_unregistered_extra_name_rejected_at_write(self, fed_vos):
+        with pytest.raises(SnapshotError, match="no snapshot section registered"):
+            dumps_snapshot(fed_vos, extras={"no/such/section": object()})
+
+    def test_extras_are_covered_by_the_payload_crc(self, fed_vos):
+        from repro.service.snapshot import (
+            loads_snapshot_state,
+            register_snapshot_section,
+        )
+
+        register_snapshot_section(
+            "test/crc", encode=lambda state: state, decode=lambda data: data
+        )
+        try:
+            blob = bytearray(dumps_snapshot(fed_vos, extras={"test/crc": b"payload"}))
+            blob[-2] ^= 0xFF  # lands inside the extra section
+            with pytest.raises(SnapshotError, match="CRC"):
+                loads_snapshot_state(bytes(blob))
+        finally:
+            from repro.service import snapshot as snapshot_module
+
+            del snapshot_module._EXTRA_SECTIONS["test/crc"]
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_never_shadows_a_good_snapshot(
+        self, fed_vos, tmp_path, monkeypatch
+    ):
+        """A failure before os.replace leaves the previous snapshot intact."""
+        import os
+
+        path = tmp_path / "state.vos"
+        save_snapshot(fed_vos, path)
+        good = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_snapshot(fed_vos, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == good
+        # No temp file survives the failed attempt.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.vos"]
+        _assert_same_vos_state(fed_vos, load_snapshot(path))
+
+    def test_truncated_temp_style_file_never_replaces_target(self, fed_vos, tmp_path):
+        """Even a torn write of the final bytes is caught by the CRC on load."""
+        path = tmp_path / "state.vos"
+        save_snapshot(fed_vos, path)
+        torn = dumps_snapshot(fed_vos)[:-20]
+        (tmp_path / "torn.vos").write_bytes(torn)
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "torn.vos")
+        _assert_same_vos_state(fed_vos, load_snapshot(path))
