@@ -33,6 +33,7 @@ import numpy as np
 import pytest
 
 from repro.core.memory import MemoryBudget
+from repro.obs import MetricsRegistry, get_registry, render_json, set_registry
 from repro.service.batching import ingest_stream
 from repro.service.sharding import ShardedVOS
 from repro.streams.deletions import MassiveDeletionModel
@@ -52,6 +53,10 @@ CPU_COUNT = os.cpu_count() or 1
 SPEEDUP_FLOOR = 5.0 if SMOKE_MODE else 15.0
 RESULTS_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_ingest_smoke.json" if SMOKE_MODE else "BENCH_ingest.json"
+)
+#: Full metrics-registry dump captured during the timed runs (CI artifact).
+METRICS_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_ingest_metrics_smoke.json" if SMOKE_MODE else "BENCH_ingest_metrics.json"
 )
 
 
@@ -87,7 +92,13 @@ def _make_sketch(budget) -> ShardedVOS:
 
 @pytest.fixture(scope="module")
 def measurements(ingest_stream_data, budget):
-    """Time the three ingest modes once, sharing the sketches across tests."""
+    """Time the three ingest modes once, sharing the sketches across tests.
+
+    The columnar runs go through a private metrics registry so the ingest
+    phase histograms (``ingest.assemble``/``ingest.process``/…) accumulate
+    alongside the wall-clock numbers; their percentiles land in the results
+    JSON and the full registry dump in ``BENCH_ingest_metrics*.json``.
+    """
     elements = list(ingest_stream_data)
 
     element_loop = _make_sketch(budget)
@@ -96,30 +107,37 @@ def measurements(ingest_stream_data, budget):
         element_loop.process(element)
     element_loop_seconds = time.perf_counter() - start
 
-    # The columnar runs finish in tens of milliseconds, so a single scheduler
-    # hiccup could dominate one measurement; keep the best of three.
-    serial_seconds = float("inf")
-    for _ in range(3):
-        serial = _make_sketch(budget)
-        serial_seconds = min(
-            serial_seconds,
-            ingest_stream(serial, elements, batch_size=BATCH_SIZE).seconds,
-        )
+    previous_registry = get_registry()
+    registry = set_registry(MetricsRegistry())
+    try:
+        # The columnar runs finish in tens of milliseconds, so a single
+        # scheduler hiccup could dominate one measurement; keep the best of
+        # three.
+        serial_seconds = float("inf")
+        for _ in range(3):
+            serial = _make_sketch(budget)
+            serial_seconds = min(
+                serial_seconds,
+                ingest_stream(serial, elements, batch_size=BATCH_SIZE).seconds,
+            )
 
-    parallel_seconds = float("inf")
-    for _ in range(3):
-        parallel = _make_sketch(budget)
-        parallel_seconds = min(
-            parallel_seconds,
-            ingest_stream(
-                parallel, elements, batch_size=BATCH_SIZE, workers=WORKERS
-            ).seconds,
-        )
+        parallel_seconds = float("inf")
+        for _ in range(3):
+            parallel = _make_sketch(budget)
+            parallel_seconds = min(
+                parallel_seconds,
+                ingest_stream(
+                    parallel, elements, batch_size=BATCH_SIZE, workers=WORKERS
+                ).seconds,
+            )
+    finally:
+        set_registry(previous_registry)
 
     return {
         "element_loop": (element_loop, element_loop_seconds),
         "serial": (serial, serial_seconds),
         "parallel": (parallel, parallel_seconds),
+        "registry": registry,
     }
 
 
@@ -242,6 +260,13 @@ def test_write_results_json(measurements, format_timings, ingest_stream_data):
             "speedup_vs_serial": serial_seconds / parallel_seconds,
         },
         "stream_formats": format_timings,
+        "latency_percentiles": {
+            name: {key: hist[key] for key in ("count", "p50", "p90", "p99", "max")}
+            for name, hist in measurements["registry"].snapshot()["histograms"].items()
+            if name.startswith("ingest.")
+        },
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    METRICS_PATH.write_text(render_json(measurements["registry"]) + "\n")
     assert RESULTS_PATH.exists()
+    assert METRICS_PATH.exists()

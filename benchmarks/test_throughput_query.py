@@ -33,6 +33,7 @@ import pytest
 
 from repro.core.memory import MemoryBudget
 from repro.core.vos import VirtualOddSketch
+from repro.obs import MetricsRegistry, get_registry, render_json, set_registry
 from repro.similarity.search import top_k_similar_pairs
 from repro.streams.deletions import MassiveDeletionModel
 from repro.streams.generators import PowerLawBipartiteGenerator
@@ -51,6 +52,10 @@ TOP_K = 100
 # clobber the repository's accumulated full-pool performance record.
 RESULTS_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_query_smoke.json" if SMOKE_MODE else "BENCH_query.json"
+)
+#: Full metrics-registry dump captured during the timed runs (CI artifact).
+METRICS_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_query_metrics_smoke.json" if SMOKE_MODE else "BENCH_query_metrics.json"
 )
 
 
@@ -93,7 +98,13 @@ def candidates(sketch):
 
 @pytest.fixture(scope="module")
 def measurements(sketch, candidates, stream_elements):
-    """Time both query paths once, sharing the numbers across tests."""
+    """Time both query paths once, sharing the numbers across tests.
+
+    A private metrics registry is active for the vectorized runs so the query
+    latency histograms (``query.top_k_pairs``/``query.score_block``/…)
+    accumulate alongside the wall-clock numbers; percentiles land in the
+    results JSON and the full dump in ``BENCH_query_metrics*.json``.
+    """
     n = len(candidates)
     index_a, index_b = np.triu_indices(n, k=1)
     total_pairs = int(index_a.shape[0])
@@ -119,27 +130,33 @@ def measurements(sketch, candidates, stream_elements):
     # -- vectorized path: cold (fresh sketch, empty caches) and warm (row cache
     # hot) — best of two runs each, matching the ingest benchmark's policy of
     # not letting one scheduler hiccup dominate a sub-second measurement.
-    vectorized_cold_seconds = float("inf")
-    cold_result = None
-    for _ in range(2):
-        fresh = _make_sketch(stream_elements)
-        start = time.perf_counter()
-        cold_result = top_k_similar_pairs(fresh, k=TOP_K)
-        vectorized_cold_seconds = min(
-            vectorized_cold_seconds, time.perf_counter() - start
-        )
-    warm_sketch = _make_sketch(stream_elements)
-    top_k_similar_pairs(warm_sketch, k=TOP_K)
-    warm_seconds = float("inf")
-    for _ in range(2):
-        start = time.perf_counter()
-        warm_result = top_k_similar_pairs(warm_sketch, k=TOP_K)
-        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    previous_registry = get_registry()
+    registry = set_registry(MetricsRegistry())
+    try:
+        vectorized_cold_seconds = float("inf")
+        cold_result = None
+        for _ in range(2):
+            fresh = _make_sketch(stream_elements)
+            start = time.perf_counter()
+            cold_result = top_k_similar_pairs(fresh, k=TOP_K)
+            vectorized_cold_seconds = min(
+                vectorized_cold_seconds, time.perf_counter() - start
+            )
+        warm_sketch = _make_sketch(stream_elements)
+        top_k_similar_pairs(warm_sketch, k=TOP_K)
+        warm_seconds = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            warm_result = top_k_similar_pairs(warm_sketch, k=TOP_K)
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+    finally:
+        set_registry(previous_registry)
     assert [
         (p.user_a, p.user_b, p.jaccard) for p in warm_result
     ] == [(p.user_a, p.user_b, p.jaccard) for p in cold_result]
 
     return {
+        "registry": registry,
         "total_pairs": total_pairs,
         "sample": (sample_a, sample_b, loop_values),
         "loop_sample_seconds": loop_sample_seconds,
@@ -209,6 +226,18 @@ def test_write_query_json(sketch, candidates, measurements):
             "speedup_vs_loop_warm": loop_estimate / warm,
         },
         "sketch_cache": measurements["warm_sketch"].sketch_cache_info(),
+        "latency_percentiles": {
+            name: {key: hist[key] for key in ("count", "p50", "p90", "p99", "max")}
+            for name, hist in measurements["registry"].snapshot()["histograms"].items()
+            if name.startswith("query.")
+        },
+        "row_cache_counters": {
+            name: counter["value"]
+            for name, counter in measurements["registry"].snapshot()["counters"].items()
+            if name.startswith("query.row_cache.")
+        },
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    METRICS_PATH.write_text(render_json(measurements["registry"]) + "\n")
     assert RESULTS_PATH.exists()
+    assert METRICS_PATH.exists()

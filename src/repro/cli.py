@@ -24,6 +24,9 @@ Service commands (the :mod:`repro.service` subsystem)::
     repro snapshot compact --snapshot state.vos
     repro snapshot info --snapshot state.vos
     repro shards --shard-counts 1 2 4 8 --scale 0.2
+    repro metrics show --snapshot state.vos --stream more.vosstream
+    repro metrics dump --snapshot state.vos --stream more.vosstream --out metrics.json
+    repro metrics reset
 
 ``ingest`` reads a stream file — the plain-text format (``<action> <user>
 <item>`` per line) or the binary columnar ``.vosstream`` format, auto-detected
@@ -48,6 +51,15 @@ query O(1)); ``delta`` ingests a stream and appends only the changed array
 words and counters to the write-ahead journal instead of rewriting the
 snapshot; ``compact`` folds the journal back into a fresh full checkpoint;
 ``info`` describes a snapshot file and its journal without restoring state.
+
+The ``metrics`` sub-commands read the process-wide observability registry
+(:mod:`repro.obs`): ``show``/``dump`` load a snapshot, optionally ingest a
+stream and run one ``lsh`` pair query, so the emitted counters and latency
+histograms cover all four instrumented subsystems (ingest, query, index,
+persistence); ``dump`` emits JSON or Prometheus text exposition; ``reset``
+zeroes every metric.  The global ``--log-level`` flag turns on structured
+logging — journal replay and checkpoint events carry shard ids and journal
+sequence numbers as ``key=value`` context.
 
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
@@ -74,6 +86,13 @@ from repro.evaluation.runner import AccuracyExperiment, ExperimentConfig
 from repro.evaluation.runtime import RuntimeExperiment
 from repro.exceptions import DatasetError, ReproError
 from repro.index import IndexConfig
+from repro.obs import (
+    LOG_LEVELS,
+    configure_logging,
+    get_registry,
+    render_json,
+    render_prometheus,
+)
 from repro.service import ServiceConfig, SimilarityService
 from repro.service.journal import default_journal_path, journal_info
 from repro.service.snapshot import snapshot_info
@@ -618,6 +637,86 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def _round6(value: float | None) -> float | str:
+    return "" if value is None else round(value, 6)
+
+
+def _exercise_metrics(args: argparse.Namespace) -> SimilarityService:
+    """Drive all four instrumented subsystems so the registry has data.
+
+    Loading the snapshot exercises persistence (snapshot load + journal
+    replay); ``--stream`` additionally ingests through the batch pipeline;
+    the final ``lsh`` pair query exercises the query path and the banding
+    index.  Everything runs in this process, so the printed registry holds
+    exactly what these operations emitted.
+    """
+    service = SimilarityService.load(args.snapshot, workers=args.workers)
+    if getattr(args, "stream", None):
+        service.ingest(iter_stream_batches(args.stream))
+    if len(service.sketch.users()) >= 2:
+        service.top_k_pairs(k=args.k, candidates="lsh")
+    return service
+
+
+def _cmd_metrics_show(args: argparse.Namespace) -> int:
+    """Exercise a snapshot and render the metrics registry as a table."""
+    try:
+        _exercise_metrics(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    snapshot = get_registry().snapshot()
+    rows: list[list] = []
+    for name, data in snapshot["counters"].items():
+        rows.append([name, "counter", data["value"], "", "", "", "", data["unit"]])
+    for name, data in snapshot["gauges"].items():
+        rows.append([name, "gauge", _round6(data["value"]), "", "", "", "", data["unit"]])
+    for name, data in snapshot["histograms"].items():
+        rows.append(
+            [
+                name,
+                "histogram",
+                data["count"],
+                _round6(data["p50"]),
+                _round6(data["p90"]),
+                _round6(data["p99"]),
+                _round6(data["max"]),
+                data["unit"],
+            ]
+        )
+    headers = ["metric", "kind", "count/value", "p50", "p90", "p99", "max", "unit"]
+    print(f"# {len(rows)} metrics (registry enabled: {snapshot['enabled']})")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Exercise a snapshot and dump the registry as JSON or Prometheus text."""
+    try:
+        _exercise_metrics(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    registry = get_registry()
+    text = (
+        render_prometheus(registry)
+        if args.format == "prometheus"
+        else render_json(registry)
+    )
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"# wrote metrics dump to {args.out}", file=sys.stderr)
+    print(text)
+    return 0
+
+
+def _cmd_metrics_reset(args: argparse.Namespace) -> int:
+    """Zero every metric in the process-wide registry."""
+    get_registry().reset()
+    print("# metrics registry reset")
+    return 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     rows = []
     methods = ("MinHash", "OPH", "RP", "VOS")
@@ -638,6 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the VOS paper's experiments (ICDE 2019).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="structured logging verbosity (journal/checkpoint events log "
+        "shard ids and sequence numbers at info/debug)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -872,6 +978,40 @@ def build_parser() -> argparse.ArgumentParser:
     bias_parser.add_argument("--csv", action="store_true")
     bias_parser.set_defaults(handler=_cmd_bias)
 
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="inspect the in-process metrics registry"
+    )
+    metrics_subparsers = metrics_parser.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    for name, description in (
+        ("show", "exercise a snapshot and print a metrics table"),
+        ("dump", "exercise a snapshot and dump metrics as JSON/Prometheus"),
+    ):
+        sub = metrics_subparsers.add_parser(name, help=description)
+        sub.add_argument("--snapshot", required=True, help="snapshot file to load")
+        sub.add_argument("--stream", help="optional stream file to ingest first")
+        sub.add_argument("-k", type=int, default=10, help="top-k pairs to query")
+        sub.add_argument(
+            "--workers", type=int, default=1, help="ingest worker threads"
+        )
+        if name == "show":
+            sub.add_argument("--csv", action="store_true")
+            sub.set_defaults(handler=_cmd_metrics_show)
+        else:
+            sub.add_argument(
+                "--format",
+                choices=("json", "prometheus"),
+                default="json",
+                help="dump format (default: json)",
+            )
+            sub.add_argument("--out", help="also write the dump to this file")
+            sub.set_defaults(handler=_cmd_metrics_dump)
+    reset_parser = metrics_subparsers.add_parser(
+        "reset", help="zero every metric in this process"
+    )
+    reset_parser.set_defaults(handler=_cmd_metrics_reset)
+
     return parser
 
 
@@ -879,6 +1019,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     return args.handler(args)
 
 

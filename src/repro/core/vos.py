@@ -44,6 +44,7 @@ from repro.core.estimators import (
 from repro.core.memory import MemoryBudget, vos_parameters_for_budget
 from repro.exceptions import ConfigurationError, UnknownUserError
 from repro.hashing import HashFamily, UniversalHash
+from repro.obs import get_registry
 from repro.hashing.universal import stable_hash64
 from repro.streams.batch import ElementBatch
 from repro.streams.edge import StreamElement, UserId
@@ -427,6 +428,13 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
                     cache.move_to_end(user)
                 while len(cache) > self._sketch_cache_size:
                     cache.popitem(last=False)
+        registry = get_registry()
+        if registry.enabled:
+            hits = len(users) - len(missing)
+            if hits:
+                registry.inc("query.row_cache.hits", hits, unit="rows")
+            if missing:
+                registry.inc("query.row_cache.misses", len(missing), unit="rows")
         return packed
 
     def _gather_packed(self, users: Sequence[UserId]) -> np.ndarray:

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.core.vos import _bitwise_count, packed_row_bytes
 from repro.exceptions import ConfigurationError, SnapshotError, UnknownUserError
+from repro.obs import get_registry, trace
 from repro.hashing.universal import _MERSENNE_P, UniversalHash, _mix64_array, stable_hash64
 from repro.streams.batch import decode_id_column, encode_id_column
 from repro.streams.edge import UserId, user_sort_key
@@ -502,12 +503,20 @@ class BandedSketchIndex:
                 )
                 for shard in self._sketch.row_shards()
             ]
+        registry = get_registry()
         for table in self._shard_signatures:
-            outcome = table.sync()
+            with trace("index.sync", registry) as span:
+                outcome = table.sync()
             if outcome == "rebuilt":
                 self._rebuilds += 1
+                if registry.enabled:
+                    registry.inc("index.rebuilds", 1, unit="tables")
+                    registry.observe("index.rebuild_seconds", span.seconds)
             elif outcome == "updated":
                 self._incremental_updates += 1
+                if registry.enabled:
+                    registry.inc("index.incremental_appends", 1, unit="tables")
+                    registry.observe("index.append_seconds", span.seconds)
 
     def build(self) -> None:
         """Force a full rebuild of every shard's signature table."""
@@ -700,8 +709,30 @@ class BandedSketchIndex:
         with ``index_a < index_b``, sorted lexicographically — exactly the
         order the exhaustive enumeration visits them, so downstream
         tie-breaking behaves identically.  Always a subset of the pool's
-        ``i < j`` pairs.
+        ``i < j`` pairs.  Each call is traced (``index.candidate_pairs``) and
+        publishes its candidate yield, candidate fraction and per-band bucket
+        size distribution to the metrics registry.
         """
+        registry = get_registry()
+        with trace("index.candidate_pairs", registry):
+            result = self._propose_pairs(pool, registry)
+        if registry.enabled:
+            registry.inc("index.queries", 1, unit="queries")
+            if self._last_candidate_pairs is not None:
+                registry.observe(
+                    "index.candidate_yield", self._last_candidate_pairs, unit="pairs"
+                )
+            if self._last_pool_pairs:
+                registry.observe(
+                    "index.candidate_fraction",
+                    self._last_candidate_pairs / self._last_pool_pairs,
+                    unit="fraction",
+                )
+        return result
+
+    def _propose_pairs(
+        self, pool: Sequence[UserId], registry
+    ) -> tuple[np.ndarray, np.ndarray]:
         self.refresh()
         pool = list(pool)
         n = len(pool)
@@ -718,8 +749,18 @@ class BandedSketchIndex:
                 continue
             keys = signatures[ordinals, band]
             order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            if registry.enabled:
+                # Bucket sizes are the runs of equal keys — the same grouping
+                # _pairs_within_groups expands, recomputed here only when the
+                # registry wants the distribution.
+                change = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+                sizes = np.diff(
+                    np.concatenate(([0], change, [sorted_keys.shape[0]]))
+                )
+                registry.observe_many("index.bucket_size", sizes, unit="users")
             pair_a, pair_b = _pairs_within_groups(
-                ordinals[order], keys[order], self._config.max_bucket
+                ordinals[order], sorted_keys, self._config.max_bucket
             )
             if pair_a.size:
                 key_blocks.append(pair_a * n + pair_b)

@@ -1,0 +1,45 @@
+"""repro.obs — unified observability: metrics, tracing spans, exporters.
+
+The cross-cutting layer every subsystem reports into (see README
+"Observability" for the metric catalogue):
+
+* :mod:`repro.obs.registry` — process-wide :class:`MetricsRegistry` with
+  thread-safe counters, gauges, and log-bucketed streaming histograms
+  (p50/p90/p99/max without storing samples).
+* :mod:`repro.obs.tracing` — nested ``with trace("name"):`` spans that are
+  strict no-ops when the registry is disabled, and always-measuring
+  :func:`timed` spans that double as the source of ``IngestReport`` timings.
+* :mod:`repro.obs.export` — JSON and Prometheus text exposition.
+* :mod:`repro.obs.logs` — CLI logging setup and ``key=value`` context.
+"""
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.logs import LOG_LEVELS, configure_logging, kv
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, current_span, timed, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "NOOP_SPAN",
+    "Span",
+    "current_span",
+    "timed",
+    "trace",
+    "render_json",
+    "render_prometheus",
+    "configure_logging",
+    "kv",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,63 @@
+"""Exporters for :class:`~repro.obs.registry.MetricsRegistry` snapshots.
+
+Two formats:
+
+* :func:`render_json` — the full snapshot as pretty-printed JSON, the format
+  ``repro metrics dump`` emits and the bench harness writes next to the
+  ``BENCH_*.json`` trend files.
+* :func:`render_prometheus` — Prometheus text exposition.  Counters and
+  gauges map directly; histograms are rendered as summaries with
+  ``quantile`` labels plus ``_sum``/``_count`` series.  Metric names are
+  sanitized (dots become underscores) and prefixed ``repro_``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["render_json", "render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def render_json(registry: Optional[MetricsRegistry] = None, indent: int = 2) -> str:
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    registry = registry if registry is not None else get_registry()
+    snapshot = registry.snapshot()
+    lines = []
+    for name, data in snapshot["counters"].items():
+        prom = _prom_name(name)
+        if data["unit"]:
+            lines.append(f"# HELP {prom} unit: {data['unit']}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {data['value']}")
+    for name, data in snapshot["gauges"].items():
+        prom = _prom_name(name)
+        if data["unit"]:
+            lines.append(f"# HELP {prom} unit: {data['unit']}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {data['value']}")
+    for name, data in snapshot["histograms"].items():
+        prom = _prom_name(name)
+        if data["unit"]:
+            lines.append(f"# HELP {prom} unit: {data['unit']}")
+        lines.append(f"# TYPE {prom} summary")
+        for label, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            value = data[key]
+            if value is not None:
+                lines.append(f'{prom}{{quantile="{label}"}} {value}')
+        lines.append(f"{prom}_sum {data['sum']}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + "\n"

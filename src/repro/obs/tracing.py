@@ -1,0 +1,125 @@
+"""Lightweight nested tracing spans feeding the metrics registry.
+
+Two entry points:
+
+* :func:`trace` — the instrumentation primitive.  When the registry is
+  enabled it returns a live :class:`Span`; when disabled it returns a shared
+  stateless no-op singleton, so a disabled ``with trace(...)`` compiles down
+  to two trivially cheap method calls and no clock reads.
+* :func:`timed` — a span that *always* measures wall time (callers read
+  ``span.seconds`` afterwards) but only publishes to the registry when it is
+  enabled.  ``ingest_stream`` builds :class:`~repro.service.batching.IngestReport`
+  from these spans, so the report and the registry are fed from the same
+  measurements and can never disagree.
+
+Spans nest per thread: ``current_span()`` returns the innermost active span,
+and each span records its parent so ``span.path`` gives the full dotted
+ancestry (``ingest.run/ingest.process``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["Span", "NOOP_SPAN", "current_span", "timed", "trace"]
+
+_STACK = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = []
+        _STACK.spans = stack
+    return stack
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned by :func:`trace` when disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    seconds = 0.0
+    parent = None
+    path = ""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """Context manager timing one named region.
+
+    On exit the elapsed wall time is stored in :attr:`seconds` and, when the
+    owning registry is enabled, observed into the histogram named after the
+    span (unit: seconds).
+    """
+
+    __slots__ = ("name", "registry", "seconds", "parent", "_start")
+
+    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None) -> None:
+        self.name = name
+        self.registry = registry if registry is not None else get_registry()
+        self.seconds = 0.0
+        self.parent: Optional[Span] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        registry = self.registry
+        if registry.enabled:
+            registry.histogram(self.name, unit="seconds").observe(self.seconds)
+        return False
+
+    @property
+    def path(self) -> str:
+        parts = []
+        node: Optional[Span] = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+
+def current_span() -> Optional[Span]:
+    """Innermost active span on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def trace(name: str, registry: Optional[MetricsRegistry] = None):
+    """Span for pure instrumentation: a strict no-op when disabled."""
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return NOOP_SPAN
+    return Span(name, registry)
+
+
+def timed(name: str, registry: Optional[MetricsRegistry] = None) -> Span:
+    """Span that always measures; publishes only when the registry is enabled.
+
+    Use when the caller needs ``span.seconds`` regardless of metrics state
+    (e.g. building an :class:`IngestReport`).
+    """
+    return Span(name, registry)

@@ -18,12 +18,12 @@ operations.  This module owns the two pieces every caller needs:
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 from repro.baselines.base import SimilaritySketch
 from repro.exceptions import ConfigurationError
+from repro.obs import get_registry, timed
 from repro.service.parallel import ShardParallelIngestor
 from repro.service.sharding import ShardedVOS
 from repro.streams.batch import ElementBatch
@@ -94,6 +94,11 @@ class IngestReport:
         the shard workers (parallel).
     workers:
         Worker threads that ingested shard sub-batches (1 = serial).
+
+    All timings are sums of the per-batch ``repro.obs`` spans
+    (``ingest.run``/``ingest.assemble``/``ingest.process``), so when the
+    metrics registry is enabled the report and the registry histograms are
+    fed from the same measurements and can never disagree.
     """
 
     elements: int
@@ -130,35 +135,43 @@ def ingest_stream(
         raise ConfigurationError(f"workers must be positive, got {workers}")
     parallel = workers > 1 and isinstance(sketch, ShardedVOS) and sketch.num_shards > 1
     ingestor = ShardParallelIngestor(sketch, workers) if parallel else None
-    start = time.perf_counter()
+    registry = get_registry()
     assemble = process = 0.0
     total = 0
     batches = 0
     iterator = iter_batches(source, batch_size)
-    try:
-        while True:
-            mark = time.perf_counter()
-            batch = next(iterator, None)
-            assemble += time.perf_counter() - mark
-            if batch is None:
-                break
-            mark = time.perf_counter()
+    with timed("ingest.run", registry) as run_span:
+        try:
+            while True:
+                with timed("ingest.assemble", registry) as span:
+                    batch = next(iterator, None)
+                assemble += span.seconds
+                if batch is None:
+                    break
+                with timed("ingest.process", registry) as span:
+                    if ingestor is not None:
+                        total += ingestor.submit(batch)
+                    else:
+                        total += sketch.process_batch(batch)
+                process += span.seconds
+                batches += 1
+        finally:
             if ingestor is not None:
-                total += ingestor.submit(batch)
-            else:
-                total += sketch.process_batch(batch)
-            process += time.perf_counter() - mark
-            batches += 1
-    finally:
-        if ingestor is not None:
-            mark = time.perf_counter()
-            ingestor.close()
-            process += time.perf_counter() - mark
-    return IngestReport(
+                with timed("ingest.process", registry) as span:
+                    ingestor.close()
+                process += span.seconds
+    report = IngestReport(
         elements=total,
         batches=batches,
-        seconds=time.perf_counter() - start,
+        seconds=run_span.seconds,
         assemble_seconds=assemble,
         process_seconds=process,
         workers=ingestor.workers if ingestor is not None else 1,
     )
+    if registry.enabled:
+        registry.inc("ingest.elements", total, unit="elements")
+        registry.inc("ingest.batches", batches, unit="batches")
+        registry.set_gauge(
+            "ingest.elements_per_second", report.elements_per_second, unit="elements/s"
+        )
+    return report

@@ -38,6 +38,7 @@ tail before appending again.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import struct
 import zlib
@@ -47,11 +48,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.exceptions import SnapshotError
+from repro.obs import get_registry, kv, timed
 from repro.service.snapshot import (
     atomic_write_bytes,
     decode_id_column,
     encode_id_column,
 )
+
+logger = logging.getLogger(__name__)
 
 JOURNAL_MAGIC = b"VOSJRNL\x00"
 JOURNAL_FORMAT_VERSION = 1
@@ -366,46 +370,80 @@ def replay_journal(
     shard's array popcount and user count are checked against the recorded
     values, so replaying onto subtly wrong state cannot pass silently.
     """
-    contents = read_journal(path)
-    if contents.checkpoint_id != checkpoint_id:
-        raise SnapshotError(
-            f"journal {path} was recorded against checkpoint "
-            f"{contents.checkpoint_id!r}, not {checkpoint_id!r}"
-        )
-    shards = sketch.row_shards()
-    replay = JournalReplay(truncated_tail=contents.truncated_tail)
-    for record in contents.records:
-        if not 0 <= record.shard < len(shards):
+    registry = get_registry()
+    debug = logger.isEnabledFor(logging.DEBUG)
+    with timed("persistence.journal.replay", registry) as span:
+        contents = read_journal(path)
+        if contents.checkpoint_id != checkpoint_id:
             raise SnapshotError(
-                f"journal record {record.seq} names shard {record.shard}, "
-                f"but the snapshot holds {len(shards)} shard(s)"
+                f"journal {path} was recorded against checkpoint "
+                f"{contents.checkpoint_id!r}, not {checkpoint_id!r}"
             )
-        shard = shards[record.shard]
-        if record.has_words:
-            shard.shared_array.apply_packed_words(record.word_indices, record.word_data)
-            replay.words_applied += int(record.word_indices.size)
-            replay.shards_touched.add(record.shard)
-        for user, count in zip(record.counter_users, record.counter_counts.tolist()):
-            shard._cardinalities[user] = count
-        replay.counters_applied += len(record.counter_users)
-        if shard.shared_array.ones_count != record.ones_count:
-            raise SnapshotError(
-                f"journal record {record.seq} leaves shard {record.shard} with "
-                f"popcount {shard.shared_array.ones_count}, expected "
-                f"{record.ones_count} — the journal does not match this snapshot"
+        shards = sketch.row_shards()
+        replay = JournalReplay(truncated_tail=contents.truncated_tail)
+        for record in contents.records:
+            if not 0 <= record.shard < len(shards):
+                raise SnapshotError(
+                    f"journal record {record.seq} names shard {record.shard}, "
+                    f"but the snapshot holds {len(shards)} shard(s)"
+                )
+            shard = shards[record.shard]
+            if record.has_words:
+                shard.shared_array.apply_packed_words(record.word_indices, record.word_data)
+                replay.words_applied += int(record.word_indices.size)
+                replay.shards_touched.add(record.shard)
+            for user, count in zip(record.counter_users, record.counter_counts.tolist()):
+                shard._cardinalities[user] = count
+            replay.counters_applied += len(record.counter_users)
+            if shard.shared_array.ones_count != record.ones_count:
+                raise SnapshotError(
+                    f"journal record {record.seq} leaves shard {record.shard} with "
+                    f"popcount {shard.shared_array.ones_count}, expected "
+                    f"{record.ones_count} — the journal does not match this snapshot"
+                )
+            if len(shard._cardinalities) != record.num_users:
+                raise SnapshotError(
+                    f"journal record {record.seq} leaves shard {record.shard} with "
+                    f"{len(shard._cardinalities)} users, expected {record.num_users}"
+                )
+            if record.index_users is not None:
+                replay.index_appends.setdefault(record.shard, []).append(record)
+            replay.records += 1
+            if debug:
+                logger.debug(
+                    "journal replay record %s",
+                    kv(
+                        seq=record.seq,
+                        shard=record.shard,
+                        shard_seq=record.shard_seq,
+                        words=int(record.word_indices.size),
+                        counters=len(record.counter_users),
+                    ),
+                )
+        # Replayed state equals the journal's durable record, so the sketch is
+        # clean with respect to (snapshot + journal).
+        for shard in shards:
+            shard.clear_dirty()
+    if registry.enabled:
+        registry.inc("persistence.replay.records", replay.records, unit="records")
+        if span.seconds > 0.0:
+            registry.set_gauge(
+                "persistence.replay.records_per_second",
+                replay.records / span.seconds,
+                unit="records/s",
             )
-        if len(shard._cardinalities) != record.num_users:
-            raise SnapshotError(
-                f"journal record {record.seq} leaves shard {record.shard} with "
-                f"{len(shard._cardinalities)} users, expected {record.num_users}"
-            )
-        if record.index_users is not None:
-            replay.index_appends.setdefault(record.shard, []).append(record)
-        replay.records += 1
-    # Replayed state equals the journal's durable record, so the sketch is
-    # clean with respect to (snapshot + journal).
-    for shard in shards:
-        shard.clear_dirty()
+    logger.info(
+        "journal replay done %s",
+        kv(
+            records=replay.records,
+            words=replay.words_applied,
+            counters=replay.counters_applied,
+            shards_touched=len(replay.shards_touched),
+            last_seq=replay.records,
+            truncated_tail=replay.truncated_tail,
+            seconds=round(span.seconds, 6),
+        ),
+    )
     return replay
 
 
@@ -559,10 +597,27 @@ class JournalWriter:
             num_users,
             index_append,
         )
-        with self._path.open("ab") as handle:
-            handle.write(record)
-            handle.flush()
-            os.fsync(handle.fileno())
+        registry = get_registry()
+        with timed("persistence.journal.append", registry):
+            with self._path.open("ab") as handle:
+                handle.write(record)
+                handle.flush()
+                with timed("persistence.journal.fsync", registry):
+                    os.fsync(handle.fileno())
+        if registry.enabled:
+            registry.inc("persistence.journal.records", 1, unit="records")
+            registry.inc("persistence.journal.bytes", len(record), unit="bytes")
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "journal append %s",
+                kv(
+                    seq=self._seq,
+                    shard=shard,
+                    shard_seq=shard_seq,
+                    bytes=len(record),
+                    words=int(word_indices.size),
+                ),
+            )
         self._shard_seqs[shard] = shard_seq
         if word_indices.size:
             self._word_changed_shards.add(shard)

@@ -30,6 +30,7 @@ import queue
 import threading
 
 from repro.exceptions import ConfigurationError
+from repro.obs import get_registry, trace
 from repro.service.sharding import ShardedVOS
 from repro.streams.batch import ElementBatch
 
@@ -94,7 +95,13 @@ class ShardParallelIngestor:
                     continue  # keep draining so submit/close never block forever
                 shard, sub_batch = task
                 try:
-                    shard.process_batch(sub_batch)
+                    registry = get_registry()
+                    with trace("ingest.shard_batch", registry):
+                        shard.process_batch(sub_batch)
+                    if registry.enabled:
+                        registry.inc(
+                            "ingest.worker_elements", len(sub_batch), unit="elements"
+                        )
                 except BaseException as error:  # noqa: BLE001 - relayed to caller
                     with self._failure_lock:
                         if self._failure is None:
@@ -114,10 +121,20 @@ class ShardParallelIngestor:
         count = len(batch)
         if count == 0:
             return 0
-        for shard_index, sub_batch in self._sketch.split_by_shard(batch):
-            self._queues[shard_index % self.workers].put(
-                (self._sketch.shards[shard_index], sub_batch)
-            )
+        registry = get_registry()
+        with trace("ingest.route", registry):
+            tasks = [
+                (shard_index, self._sketch.shards[shard_index], sub_batch)
+                for shard_index, sub_batch in self._sketch.split_by_shard(batch)
+            ]
+        enabled = registry.enabled
+        for shard_index, shard, sub_batch in tasks:
+            task_queue = self._queues[shard_index % self.workers]
+            if enabled:
+                registry.observe(
+                    "ingest.queue_depth", task_queue.qsize(), unit="tasks"
+                )
+            task_queue.put((shard, sub_batch))
         return count
 
     # -- shutdown --------------------------------------------------------------------

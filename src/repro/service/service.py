@@ -19,6 +19,7 @@ up exactly where the previous one stopped.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,6 +35,7 @@ from repro.index import (
     decode_index_state,
     encode_index_state,
 )
+from repro.obs import get_registry, kv, timed
 from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stream
 from repro.service.journal import (
     JournalWriter,
@@ -65,6 +67,8 @@ from repro.streams.edge import StreamElement, UserId, user_sort_key
 register_snapshot_section(
     INDEX_SNAPSHOT_SECTION, encode=encode_index_state, decode=decode_index_state
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -383,6 +387,9 @@ class SimilarityService:
             "journal_bytes": self._journal_size_bytes(),
             "dirty": sketch.dirty_info(),
         }
+        # The process-wide observability snapshot: every subsystem's counters,
+        # gauges and latency histograms (see README "Observability").
+        stats["metrics"] = get_registry().snapshot()
         return stats
 
     # -- persistence -----------------------------------------------------------------
@@ -421,11 +428,28 @@ class SimilarityService:
             include_index = self._index is not None and self._index.is_built
         if include_index:
             extras[INDEX_SNAPSHOT_SECTION] = self.index().export_state()
-        checkpoint_id = save_snapshot(
-            self._sketch,
-            path,
-            extras=extras or None,
-            checkpoint_id=new_checkpoint_id(),
+        registry = get_registry()
+        with timed("persistence.snapshot.save", registry) as span:
+            checkpoint_id = save_snapshot(
+                self._sketch,
+                path,
+                extras=extras or None,
+                checkpoint_id=new_checkpoint_id(),
+            )
+        snapshot_bytes = Path(path).stat().st_size
+        if registry.enabled:
+            registry.inc("persistence.snapshot.saves", 1, unit="snapshots")
+            registry.set_gauge(
+                "persistence.snapshot.bytes", snapshot_bytes, unit="bytes"
+            )
+        logger.info(
+            "full checkpoint %s",
+            kv(
+                checkpoint_id=checkpoint_id,
+                path=path,
+                bytes=snapshot_bytes,
+                seconds=round(span.seconds, 6),
+            ),
         )
         self._sketch.clear_dirty()
         self._snapshot_path = Path(path)
@@ -481,34 +505,59 @@ class SimilarityService:
         journal = self._journal
         records = 0
         bytes_written = 0
-        for shard_index, shard in enumerate(self._sketch.row_shards()):
-            words = shard.shared_array.dirty_words()
-            dirty_users = sorted(shard.dirty_counter_users(), key=user_sort_key)
-            if words.size == 0 and not dirty_users:
-                continue
-            index_append = None
-            if (
-                words.size == 0
-                and dirty_users
-                and self._index is not None
-                and self._index.is_built
-                and not journal.shard_words_changed(shard_index)
-            ):
-                index_append = self._index.export_append(shard_index, dirty_users)
-            bytes_written += journal.append_delta(
-                shard_index,
-                words,
-                shard.shared_array.packed_words(words),
-                dirty_users,
-                [shard._cardinalities.get(user, 0) for user in dirty_users],
-                ones_count=shard.shared_array.ones_count,
-                num_users=len(shard._cardinalities),
-                index_append=index_append,
-            )
-            shard.clear_dirty()
-            records += 1
+        registry = get_registry()
+        with timed("persistence.checkpoint.delta", registry) as span:
+            for shard_index, shard in enumerate(self._sketch.row_shards()):
+                words = shard.shared_array.dirty_words()
+                dirty_users = sorted(shard.dirty_counter_users(), key=user_sort_key)
+                if words.size == 0 and not dirty_users:
+                    continue
+                index_append = None
+                if (
+                    words.size == 0
+                    and dirty_users
+                    and self._index is not None
+                    and self._index.is_built
+                    and not journal.shard_words_changed(shard_index)
+                ):
+                    index_append = self._index.export_append(shard_index, dirty_users)
+                bytes_written += journal.append_delta(
+                    shard_index,
+                    words,
+                    shard.shared_array.packed_words(words),
+                    dirty_users,
+                    [shard._cardinalities.get(user, 0) for user in dirty_users],
+                    ones_count=shard.shared_array.ones_count,
+                    num_users=len(shard._cardinalities),
+                    index_append=index_append,
+                )
+                shard.clear_dirty()
+                records += 1
         self._elements_since_checkpoint = 0
         self._deltas_written += records
+        if registry.enabled and records:
+            registry.inc("persistence.delta.checkpoints", 1, unit="checkpoints")
+            if self._snapshot_path.exists():
+                snapshot_bytes = self._snapshot_path.stat().st_size
+                if snapshot_bytes > 0:
+                    # How much smaller the delta was than rewriting the full
+                    # snapshot — the payoff incremental persistence exists for.
+                    registry.observe(
+                        "persistence.delta.bytes_ratio",
+                        bytes_written / snapshot_bytes,
+                        unit="fraction",
+                    )
+        logger.info(
+            "delta checkpoint %s",
+            kv(
+                checkpoint_id=self._checkpoint_id,
+                records=records,
+                bytes=bytes_written,
+                journal_bytes=journal.size_bytes,
+                last_seq=journal.records_written,
+                seconds=round(span.seconds, 6),
+            ),
+        )
         return {
             "records": records,
             "bytes": bytes_written,
@@ -581,7 +630,19 @@ class SimilarityService:
         their first ``lsh`` query without any signature rebuild
         (``stats()["index"]["restored"]`` counts the adopted tables).
         """
-        state = load_snapshot_state(path)
+        registry = get_registry()
+        with timed("persistence.snapshot.load", registry) as span:
+            state = load_snapshot_state(path)
+        if registry.enabled:
+            registry.inc("persistence.snapshot.loads", 1, unit="snapshots")
+        logger.info(
+            "snapshot restore %s",
+            kv(
+                checkpoint_id=state.checkpoint_id or None,
+                path=path,
+                seconds=round(span.seconds, 6),
+            ),
+        )
         replay = None
         journal_path: Path | None = None
         unreplayed = False

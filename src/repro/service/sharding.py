@@ -381,14 +381,20 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
         return sum(shard.memory_bits() for shard in self._shards)
 
     def shard_report(self) -> list[dict[str, float | int]]:
-        """Per-shard load summary (users, set bits, beta, memory bits)."""
-        return [
-            {
-                "shard": index,
-                "users": len(shard.users()),
-                "ones": shard.shared_array.ones_count,
-                "beta": shard.beta,
-                "memory_bits": shard.memory_bits(),
-            }
-            for index, shard in enumerate(self._shards)
-        ]
+        """Per-shard load summary (users, set bits, beta, memory, row cache)."""
+        report = []
+        for index, shard in enumerate(self._shards):
+            cache = shard.sketch_cache_info()
+            report.append(
+                {
+                    "shard": index,
+                    "users": len(shard.users()),
+                    "ones": shard.shared_array.ones_count,
+                    "beta": shard.beta,
+                    "memory_bits": shard.memory_bits(),
+                    "cache_entries": cache["entries"],
+                    "cache_hits": cache["hits"],
+                    "cache_misses": cache["misses"],
+                }
+            )
+        return report

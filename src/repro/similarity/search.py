@@ -32,6 +32,7 @@ natural order.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
@@ -40,6 +41,7 @@ import numpy as np
 from repro.baselines.base import SimilaritySketch
 from repro.exceptions import ConfigurationError
 from repro.index import BandedSketchIndex
+from repro.obs import get_registry, trace
 from repro.streams.edge import UserId, user_sort_key as _user_sort_key
 
 #: Upper bound on candidate pairs enumerated and scored per bulk call.  The
@@ -164,6 +166,8 @@ def _prefilter_pairs(
     Vectorized form of :func:`_size_ratio_bound`: for any two sets, ``J(A, B)
     <= min(|A|,|B|) / max(|A|,|B|)``, so pairs below the threshold cannot
     qualify regardless of overlap and no sketch query is spent on them.
+    Selectivity is published as the ``query.prefilter.pairs_in`` /
+    ``query.prefilter.pairs_kept`` counter pair.
     """
     sizes_a = cardinalities[index_a]
     sizes_b = cardinalities[index_b]
@@ -172,7 +176,41 @@ def _prefilter_pairs(
         bounds = np.minimum(sizes_a, sizes_b) / larger
     bounds = np.where(larger == 0, 0.0, bounds)
     keep = bounds >= threshold
-    return index_a[keep], index_b[keep]
+    index_a, index_b = index_a[keep], index_b[keep]
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("query.prefilter.pairs_in", int(keep.size), unit="pairs")
+        registry.inc("query.prefilter.pairs_kept", int(index_a.size), unit="pairs")
+    return index_a, index_b
+
+
+def _scored_jaccards(
+    sketch: SimilaritySketch,
+    pool: Sequence[UserId],
+    index_a: np.ndarray,
+    index_b: np.ndarray,
+) -> np.ndarray:
+    """Score one candidate block, timing it and counting pairs scored."""
+    registry = get_registry()
+    with trace("query.score_block", registry):
+        jaccards = sketch.estimate_jaccard_indexed(pool, index_a, index_b)
+    if registry.enabled:
+        registry.inc("query.pairs_scored", int(index_a.size), unit="pairs")
+    return jaccards
+
+
+def _traced(name: str):
+    """Wrap a search entry point in a ``repro.obs`` span of the given name."""
+
+    def decorate(function):
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            with trace(name):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def _ranked_scored_pairs(
@@ -210,6 +248,7 @@ def _ranked_scored_pairs(
     ]
 
 
+@_traced("query.top_k_pairs")
 def top_k_similar_pairs(
     sketch: SimilaritySketch,
     *,
@@ -276,7 +315,7 @@ def top_k_similar_pairs(
             )
         if index_a.size == 0:
             continue
-        jaccards = sketch.estimate_jaccard_indexed(pool, index_a, index_b)
+        jaccards = _scored_jaccards(sketch, pool, index_a, index_b)
         if best is not None:
             jaccards = np.concatenate([best[0], jaccards])
             index_a = np.concatenate([best[1], index_a])
@@ -291,6 +330,7 @@ def top_k_similar_pairs(
     return _ranked_scored_pairs(sketch, pool, index_a, index_b, jaccards)
 
 
+@_traced("query.nearest_neighbours")
 def nearest_neighbours(
     sketch: SimilaritySketch,
     target: UserId,
@@ -321,13 +361,14 @@ def nearest_neighbours(
     indexed_users = [target, *others]
     index_a = np.zeros(len(others), dtype=np.int64)
     index_b = np.arange(1, len(others) + 1, dtype=np.int64)
-    jaccards = sketch.estimate_jaccard_indexed(indexed_users, index_a, index_b)
+    jaccards = _scored_jaccards(sketch, indexed_users, index_a, index_b)
     order = np.lexsort((index_b, -jaccards))[:k]
     return _ranked_scored_pairs(
         sketch, indexed_users, index_a[order], index_b[order], jaccards[order]
     )
 
 
+@_traced("query.pairs_above_threshold")
 def pairs_above_threshold(
     sketch: SimilaritySketch,
     threshold: float,
@@ -364,7 +405,7 @@ def pairs_above_threshold(
             )
         if index_a.size == 0:
             continue
-        jaccards = sketch.estimate_jaccard_indexed(pool, index_a, index_b)
+        jaccards = _scored_jaccards(sketch, pool, index_a, index_b)
         qualifying = jaccards >= threshold
         if np.any(qualifying):
             kept.append(

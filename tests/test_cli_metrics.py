@@ -1,0 +1,207 @@
+"""Tests for the ``repro metrics`` CLI and the ``--log-level`` flag.
+
+``metrics dump`` must exercise all four instrumented subsystems in one
+process (snapshot load → optional ingest → LSH query) and emit a machine-
+readable registry dump; ``show`` renders the same data as a table; ``reset``
+zeroes the process registry.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.service import ServiceConfig, SimilarityService
+from repro.streams.edge import Action, StreamElement
+from repro.streams.io import write_stream
+from repro.streams.stream import GraphStream
+
+
+@pytest.fixture
+def registry():
+    previous = get_registry()
+    fresh = set_registry(MetricsRegistry())
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    """main() reconfigures root logging (force=True); undo it after each test."""
+    root = logging.getLogger()
+    level, handlers = root.level, list(root.handlers)
+    yield
+    root.setLevel(level)
+    root.handlers[:] = handlers
+
+
+def correlated_elements(users=20, items=40, overlap=0.6, seed=3):
+    rng = np.random.default_rng(seed)
+    shared = [int(x) for x in rng.integers(0, 10**6, size=items)]
+    elements = []
+    for user in range(users):
+        for item in shared:
+            if rng.random() < overlap:
+                elements.append(StreamElement(user, item, Action.INSERT))
+    return elements
+
+
+@pytest.fixture
+def snapshot_path(tmp_path, registry):
+    service = SimilarityService.from_config(
+        ServiceConfig(expected_users=64, num_shards=4, seed=9)
+    )
+    service.ingest(correlated_elements())
+    path = tmp_path / "state.vos"
+    service.save(path=path)
+    service.ingest([StreamElement(1, 5_000_001, Action.INSERT)])
+    service.save_delta()
+    registry.reset()  # the CLI run must repopulate everything itself
+    return path
+
+
+class TestMetricsDump:
+    def test_dump_covers_all_four_subsystems(self, registry, snapshot_path, capsys):
+        assert main(["metrics", "dump", "--snapshot", str(snapshot_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = (
+            set(payload["counters"])
+            | set(payload["gauges"])
+            | set(payload["histograms"])
+        )
+        for prefix in ("ingest.", "query.", "index.", "persistence."):
+            assert any(name.startswith(prefix) for name in names), (
+                f"dump missing subsystem {prefix!r}"
+            )
+        # Latency histograms carry percentile fields.
+        query = payload["histograms"]["query.top_k_pairs"]
+        assert query["count"] >= 1
+        assert query["p50"] is not None and query["p99"] is not None
+        replay = payload["histograms"]["persistence.journal.replay"]
+        assert replay["count"] == 1
+
+    def test_dump_with_stream_ingests_first(
+        self, registry, snapshot_path, tmp_path, capsys
+    ):
+        stream_path = tmp_path / "extra.txt"
+        write_stream(
+            GraphStream(
+                [StreamElement(50, 123, Action.INSERT)], name="extra", validate=False
+            ),
+            stream_path,
+        )
+        code = main(
+            [
+                "metrics",
+                "dump",
+                "--snapshot",
+                str(snapshot_path),
+                "--stream",
+                str(stream_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["ingest.elements"]["value"] == 1
+
+    def test_dump_prometheus_format(self, registry, snapshot_path, capsys):
+        code = main(
+            [
+                "metrics",
+                "dump",
+                "--snapshot",
+                str(snapshot_path),
+                "--format",
+                "prometheus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_persistence_snapshot_loads counter" in out
+        assert "repro_persistence_snapshot_loads 1" in out
+        assert 'quantile="0.99"' in out
+
+    def test_dump_writes_out_file(self, registry, snapshot_path, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "metrics",
+                "dump",
+                "--snapshot",
+                str(snapshot_path),
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["counters"]["persistence.snapshot.loads"]["value"] == 1
+
+    def test_dump_missing_snapshot_is_an_error(self, registry, tmp_path, capsys):
+        code = main(["metrics", "dump", "--snapshot", str(tmp_path / "nope.vos")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsShowAndReset:
+    def test_show_renders_table(self, registry, snapshot_path, capsys):
+        assert main(["metrics", "show", "--snapshot", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "histogram" in out and "counter" in out
+        assert "p99" in out and "unit" in out
+        assert "persistence.snapshot.load" in out
+
+    def test_show_csv(self, registry, snapshot_path, capsys):
+        code = main(["metrics", "show", "--snapshot", str(snapshot_path), "--csv"])
+        assert code == 0
+        assert "metric,kind," in capsys.readouterr().out
+
+    def test_reset_zeroes_registry(self, registry, snapshot_path, capsys):
+        main(["metrics", "dump", "--snapshot", str(snapshot_path)])
+        capsys.readouterr()
+        assert registry.counter("persistence.snapshot.loads").value == 1
+        assert main(["metrics", "reset"]) == 0
+        assert registry.counter("persistence.snapshot.loads").value == 0
+
+
+class TestLogLevel:
+    def test_default_log_level_is_warning(self, registry, snapshot_path, capsys):
+        main(["metrics", "reset"])
+        assert logging.getLogger().level == logging.WARNING
+
+    # configure_logging(force=True) swaps the root handlers, so these tests
+    # read the captured stderr stream rather than going through caplog.
+
+    def test_log_level_info_emits_persistence_events(
+        self, registry, snapshot_path, capsys
+    ):
+        main(
+            ["--log-level", "info", "metrics", "dump", "--snapshot", str(snapshot_path)]
+        )
+        err = capsys.readouterr().err
+        assert "snapshot restore" in err
+        assert "journal replay done" in err
+        assert "last_seq=" in err  # journal sequence number in log context
+
+    def test_log_level_debug_includes_shard_context(
+        self, registry, snapshot_path, capsys
+    ):
+        main(
+            ["--log-level", "debug", "metrics", "dump", "--snapshot", str(snapshot_path)]
+        )
+        err = capsys.readouterr().err
+        replay_lines = [
+            line for line in err.splitlines() if "journal replay record" in line
+        ]
+        assert replay_lines
+        assert "shard=" in replay_lines[0]
+        assert "seq=" in replay_lines[0]
+
+    def test_invalid_log_level_rejected(self, registry):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "metrics", "reset"])

@@ -1,0 +1,284 @@
+"""Tests for repro.obs.registry: metric kinds, thread safety, exporters.
+
+The registry is the sink every instrumented subsystem reports into, so the
+bar here is exactness: counters incremented from many threads must sum
+correctly, histogram merges must never lose updates, and the streaming
+quantiles must stay within one log-bucket (~12% relative width) of the true
+sample quantile.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_json,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.registry import _ZERO_BUCKET, BUCKETS_PER_DECADE
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry swapped in as the process default, restored after."""
+    previous = get_registry()
+    fresh = set_registry(MetricsRegistry())
+    yield fresh
+    set_registry(previous)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c", unit="items")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert counter.snapshot() == {"value": 42, "unit": "items"}
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_increments_are_exact(self):
+        counter = Counter("c")
+        threads = 8
+        per_thread = 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g", unit="ratio")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(9.0)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        histogram = Histogram("h", unit="seconds")
+        values = [0.001, 0.01, 0.1, 1.0, 10.0]
+        for value in values:
+            histogram.observe(value)
+        assert histogram.count == len(values)
+        assert histogram.sum == pytest.approx(sum(values))
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.min is None and histogram.max is None
+        assert histogram.quantile(0.5) is None
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0 and snapshot["p99"] is None
+
+    def test_invalid_quantile_rejected(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_non_positive_values_share_zero_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(0.0)
+        histogram.observe(-3.0)
+        assert histogram._bucket_key(0.0) == _ZERO_BUCKET
+        assert histogram.count == 2
+        assert histogram.quantile(0.5) == 0.0  # zero bucket reports 0.0
+        assert histogram.min == -3.0
+        assert histogram.max == 0.0
+
+    def test_quantiles_within_one_bucket_of_true(self):
+        rng = np.random.default_rng(11)
+        samples = rng.lognormal(mean=-6.0, sigma=1.5, size=5000)
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(float(value))
+        # Relative bucket width is 10**(1/20) - 1 ~= 12.2%; allow one bucket
+        # each side of the true sample quantile.
+        width = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+        for q in (0.5, 0.9, 0.99):
+            true = float(np.quantile(samples, q))
+            reported = histogram.quantile(q)
+            assert true / width <= reported <= true * width, (
+                f"p{int(q * 100)}: reported {reported} vs true {true}"
+            )
+
+    def test_extreme_quantiles_clamped_to_envelope(self):
+        histogram = Histogram("h")
+        for value in (0.5, 0.7, 0.9):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) >= histogram.min
+        assert histogram.quantile(1.0) <= histogram.max
+
+    def test_observe_many_matches_scalar_loop(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(scale=0.01, size=1000)
+        values[::100] = 0.0  # exercise the zero bucket too
+        scalar = Histogram("scalar")
+        for value in values:
+            scalar.observe(float(value))
+        bulk = Histogram("bulk")
+        bulk.observe_many(values)
+        assert bulk.count == scalar.count
+        assert bulk.sum == pytest.approx(scalar.sum)
+        assert bulk.min == scalar.min
+        assert bulk.max == scalar.max
+        assert bulk._buckets == scalar._buckets
+
+    def test_observe_many_empty_is_noop(self):
+        histogram = Histogram("h")
+        histogram.observe_many([])
+        assert histogram.count == 0
+
+    def test_concurrent_observations_never_lost(self):
+        histogram = Histogram("h")
+        threads = 8
+        per_thread = 5_000
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(per_thread // 100):
+                histogram.observe_many(rng.exponential(scale=0.01, size=100))
+
+        workers = [threading.Thread(target=hammer, args=(seed,)) for seed in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert histogram.count == threads * per_thread
+        assert sum(histogram._buckets.values()) == threads * per_thread
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("a", unit="items")
+        second = registry.counter("a", unit="ignored-on-relookup")
+        assert first is second
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_convenience_mutators(self, registry):
+        registry.inc("c", 3, unit="items")
+        registry.set_gauge("g", 2.5, unit="ratio")
+        registry.observe("h", 0.25)
+        registry.observe_many("hm", [1.0, 2.0], unit="items")
+        assert registry.counter("c").value == 3
+        assert registry.gauge("g").value == 2.5
+        assert registry.histogram("h").count == 1
+        assert registry.histogram("hm").count == 2
+
+    def test_disabled_registry_drops_updates(self, registry):
+        registry.disable()
+        registry.inc("c", 3)
+        registry.observe("h", 0.25)
+        registry.set_gauge("g", 1.0)
+        registry.observe_many("hm", [1.0])
+        snapshot = registry.snapshot()
+        assert snapshot["enabled"] is False
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+        registry.enable()
+        registry.inc("c", 3)
+        assert registry.counter("c").value == 3
+
+    def test_reset_zeroes_in_place(self, registry):
+        counter = registry.counter("c")
+        registry.inc("c", 5)
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert registry.counter("c") is counter  # same object survives
+        assert counter.value == 0
+        assert registry.histogram("h").count == 0
+
+    def test_snapshot_shape_and_ordering(self, registry):
+        registry.inc("b.counter", 1)
+        registry.inc("a.counter", 1)
+        registry.observe("z.hist", 0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.counter", "b.counter"]
+        hist = snapshot["histograms"]["z.hist"]
+        assert set(hist) == {"count", "sum", "mean", "min", "max", "p50", "p90", "p99", "unit"}
+
+    def test_set_registry_swaps_process_default(self):
+        previous = get_registry()
+        fresh = MetricsRegistry()
+        try:
+            assert set_registry(fresh) is fresh
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+    def test_cross_thread_counter_sums(self, registry):
+        threads = 8
+        per_thread = 2_000
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.inc("shared", 1)
+                registry.observe("latency", 0.001)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert registry.counter("shared").value == threads * per_thread
+        assert registry.histogram("latency").count == threads * per_thread
+
+
+class TestExporters:
+    def test_render_json_round_trips(self, registry):
+        registry.inc("ingest.elements", 10, unit="elements")
+        registry.observe("query.latency", 0.125)
+        payload = json.loads(render_json(registry))
+        assert payload["counters"]["ingest.elements"]["value"] == 10
+        assert payload["histograms"]["query.latency"]["count"] == 1
+        assert payload["enabled"] is True
+
+    def test_render_prometheus_exposition(self, registry):
+        registry.inc("ingest.elements", 10, unit="elements")
+        registry.set_gauge("queue.depth", 3, unit="tasks")
+        registry.observe("query.latency", 0.125)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_ingest_elements counter" in text
+        assert "repro_ingest_elements 10" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_query_latency summary" in text
+        assert 'repro_query_latency{quantile="0.99"}' in text
+        assert "repro_query_latency_count 1" in text
+        # Metric names are sanitized to the Prometheus charset.
+        assert "." not in text.split("repro_ingest_elements")[1].split()[0]
+
+    def test_render_prometheus_empty_registry(self, registry):
+        assert render_prometheus(registry).strip() == ""
