@@ -267,7 +267,8 @@ def _run_ingest(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         seed=args.seed,
         batch_size=args.batch_size,
-        workers=args.workers,
+        workers=args.procs if args.procs > 0 else args.workers,
+        worker_mode="process" if args.procs > 0 else "thread",
     )
     service = SimilarityService.from_config(config)
     report = service.ingest(source)
@@ -278,6 +279,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
         ["elements", report.elements],
         ["batches", report.batches],
         ["workers", report.workers],
+        ["mode", report.mode],
         ["elements/sec", round(report.elements_per_second)],
         ["assemble sec", round(report.assemble_seconds, 4)],
         ["process sec", round(report.process_seconds, 4)],
@@ -822,6 +824,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker threads for concurrent per-shard ingest (1 = serial)",
+    )
+    ingest_parser.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        help="worker processes for true multi-core per-shard ingest "
+        "(overrides --workers; 0 = use threads)",
     )
     ingest_parser.add_argument(
         "--format",

@@ -316,6 +316,23 @@ class MetricsRegistry:
         if self.enabled:
             self.histogram(name, unit).observe_many(values)
 
+    def merge_counter_snapshot(self, counters: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's counter snapshot into this one.
+
+        ``counters`` is the ``"counters"`` mapping of a :meth:`snapshot` —
+        typically shipped home from a worker *process*, whose metrics live in
+        its own registry.  Each named counter is incremented by the snapshot
+        value, so totals aggregate exactly across processes (the same
+        guarantee worker threads get by sharing one registry).  Gated on
+        :attr:`enabled` like every other mutator.
+        """
+        if not self.enabled:
+            return
+        for name, info in counters.items():
+            amount = int(info.get("value", 0))
+            if amount:
+                self.inc(name, amount, unit=str(info.get("unit", "")))
+
     # -- export --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

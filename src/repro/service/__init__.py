@@ -28,6 +28,7 @@ from repro.service.batching import (
     iter_batches,
 )
 from repro.service.journal import (
+    JournalConfig,
     JournalWriter,
     default_journal_path,
     journal_info,
@@ -35,6 +36,7 @@ from repro.service.journal import (
     replay_journal,
 )
 from repro.service.parallel import ShardParallelIngestor
+from repro.service.procpool import ProcessShardIngestor
 from repro.service.service import CheckpointPolicy, ServiceConfig, SimilarityService
 from repro.service.sharding import ShardedVOS
 from repro.service.snapshot import (
@@ -46,6 +48,7 @@ from repro.service.snapshot import (
     loads_snapshot_state,
     register_snapshot_section,
     save_snapshot,
+    shard_snapshots,
     snapshot_info,
 )
 
@@ -56,6 +59,7 @@ __all__ = [
     "iter_batches",
     "ShardedVOS",
     "ShardParallelIngestor",
+    "ProcessShardIngestor",
     "CheckpointPolicy",
     "ServiceConfig",
     "SimilarityService",
@@ -66,8 +70,10 @@ __all__ = [
     "load_snapshot_state",
     "loads_snapshot_state",
     "register_snapshot_section",
+    "shard_snapshots",
     "snapshot_info",
     "SnapshotState",
+    "JournalConfig",
     "JournalWriter",
     "default_journal_path",
     "journal_info",

@@ -25,6 +25,7 @@ from repro.baselines.base import SimilaritySketch
 from repro.exceptions import ConfigurationError
 from repro.obs import get_registry, timed
 from repro.service.parallel import ShardParallelIngestor
+from repro.service.procpool import ProcessShardIngestor
 from repro.service.sharding import ShardedVOS
 from repro.streams.batch import ElementBatch
 from repro.streams.edge import StreamElement
@@ -93,7 +94,13 @@ class IngestReport:
         Time spent inside ``process_batch`` (serial) or routing + waiting on
         the shard workers (parallel).
     workers:
-        Worker threads that ingested shard sub-batches (1 = serial).
+        Workers that ingested shard sub-batches (1 = serial).
+    mode:
+        How the batches were processed: ``"serial"`` (caller's thread),
+        ``"thread"`` (shard worker threads) or ``"process"`` (per-shard
+        worker processes).  A parallel request that fell back — one shard,
+        one effective worker, a single-core host — reports the mode that
+        actually ran.
 
     All timings are sums of the per-batch ``repro.obs`` spans
     (``ingest.run``/``ingest.assemble``/``ingest.process``), so when the
@@ -107,6 +114,7 @@ class IngestReport:
     assemble_seconds: float = 0.0
     process_seconds: float = 0.0
     workers: int = 1
+    mode: str = "serial"
 
     @property
     def elements_per_second(self) -> float:
@@ -122,19 +130,48 @@ def ingest_stream(
     *,
     batch_size: int = DEFAULT_BATCH_SIZE,
     workers: int = 1,
+    worker_mode: str = "thread",
 ) -> IngestReport:
     """Feed ``source`` to ``sketch`` in batches and report per-phase throughput.
 
     With ``workers > 1`` and a multi-shard :class:`ShardedVOS`, each batch is
     routed once on the calling thread and its per-shard sub-batches are
-    ingested concurrently by a :class:`ShardParallelIngestor` — state-identical
-    to serial ingest (per-shard element order is preserved).  Sketches without
-    independent shards ignore ``workers`` and ingest serially.
+    ingested concurrently — state-identical to serial ingest (per-shard
+    element order is preserved).  ``worker_mode`` selects the executor:
+
+    * ``"thread"`` (default) — :class:`ShardParallelIngestor` worker threads,
+      which overlap only inside GIL-releasing numpy kernels and fall back to
+      serial on single-core hosts;
+    * ``"process"`` — :class:`~repro.service.procpool.ProcessShardIngestor`
+      worker processes owning contiguous shard ranges, for true multi-core
+      scaling (state is shipped out and the dirty deltas merged back, so the
+      caller's sketch — including its dirty tracking — ends up exactly as if
+      it had ingested serially).
+
+    Sketches without independent shards ignore ``workers`` and ingest
+    serially; :attr:`IngestReport.mode` records what actually ran.
     """
     if workers <= 0:
         raise ConfigurationError(f"workers must be positive, got {workers}")
-    parallel = workers > 1 and isinstance(sketch, ShardedVOS) and sketch.num_shards > 1
-    ingestor = ShardParallelIngestor(sketch, workers) if parallel else None
+    if worker_mode not in ("thread", "process"):
+        raise ConfigurationError(
+            f"worker_mode must be 'thread' or 'process', got {worker_mode!r}"
+        )
+    ingestor: ShardParallelIngestor | ProcessShardIngestor | None = None
+    mode = "serial"
+    if isinstance(sketch, ShardedVOS):
+        if worker_mode == "process":
+            # One process worker is still the process path (the scaling bench
+            # measures it); only a shard-less sketch falls back to serial.
+            ingestor = ProcessShardIngestor(sketch, workers)
+            mode = "process"
+        elif workers > 1 and sketch.num_shards > 1:
+            ingestor = ShardParallelIngestor(sketch, workers)
+            if ingestor.workers > 1:
+                mode = "thread"
+            else:
+                # Single-core fallback: the ingestor processes inline.
+                mode = "serial"
     registry = get_registry()
     assemble = process = 0.0
     total = 0
@@ -167,6 +204,7 @@ def ingest_stream(
         assemble_seconds=assemble,
         process_seconds=process,
         workers=ingestor.workers if ingestor is not None else 1,
+        mode=mode,
     )
     if registry.enabled:
         registry.inc("ingest.elements", total, unit="elements")

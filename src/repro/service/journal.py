@@ -71,6 +71,27 @@ def default_journal_path(snapshot_path: str | Path) -> Path:
     return path.with_name(path.name + ".journal")
 
 
+@dataclass(frozen=True)
+class JournalConfig:
+    """Durability knobs for the journal writer.
+
+    Parameters
+    ----------
+    group_commit:
+        ``False`` (default): every :meth:`JournalWriter.append_delta` fsyncs
+        before returning — a record is durable the moment the call returns.
+        ``True``: appends only write + flush, and durability is deferred to
+        one :meth:`JournalWriter.sync` per *checkpoint* (``save_delta`` calls
+        it once after appending every shard's record), cutting an N-shard
+        delta checkpoint from N fsyncs to one.  A crash between the appends
+        and the sync can tear the tail records, which is exactly the torn
+        tail the reader already trims — replay resumes at the last complete
+        record, the same contract as a crash mid-append.
+    """
+
+    group_commit: bool = False
+
+
 # -- record model --------------------------------------------------------------------
 
 
@@ -492,11 +513,21 @@ class JournalWriter:
         numbers.
     checkpoint_id:
         Id of the full snapshot this journal records deltas against.
+    config:
+        Durability knobs (:class:`JournalConfig`); ``None`` means the
+        default fsync-per-record behaviour.
     """
 
-    def __init__(self, path: str | Path, checkpoint_id: str) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        checkpoint_id: str,
+        config: JournalConfig | None = None,
+    ) -> None:
         self._path = Path(path)
         self._checkpoint_id = checkpoint_id
+        self._config = config if config is not None else JournalConfig()
+        self._needs_sync = False
         self._seq = 0
         self._shard_seqs: dict[int, int] = {}
         self._word_changed_shards: set[int] = set()
@@ -602,8 +633,14 @@ class JournalWriter:
             with self._path.open("ab") as handle:
                 handle.write(record)
                 handle.flush()
-                with timed("persistence.journal.fsync", registry):
-                    os.fsync(handle.fileno())
+                if self._config.group_commit:
+                    # Durability deferred to the next sync(): the bytes are in
+                    # the page cache, and a crash before the sync tears at
+                    # most a trim-able tail.
+                    self._needs_sync = True
+                else:
+                    with timed("persistence.journal.fsync", registry):
+                        os.fsync(handle.fileno())
         if registry.enabled:
             registry.inc("persistence.journal.records", 1, unit="records")
             registry.inc("persistence.journal.bytes", len(record), unit="bytes")
@@ -622,3 +659,23 @@ class JournalWriter:
         if word_indices.size:
             self._word_changed_shards.add(shard)
         return len(record)
+
+    def sync(self) -> bool:
+        """Group commit: one fsync covering every append since the last sync.
+
+        No-op (returns ``False``) unless :class:`JournalConfig.group_commit`
+        is on and unsynced appends are pending.  Reopening the file for the
+        fsync is safe: the appends' bytes are already in the page cache, and
+        ``fsync`` flushes the *file's* dirty pages regardless of which
+        descriptor wrote them.
+        """
+        if not self._needs_sync:
+            return False
+        registry = get_registry()
+        with timed("persistence.journal.fsync", registry):
+            with self._path.open("rb") as handle:
+                os.fsync(handle.fileno())
+        self._needs_sync = False
+        if registry.enabled:
+            registry.inc("persistence.journal.group_commits", 1, unit="syncs")
+        return True

@@ -22,10 +22,19 @@ of sketch state.
 
 A worker failure is recorded, later submissions raise it, and the workers
 keep draining (but skip processing) so ``close`` never deadlocks.
+
+Threads only pay off when there is more than one core to overlap on: on a
+single-core host every context switch is pure overhead and the thread pool
+*loses* to serial ingest.  The ingestor therefore falls back to inline serial
+processing when the effective worker count is 1 — requested, capped by the
+shard count, or forced down because :func:`_cpu_count` reports one core.  For
+true multi-core scaling regardless of the GIL, see
+:class:`~repro.service.procpool.ProcessShardIngestor`.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 
@@ -41,6 +50,11 @@ _QUEUE_DEPTH = 8
 _STOP = object()
 
 
+def _cpu_count() -> int:
+    """Usable cores (monkeypatchable in tests that must exercise threads)."""
+    return os.cpu_count() or 1
+
+
 class ShardParallelIngestor:
     """Ingest batches into a :class:`ShardedVOS` on a pool of worker threads.
 
@@ -50,7 +64,9 @@ class ShardParallelIngestor:
         The sharded sketch to ingest into.
     workers:
         Requested worker threads; capped at the shard count (extra workers
-        would never receive a task).
+        would never receive a task) and forced to 1 on single-core hosts,
+        where threads cannot beat serial ingest.  An effective worker count
+        of 1 runs inline — no threads, no queues, identical state.
 
     Use as a context manager (or call :meth:`close`) so worker threads are
     always joined and any worker failure is re-raised:
@@ -64,13 +80,19 @@ class ShardParallelIngestor:
         if workers <= 0:
             raise ConfigurationError(f"workers must be positive, got {workers}")
         self._sketch = sketch
-        self.workers = max(1, min(workers, sketch.num_shards))
-        self._queues: list[queue.Queue] = [
-            queue.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)
-        ]
+        effective = max(1, min(workers, sketch.num_shards))
+        if effective > 1 and _cpu_count() <= 1:
+            effective = 1
+        self.workers = effective
+        self._inline = effective == 1
         self._failure: BaseException | None = None
         self._failure_lock = threading.Lock()
         self._closed = False
+        if self._inline:
+            self._queues: list[queue.Queue] = []
+            self._threads: list[threading.Thread] = []
+            return
+        self._queues = [queue.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
         self._threads = [
             threading.Thread(
                 target=self._drain,
@@ -121,6 +143,11 @@ class ShardParallelIngestor:
         count = len(batch)
         if count == 0:
             return 0
+        if self._inline:
+            # Single-core / single-worker fallback: threads would only add
+            # queue hops and context switches, so process on the caller.
+            self._sketch.process_batch(batch)
+            return count
         registry = get_registry()
         with trace("ingest.route", registry):
             tasks = [

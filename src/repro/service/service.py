@@ -38,6 +38,7 @@ from repro.index import (
 from repro.obs import get_registry, kv, timed
 from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stream
 from repro.service.journal import (
+    JournalConfig,
     JournalWriter,
     default_journal_path,
     journal_checkpoint_id,
@@ -122,9 +123,13 @@ class ServiceConfig:
     size_multiplier: float = 2.0
     seed: int = 0
     batch_size: int = DEFAULT_BATCH_SIZE
-    #: Worker threads for concurrent per-shard ingest (1 = serial).  Parallel
+    #: Workers for concurrent per-shard ingest (1 = serial).  Parallel
     #: ingest is state-identical to serial ingest; it only changes wall-clock.
     workers: int = 1
+    #: Parallel ingest executor: ``"thread"`` (GIL-bound worker threads, fall
+    #: back to serial on one core) or ``"process"`` (per-shard worker
+    #: processes over shared memory — true multi-core scaling).
+    worker_mode: str = "thread"
     #: Per-shard capacity of the packed-row LRU cache used by the bulk query
     #: path (hot users' recovered virtual sketches); 0 disables caching.
     sketch_cache_size: int = 1024
@@ -136,6 +141,9 @@ class ServiceConfig:
     #: Incremental-persistence policy (delta checkpoints / journal compaction);
     #: inert until the service is bound to a snapshot path via ``save``/``load``.
     checkpoint: CheckpointPolicy = CheckpointPolicy()
+    #: Journal durability knobs (``group_commit`` = one fsync per delta
+    #: checkpoint instead of one per record).
+    journal: JournalConfig = JournalConfig()
 
     def budget(self) -> MemoryBudget:
         """The equal-memory budget this configuration provisions."""
@@ -157,8 +165,11 @@ class SimilarityService:
     batch_size:
         Batch size used by :meth:`ingest`.
     workers:
-        Worker threads for concurrent per-shard ingest (1 = serial).  Ignored
-        by sketches without independent shards.
+        Workers for concurrent per-shard ingest (1 = serial).  Ignored by
+        sketches without independent shards.
+    worker_mode:
+        ``"thread"`` (default) or ``"process"`` — see
+        :func:`~repro.service.batching.ingest_stream`.
     """
 
     def __init__(
@@ -167,16 +178,26 @@ class SimilarityService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int = 1,
+        worker_mode: str = "thread",
         index_config: IndexConfig | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
+        journal_config: JournalConfig | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
         if workers <= 0:
             raise ConfigurationError(f"workers must be positive, got {workers}")
+        if worker_mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"worker_mode must be 'thread' or 'process', got {worker_mode!r}"
+            )
         self._sketch = sketch
         self._batch_size = batch_size
         self._workers = workers
+        self._worker_mode = worker_mode
+        self._journal_config = (
+            journal_config if journal_config is not None else JournalConfig()
+        )
         self._index_config = index_config if index_config is not None else IndexConfig()
         self._index: BandedSketchIndex | None = None
         self._elements_ingested = 0
@@ -211,8 +232,10 @@ class SimilarityService:
             sketch,
             batch_size=config.batch_size,
             workers=config.workers,
+            worker_mode=config.worker_mode,
             index_config=config.index,
             checkpoint_policy=config.checkpoint,
+            journal_config=config.journal,
         )
 
     # -- ingest ----------------------------------------------------------------------
@@ -232,6 +255,7 @@ class SimilarityService:
             elements,
             batch_size=self._batch_size,
             workers=self._workers,
+            worker_mode=self._worker_mode,
         )
         self._elements_ingested += report.elements
         self._batches_ingested += report.batches
@@ -362,6 +386,7 @@ class SimilarityService:
             "batches_ingested": self._batches_ingested,
             "batch_size": self._batch_size,
             "workers": self._workers,
+            "worker_mode": self._worker_mode,
             "users": len(sketch.users()),
             "memory_bits": sketch.memory_bits(),
             "beta": sketch.beta,
@@ -501,7 +526,9 @@ class SimilarityService:
                     # a full save and its journal rotation); its deltas are
                     # already folded into our snapshot, so drop it.
                     self._journal_path.unlink()
-            self._journal = JournalWriter(self._journal_path, self._checkpoint_id)
+            self._journal = JournalWriter(
+                self._journal_path, self._checkpoint_id, config=self._journal_config
+            )
         journal = self._journal
         records = 0
         bytes_written = 0
@@ -533,6 +560,9 @@ class SimilarityService:
                 )
                 shard.clear_dirty()
                 records += 1
+            # Group commit: one fsync covers every record of this checkpoint
+            # (no-op under the default fsync-per-record config).
+            journal.sync()
         self._elements_since_checkpoint = 0
         self._deltas_written += records
         if registry.enabled and records:
@@ -612,9 +642,11 @@ class SimilarityService:
         *,
         batch_size: int = DEFAULT_BATCH_SIZE,
         workers: int = 1,
+        worker_mode: str = "thread",
         index_config: IndexConfig | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         journal: str | Path | None = "auto",
+        journal_config: JournalConfig | None = None,
     ) -> "SimilarityService":
         """Restore a service from a snapshot written by :meth:`save`.
 
@@ -682,8 +714,10 @@ class SimilarityService:
             state.sketch,
             batch_size=batch_size,
             workers=workers,
+            worker_mode=worker_mode,
             index_config=index_config,
             checkpoint_policy=checkpoint_policy,
+            journal_config=journal_config,
         )
         service._snapshot_path = Path(path)
         service._journal_path = journal_path or default_journal_path(path)

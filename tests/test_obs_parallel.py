@@ -25,6 +25,13 @@ NUM_SHARDS = 8
 BATCH_SIZE = 500
 
 
+@pytest.fixture(autouse=True)
+def _multicore(monkeypatch):
+    """Pretend the host has cores: these tests pin the *threaded* path, which
+    on a single-core host would otherwise fall back to serial ingest."""
+    monkeypatch.setattr("repro.service.parallel._cpu_count", lambda: 8)
+
+
 @pytest.fixture
 def registry():
     previous = get_registry()

@@ -26,6 +26,13 @@ from repro.service.sharding import ShardedVOS
 from repro.streams.edge import Action, StreamElement
 
 
+@pytest.fixture(autouse=True)
+def _multicore(monkeypatch):
+    """Pretend the host has cores: the parallel-report parity test pins the
+    threaded path, which on a single-core host falls back to serial ingest."""
+    monkeypatch.setattr("repro.service.parallel._cpu_count", lambda: 8)
+
+
 @pytest.fixture
 def registry():
     previous = get_registry()

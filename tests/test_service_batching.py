@@ -19,6 +19,13 @@ from repro.similarity.engine import build_sketch, sketch_registry
 from repro.streams.edge import Action, StreamElement
 
 
+@pytest.fixture(autouse=True)
+def _multicore(monkeypatch):
+    """Pretend the host has cores so `workers > 1` exercises the threaded
+    path instead of the single-core serial fallback."""
+    monkeypatch.setattr("repro.service.parallel._cpu_count", lambda: 8)
+
+
 @pytest.fixture(scope="module")
 def parity_stream(small_dynamic_stream):
     """A 5k-element fully dynamic stream shared by the parity tests."""

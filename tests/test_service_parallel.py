@@ -22,6 +22,13 @@ from repro.similarity.engine import build_sketch, sketch_registry
 from repro.streams.edge import Action, StreamElement
 
 
+@pytest.fixture(autouse=True)
+def _multicore(monkeypatch):
+    """Pretend the host has cores: these tests pin the *threaded* path, which
+    on a single-core host would otherwise fall back to serial ingest."""
+    monkeypatch.setattr("repro.service.parallel._cpu_count", lambda: 8)
+
+
 @pytest.fixture(scope="module")
 def parity_stream(small_dynamic_stream):
     return small_dynamic_stream.prefix(5000)
@@ -164,3 +171,48 @@ class TestIngestorLifecycle:
     def test_empty_submit(self):
         with ShardParallelIngestor(ShardedVOS(2, 256, 32), workers=2) as ingestor:
             assert ingestor.submit([]) == 0
+
+
+class TestSingleCoreFallback:
+    """`workers > 1` must quietly run serial when threads cannot pay off."""
+
+    @pytest.fixture()
+    def single_core(self, monkeypatch):
+        # Overrides the module-wide _multicore autouse patch.
+        monkeypatch.setattr("repro.service.parallel._cpu_count", lambda: 1)
+
+    def test_single_core_host_forces_inline(self, single_core, parity_stream):
+        sketch = ShardedVOS(4, 4096, 128, seed=1)
+        with ShardParallelIngestor(sketch, workers=4) as ingestor:
+            assert ingestor.workers == 1
+            ingestor.submit(list(parity_stream.prefix(1000)))
+        serial = ShardedVOS(4, 4096, 128, seed=1)
+        serial.process_batch(list(parity_stream.prefix(1000)))
+        for a, b in zip(serial.shards, sketch.shards):
+            _assert_same_vos_state(a, b)
+
+    def test_ingest_stream_reports_serial_mode(self, single_core, parity_stream):
+        sketch = ShardedVOS(4, 4096, 128, seed=1)
+        report = ingest_stream(
+            sketch, list(parity_stream.prefix(500)), batch_size=100, workers=4
+        )
+        assert report.mode == "serial"
+        assert report.workers == 1
+        assert report.elements == 500
+
+    def test_one_requested_worker_runs_inline_anywhere(self, parity_stream):
+        # Even with the pretend 8-core host active, workers=1 is inline.
+        sketch = ShardedVOS(4, 4096, 128, seed=1)
+        report = ingest_stream(
+            sketch, list(parity_stream.prefix(500)), batch_size=100, workers=1
+        )
+        assert report.mode == "serial"
+        assert report.workers == 1
+
+    def test_multicore_threaded_mode_still_reports_thread(self, parity_stream):
+        sketch = ShardedVOS(4, 4096, 128, seed=1)
+        report = ingest_stream(
+            sketch, list(parity_stream.prefix(500)), batch_size=100, workers=4
+        )
+        assert report.mode == "thread"
+        assert report.workers == 4

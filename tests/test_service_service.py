@@ -11,6 +11,13 @@ from repro.similarity.search import nearest_neighbours
 from repro.streams.edge import Action, StreamElement
 
 
+@pytest.fixture(autouse=True)
+def _multicore(monkeypatch):
+    """Pretend the host has cores so `workers > 1` exercises the threaded
+    path instead of the single-core serial fallback."""
+    monkeypatch.setattr("repro.service.parallel._cpu_count", lambda: 8)
+
+
 @pytest.fixture(scope="module")
 def fed_service(small_dynamic_stream):
     service = SimilarityService.from_config(
