@@ -1,11 +1,31 @@
-"""Setuptools shim.
+"""Packaging for the VOS reproduction (src layout, no build-time deps).
 
-The canonical build configuration lives in ``pyproject.toml``; this file exists
-so the package can be installed in environments without the ``wheel`` package
-(where PEP 660 editable installs are unavailable) via
-``pip install -e . --no-use-pep517 --no-build-isolation``.
+Kept as a plain ``setup.py`` so the package installs in minimal environments
+without ``wheel``/PEP 517 tooling (``pip install -e . --no-use-pep517
+--no-build-isolation``).  The optional native kernel tier is *not* a build
+step: the C library in :mod:`repro.kernels.native` compiles itself at first
+use with whatever ``cc``/``gcc``/``clang`` the host has, and the package runs
+on the bit-identical NumPy tier when no compiler exists — so this file
+declares no extension modules on purpose.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-vos",
+    version="0.8.0",
+    description=(
+        "Virtual Odd Sketch: user-pair similarity over fully dynamic graph "
+        "streams (ICDE 2019 reproduction, grown to service scale)"
+    ),
+    long_description=Path(__file__).with_name("README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest"]},
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -27,6 +27,7 @@ Service commands (the :mod:`repro.service` subsystem)::
     repro metrics show --snapshot state.vos --stream more.vosstream
     repro metrics dump --snapshot state.vos --stream more.vosstream --out metrics.json
     repro metrics reset
+    repro kernels --bench
 
 ``ingest`` reads a stream file — the plain-text format (``<action> <user>
 <item>`` per line) or the binary columnar ``.vosstream`` format, auto-detected
@@ -60,6 +61,11 @@ persistence); ``dump`` emits JSON or Prometheus text exposition; ``reset``
 zeroes every metric.  The global ``--log-level`` flag turns on structured
 logging — journal replay and checkpoint events carry shard ids and journal
 sequence numbers as ``key=value`` context.
+
+``kernels`` reports which scoring kernel tier is active (the native
+hardware-popcount C kernels or the NumPy fallback — see :mod:`repro.kernels`),
+including the probe/compile status behind that choice; ``--bench`` micro-times
+both tiers on a synthetic block and fails if they ever disagree bit-for-bit.
 
 Every command prints an aligned plain-text table (add ``--csv`` for CSV) so
 results can be diffed against EXPERIMENTS.md.
@@ -719,6 +725,86 @@ def _cmd_metrics_reset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    """Report the kernel tier in use; optionally micro-time both tiers."""
+    import numpy as np
+
+    from repro import kernels
+
+    info = kernels.kernel_info()
+    native = info.get("native", {}) or {}
+    block = info.get("block", {}) or {}
+    status_rows = [
+        ["requested tier", info.get("requested", "")],
+        ["active tier", info.get("active") or "unavailable"],
+        ["native available", native.get("available", False)],
+        ["compiler", native.get("compiler", "")],
+        ["library", native.get("library", "")],
+        ["build flags", " ".join(native.get("flags", []))],
+        ["probe error", native.get("error") or info.get("error") or ""],
+        ["numpy popcount", info.get("numpy_popcount", "")],
+        ["block target bytes", block.get("target_bytes", "")],
+        ["block override", block.get("env_override") or ""],
+    ]
+    headers = ["field", "value"]
+    print("# kernel tier status (select with REPRO_KERNEL=auto|numpy|native)")
+    print(render_csv(headers, status_rows) if args.csv else render_table(headers, status_rows))
+    if not args.bench:
+        return 0
+
+    from repro.core.vos import packed_row_bytes
+
+    rng = np.random.default_rng(args.seed)
+    row_bytes = packed_row_bytes(args.sketch_size)
+    rows = rng.integers(0, 256, size=(args.users, row_bytes), dtype=np.uint8)
+    index_a = rng.integers(0, args.users, size=args.pairs).astype(np.int64)
+    index_b = rng.integers(0, args.users, size=args.pairs).astype(np.int64)
+    bands = max(1, min(8, row_bytes // 8))
+    rows_per_band = (row_bytes // 8) // bands
+    coeff_a = (rng.integers(1, 1 << 60, size=bands + 1)).astype(np.uint64)
+    coeff_b = (rng.integers(0, 1 << 60, size=bands + 1)).astype(np.uint64)
+    tiers = ["numpy"] + (["native"] if native.get("available") else [])
+    bench_rows: list[list] = []
+    baseline: dict[str, np.ndarray] = {}
+    for tier in tiers:
+        with kernels.use_tier(tier):
+            kernels.pair_counts(rows, index_a[:128], index_b[:128])  # warm/JIT-compile
+            started = time.perf_counter()
+            counts = kernels.pair_counts(rows, index_a, index_b)
+            pair_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            signatures, _ = kernels.band_signatures(
+                rows.view(np.uint64), bands, rows_per_band, coeff_a, coeff_b
+            )
+            band_seconds = time.perf_counter() - started
+        if "counts" in baseline:
+            if not np.array_equal(baseline["counts"], counts):
+                print("error: kernel tiers disagree on pair counts", file=sys.stderr)
+                return 2
+            if not np.array_equal(baseline["signatures"], signatures):
+                print("error: kernel tiers disagree on band signatures", file=sys.stderr)
+                return 2
+        else:
+            baseline["counts"] = counts
+            baseline["signatures"] = signatures
+        bench_rows.append(
+            [
+                tier,
+                round(pair_seconds * 1e3, 3),
+                round(args.pairs / pair_seconds / 1e6, 2),
+                round(band_seconds * 1e3, 3),
+                round(args.users / band_seconds / 1e6, 2),
+            ]
+        )
+    headers = ["tier", "pair ms", "Mpairs/s", "band ms", "Musers/s"]
+    print(
+        f"# micro-timing: {args.pairs} pairs / {args.users} users at "
+        f"k={args.sketch_size} ({row_bytes} B/row); tiers bit-identical"
+    )
+    print(render_csv(headers, bench_rows) if args.csv else render_table(headers, bench_rows))
+    return 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     rows = []
     methods = ("MinHash", "OPH", "RP", "VOS")
@@ -1020,6 +1106,30 @@ def build_parser() -> argparse.ArgumentParser:
         "reset", help="zero every metric in this process"
     )
     reset_parser.set_defaults(handler=_cmd_metrics_reset)
+
+    kernels_parser = subparsers.add_parser(
+        "kernels",
+        help="show the scoring kernel tier (native/numpy) and micro-time both",
+    )
+    kernels_parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="micro-time both tiers on a synthetic block (asserts bit-identity)",
+    )
+    kernels_parser.add_argument(
+        "--users", type=int, default=2000, help="synthetic pool size for --bench"
+    )
+    kernels_parser.add_argument(
+        "--pairs", type=int, default=200_000, help="pairs scored per tier for --bench"
+    )
+    kernels_parser.add_argument(
+        "--sketch-size", type=int, default=1536, help="virtual sketch bits k for --bench"
+    )
+    kernels_parser.add_argument("--seed", type=int, default=0, help="synthetic data seed")
+    kernels_parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    kernels_parser.set_defaults(handler=_cmd_kernels)
 
     return parser
 

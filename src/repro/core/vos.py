@@ -44,33 +44,19 @@ from repro.core.estimators import (
 from repro.core.memory import MemoryBudget, vos_parameters_for_budget
 from repro.exceptions import ConfigurationError, UnknownUserError
 from repro.hashing import HashFamily, UniversalHash
+from repro import kernels
 from repro.obs import get_registry
 from repro.hashing.universal import stable_hash64
 from repro.streams.batch import ElementBatch
 from repro.streams.edge import StreamElement, UserId
 
-#: Pairs scored per xor/popcount block in the bulk query path.  Each block
-#: materializes ``block * ceil(k / 8)`` bytes of xored rows, so this bounds
-#: peak memory (~12 MiB at k = 1536) without limiting how many pairs one call
-#: may score.
-PAIR_BLOCK_PAIRS = 1 << 16
-
-_POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
-
-
-def _popcount_table(values: np.ndarray) -> np.ndarray:
-    """Per-element popcount via a byte table (fallback for numpy < 2.0).
-
-    Wide lanes (e.g. the ``uint64`` words :func:`pair_xor_counts` operates on)
-    are reinterpreted as bytes first, so each element's count is spread over
-    its bytes — summing an axis therefore gives the same totals as
-    ``np.bitwise_count``.
-    """
-    return _POPCOUNT8[np.ascontiguousarray(values).view(np.uint8)]
-
-
-# numpy >= 2.0 has a native popcount ufunc; the byte table is the fallback.
-_bitwise_count = getattr(np, "bitwise_count", _popcount_table)
+# Backwards-compatible aliases: the popcount primitives moved into the kernel
+# tier package (PR 8), but callers and tests still patch/import them here.
+from repro.kernels.numpy_tier import (  # noqa: E402  (re-export)
+    _POPCOUNT8,
+    _bitwise_count,
+    _popcount_table,
+)
 
 
 def packed_row_bytes(sketch_size: int) -> int:
@@ -88,17 +74,13 @@ def pair_xor_counts(rows: np.ndarray, index_a: np.ndarray, index_b: np.ndarray) 
 
     ``rows`` is a matrix of bit-packed virtual sketches (one user per row, 8
     virtual bits per byte, rows padded to whole 64-bit words — see
-    :func:`packed_row_bytes`).  Pairs are processed in fixed-size blocks so
-    the intermediate xor matrix never exceeds a few megabytes regardless of
-    the candidate count.
+    :func:`packed_row_bytes`).  Dispatches to :mod:`repro.kernels`: the native
+    tier's fused gather+xor+popcount when available, otherwise the blocked
+    NumPy sweep whose intermediate buffers are auto-sized to the cache (see
+    :func:`repro.kernels.numpy_tier.pair_block_pairs`) and reused across
+    blocks.  Both tiers are bit-identical.
     """
-    words = rows.view(np.uint64) if rows.shape[1] % 8 == 0 else rows
-    counts = np.empty(index_a.shape[0], dtype=np.int64)
-    for start in range(0, index_a.shape[0], PAIR_BLOCK_PAIRS):
-        stop = start + PAIR_BLOCK_PAIRS
-        xored = words[index_a[start:stop]] ^ words[index_b[start:stop]]
-        counts[start:stop] = _bitwise_count(xored).sum(axis=1, dtype=np.int64)
-    return counts
+    return kernels.pair_counts(rows, index_a, index_b)
 
 
 class VectorizedPairQueries:

@@ -51,10 +51,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.vos import _bitwise_count, packed_row_bytes
+from repro import kernels
+from repro.core.vos import packed_row_bytes
 from repro.exceptions import ConfigurationError, SnapshotError, UnknownUserError
 from repro.obs import get_registry, trace
-from repro.hashing.universal import _MERSENNE_P, UniversalHash, _mix64_array, stable_hash64
+from repro.hashing.universal import _MERSENNE_P, UniversalHash, stable_hash64
 from repro.streams.batch import decode_id_column, encode_id_column
 from repro.streams.edge import UserId, user_sort_key
 
@@ -222,6 +223,15 @@ class _ShardSignatures:
         self._residual_hash = residual_hash
         self._rows_per_band = rows_per_band
         self._min_band_bits = min_band_bits
+        # Carter-Wegman coefficients for the kernel-tier band fold: one pair
+        # per band column plus the residual whole-row hash in the last slot.
+        column_hashes = list(band_hashes) + [residual_hash]
+        self._coeff_a = np.array(
+            [hash_fn._coefficients[0] for hash_fn in column_hashes], dtype=np.uint64
+        )
+        self._coeff_b = np.array(
+            [hash_fn._coefficients[1] for hash_fn in column_hashes], dtype=np.uint64
+        )
         self.users: list[UserId] = []
         self.ordinal: dict[UserId, int] = {}
         # One signature column per band plus the residual whole-row column
@@ -268,31 +278,21 @@ class _ShardSignatures:
             )
         rows = self._shard.packed_rows(users, cache=False)
         row_words = rows.view(np.uint64)
-        words = row_words[:, : bands * r].reshape(len(users), bands, r)
-        folded = words[:, :, 0]
-        for word in range(1, r):
-            folded = _mix64_array(folded ^ words[:, :, word])
+        # The fold, set-bit counts, and Carter-Wegman signature hashes all run
+        # in the kernel tier (native C when available, blocked NumPy
+        # otherwise) — bit-identical across tiers by the parity suite.
+        signatures, set_bits = kernels.band_signatures(
+            row_words, bands, r, self._coeff_a, self._coeff_b
+        )
         # A band below the set-bit floor says too little about similarity to
         # bucket (on sparse sketches all-zero and single-bit bands match a
         # constant fraction of the pool), so it is never valid.  Users with no
         # band at the floor get the residual column instead: a hash of the
         # whole row, so identical rows — all-zero ones included — are still
         # always co-candidates.
-        set_bits = _bitwise_count(words).sum(axis=2, dtype=np.int64)
         valid = np.empty((len(users), columns), dtype=bool)
         valid[:, :bands] = set_bits >= self._min_band_bits
         valid[:, bands] = ~valid[:, :bands].any(axis=1)
-        residual = row_words[:, 0]
-        for word in range(1, row_words.shape[1]):
-            residual = _mix64_array(residual ^ row_words[:, word])
-        signatures = np.empty((len(users), columns), dtype=np.uint64)
-        for band, band_hash in enumerate(self._band_hashes):
-            signatures[:, band] = band_hash.value64_array(
-                np.ascontiguousarray(folded[:, band])
-            )
-        signatures[:, bands] = self._residual_hash.value64_array(
-            np.ascontiguousarray(residual)
-        )
         return signatures, valid
 
     def memory_bytes(self) -> int:

@@ -1,0 +1,263 @@
+"""Runtime-selected kernel tiers for the read-path hot primitives.
+
+Every read-path milestone bottoms out in two primitives: the uint64
+xor+popcount sweep behind pair scoring and the banded hash fold behind LSH
+signature building.  This package routes both through a tier chosen at
+runtime::
+
+                        REPRO_KERNEL=auto|numpy|native
+                                     |
+            +------------------------+------------------------+
+            |                                                 |
+      native tier                                        numpy tier
+  (C, hardware popcount,                         (blocked uint64 lanes,
+   compiled at first use                          preallocated scratch,
+   via cc/gcc/clang, ctypes)                      np.bitwise_count or
+            |                                     byte-table fallback)
+            +-- probe/compile failure: auto falls back ------>+
+
+Tiers are bit-identical by contract and parity-tested
+(``tests/test_kernels.py``).  ``REPRO_KERNEL`` values:
+
+* ``auto`` (default) — use the native tier when a compiler (or cached build)
+  is available, silently falling back to NumPy otherwise; the choice is
+  logged once and exposed via :func:`kernel_info` / ``stats()["kernels"]``.
+* ``numpy`` — force the NumPy tier (also what non-word-aligned row widths
+  use even under the native tier).
+* ``native`` — *strict*: raise :class:`~repro.exceptions.ConfigurationError`
+  if the native tier cannot be built, instead of degrading silently.  CI's
+  kernels job runs the parity suite under this mode so a host with a
+  compiler can never quietly lose the fast tier.
+
+Per-call observability lands in the metrics registry under
+``kernels.<tier>.pair_calls`` / ``pairs_scored`` / ``pair_seconds`` and
+``kernels.<tier>.band_calls`` / ``band_rows`` / ``band_seconds``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextlib import contextmanager
+from threading import Lock
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import numpy_tier
+from repro.kernels.numpy_tier import pair_block_pairs
+from repro.obs import get_registry
+
+__all__ = [
+    "active_tier",
+    "band_signatures",
+    "kernel_info",
+    "pair_block_pairs",
+    "pair_counts",
+    "requested_tier",
+    "reset_kernels",
+    "use_tier",
+]
+
+_LOG = logging.getLogger("repro.kernels")
+_VALID_TIERS = ("auto", "numpy", "native")
+
+_lock = Lock()
+#: Resolved dispatch state: {"requested", "active", "native", "error"}.
+#: Re-resolved whenever REPRO_KERNEL changes, so tests and the ``use_tier``
+#: context manager can flip tiers without touching private state.
+_state: dict | None = None
+
+
+def requested_tier() -> str:
+    """The tier requested via ``REPRO_KERNEL`` (default ``auto``)."""
+    tier = os.environ.get("REPRO_KERNEL", "auto").strip().lower() or "auto"
+    if tier not in _VALID_TIERS:
+        raise ConfigurationError(
+            f"REPRO_KERNEL must be one of {_VALID_TIERS}, got {tier!r}"
+        )
+    return tier
+
+
+def _resolve() -> dict:
+    global _state
+    requested = requested_tier()
+    state = _state
+    if state is not None and state["requested"] == requested:
+        return state
+    with _lock:
+        state = _state
+        if state is not None and state["requested"] == requested:
+            return state
+        native = None
+        error = None
+        if requested in ("auto", "native"):
+            from repro.kernels import native as native_module
+
+            try:
+                native = native_module.load()
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if requested == "native":
+                    raise ConfigurationError(
+                        "REPRO_KERNEL=native but the native kernel tier is "
+                        f"unavailable: {error}"
+                    ) from exc
+                _LOG.info(
+                    "native kernel tier unavailable (%s); using numpy tier", error
+                )
+        active = "native" if native is not None else "numpy"
+        _LOG.info("kernel tier: %s (requested=%s)", active, requested)
+        _state = {
+            "requested": requested,
+            "active": active,
+            "native": native,
+            "error": error,
+        }
+        return _state
+
+
+def active_tier() -> str:
+    """Resolve and return the tier actually in use (``native`` or ``numpy``)."""
+    return _resolve()["active"]
+
+
+def reset_kernels() -> None:
+    """Drop the resolved tier (and native probe memo) so the next call re-resolves."""
+    global _state
+    from repro.kernels import native as native_module
+
+    with _lock:
+        _state = None
+    native_module.reset()
+
+
+@contextmanager
+def use_tier(tier: str):
+    """Temporarily force a tier (``numpy``/``native``/``auto``) for parity runs."""
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = tier
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+
+
+def kernel_info() -> dict:
+    """Tier status for ``stats()["kernels"]`` and the ``repro kernels`` CLI.
+
+    Never raises: a strict-mode (``REPRO_KERNEL=native``) build failure is
+    reported as ``active: None`` with the error attached, since every kernel
+    call in that configuration would raise the same error.
+    """
+    try:
+        requested = requested_tier()
+    except ConfigurationError as exc:
+        return {"requested": os.environ.get("REPRO_KERNEL"), "active": None, "error": str(exc)}
+    try:
+        state = _resolve()
+    except ConfigurationError as exc:
+        return {"requested": requested, "active": None, "error": str(exc)}
+    native = state["native"]
+    info: dict = {
+        "requested": state["requested"],
+        "active": state["active"],
+        "native": {"available": native is not None},
+        "numpy_popcount": (
+            "bitwise_count" if hasattr(np, "bitwise_count") else "byte_table"
+        ),
+        "block": {
+            "target_bytes": numpy_tier.TARGET_BLOCK_BYTES,
+            "env_override": os.environ.get("REPRO_PAIR_BLOCK_PAIRS") or None,
+        },
+    }
+    if native is not None:
+        info["native"].update(native.info)
+    elif state["error"]:
+        info["native"]["error"] = state["error"]
+    return info
+
+
+def pair_counts(
+    rows: np.ndarray, index_a: np.ndarray, index_b: np.ndarray
+) -> np.ndarray:
+    """Dispatch blocked pair scoring to the active tier.
+
+    ``rows`` is the ``(n_users, row_bytes)`` bit-packed uint8 matrix; pairs
+    are ``(index_a[t], index_b[t])`` row ordinals.  Word-aligned rows go to
+    the active tier; odd byte widths always use the NumPy byte-lane path
+    (bit-identical, just slower) since the native kernel reads uint64 lanes.
+    """
+    state = _resolve()
+    index_a = np.ascontiguousarray(index_a, dtype=np.int64)
+    index_b = np.ascontiguousarray(index_b, dtype=np.int64)
+    registry = get_registry()
+    started = time.perf_counter() if registry.enabled else 0.0
+    native = state["native"]
+    if native is not None and rows.shape[1] % 8 == 0:
+        tier = "native"
+        words = np.ascontiguousarray(rows).view(np.uint64)
+        counts = native.pair_counts(words, index_a, index_b)
+    else:
+        tier = "numpy"
+        counts = numpy_tier.pair_counts(rows, index_a, index_b)
+    if registry.enabled:
+        elapsed = time.perf_counter() - started
+        registry.inc(f"kernels.{tier}.pair_calls", 1, unit="calls")
+        registry.inc(f"kernels.{tier}.pairs_scored", int(index_a.shape[0]), unit="pairs")
+        registry.observe(f"kernels.{tier}.pair_seconds", elapsed)
+    return counts
+
+
+def band_signatures(
+    words: np.ndarray,
+    bands: int,
+    rows_per_band: int,
+    coeff_a: np.ndarray,
+    coeff_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch the LSH band fold to the active tier.
+
+    ``words`` is the ``(n_users, row_words)`` uint64 view of packed rows;
+    ``coeff_a``/``coeff_b`` carry ``bands + 1`` Carter-Wegman coefficients
+    (last pair = the residual whole-row hash).  Returns ``(signatures,
+    set_bits)`` as documented on :func:`repro.kernels.numpy_tier.band_signatures`.
+    """
+    if bands * rows_per_band > words.shape[1]:
+        raise ConfigurationError(
+            f"band geometry {bands}x{rows_per_band} exceeds row width "
+            f"{words.shape[1]} words"
+        )
+    if coeff_a.shape[0] != bands + 1 or coeff_b.shape[0] != bands + 1:
+        raise ConfigurationError(
+            f"expected {bands + 1} coefficient pairs, got "
+            f"{coeff_a.shape[0]}/{coeff_b.shape[0]}"
+        )
+    state = _resolve()
+    registry = get_registry()
+    started = time.perf_counter() if registry.enabled else 0.0
+    native = state["native"]
+    if native is not None:
+        tier = "native"
+        signatures, set_bits = native.band_signatures(
+            np.ascontiguousarray(words),
+            bands,
+            rows_per_band,
+            np.ascontiguousarray(coeff_a, dtype=np.uint64),
+            np.ascontiguousarray(coeff_b, dtype=np.uint64),
+        )
+    else:
+        tier = "numpy"
+        signatures, set_bits = numpy_tier.band_signatures(
+            words, bands, rows_per_band, coeff_a, coeff_b
+        )
+    if registry.enabled:
+        elapsed = time.perf_counter() - started
+        registry.inc(f"kernels.{tier}.band_calls", 1, unit="calls")
+        registry.inc(f"kernels.{tier}.band_rows", int(words.shape[0]), unit="rows")
+        registry.observe(f"kernels.{tier}.band_seconds", elapsed)
+    return signatures, set_bits

@@ -35,6 +35,7 @@ from repro.index import (
     decode_index_state,
     encode_index_state,
 )
+from repro.kernels import kernel_info
 from repro.obs import get_registry, kv, timed
 from repro.service.batching import DEFAULT_BATCH_SIZE, IngestReport, ingest_stream
 from repro.service.journal import (
@@ -133,6 +134,11 @@ class ServiceConfig:
     #: Per-shard capacity of the packed-row LRU cache used by the bulk query
     #: path (hot users' recovered virtual sketches); 0 disables caching.
     sketch_cache_size: int = 1024
+    #: Cache each user's ``k`` bit positions after first computation.  A pure
+    #: speed/memory trade: positions cost ~``8k`` bytes per user (~12 KiB at
+    #: k = 1536), which at million-user scale dwarfs the sketch itself — the
+    #: scale soak runs with this off and recomputes positions per gather.
+    cache_positions: bool = True
     #: LSH banding layout used by ``candidates="lsh"`` queries.  The default
     #: auto-tunes the band count from the index's target threshold; the band
     #: seed is left at ``None`` so it flows from this config's ``seed`` (via
@@ -227,6 +233,7 @@ class SimilarityService:
             size_multiplier=config.size_multiplier,
             seed=config.seed,
             sketch_cache_size=config.sketch_cache_size,
+            cache_positions=config.cache_positions,
         )
         return cls(
             sketch,
@@ -412,6 +419,10 @@ class SimilarityService:
             "journal_bytes": self._journal_size_bytes(),
             "dirty": sketch.dirty_info(),
         }
+        # Which kernel tier (native C popcount vs NumPy fallback) is scoring
+        # pairs and hashing bands, plus probe/compile status (see README
+        # "Kernel tiers").
+        stats["kernels"] = kernel_info()
         # The process-wide observability snapshot: every subsystem's counters,
         # gauges and latency histograms (see README "Observability").
         stats["metrics"] = get_registry().snapshot()

@@ -124,12 +124,15 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
         size_multiplier: float = 2.0,
         seed: int = 0,
         sketch_cache_size: int = 1024,
+        cache_positions: bool = True,
     ) -> "ShardedVOS":
         """Split the paper's equal-memory budget evenly across ``num_shards``.
 
         The total ``m`` bits become ``N`` arrays of ``ceil(m / N)`` bits; the
         virtual sketch size follows the same λ rule as plain VOS, capped at
-        the per-shard array length.
+        the per-shard array length.  ``cache_positions=False`` keeps memory
+        flat at million-user scale (positions are recomputed per gather
+        instead of memoised at ~8k bytes per user).
         """
         if num_shards <= 0:
             raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
@@ -142,6 +145,7 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
             virtual_size,
             seed=seed,
             sketch_cache_size=sketch_cache_size,
+            cache_positions=cache_positions,
         )
 
     # -- routing ---------------------------------------------------------------------

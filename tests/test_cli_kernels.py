@@ -1,0 +1,85 @@
+"""Tests for the ``repro kernels`` CLI subcommand.
+
+The status table must reflect the dispatch layer's resolution (tier, probe
+status, block sizing) and ``--bench`` must time both tiers on a synthetic
+block while asserting their bit-identity.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import kernels
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    """main() reconfigures root logging (force=True); undo it after each test."""
+    root = logging.getLogger()
+    level, handlers = root.level, list(root.handlers)
+    yield
+    root.setLevel(level)
+    root.handlers[:] = handlers
+
+
+def test_kernels_status_table(capsys):
+    assert main(["kernels"]) == 0
+    output = capsys.readouterr().out
+    assert "requested tier" in output
+    assert "active tier" in output
+    active = kernels.active_tier()
+    assert active in output
+
+
+def test_kernels_status_csv(capsys):
+    assert main(["kernels", "--csv"]) == 0
+    output = capsys.readouterr().out
+    assert "field,value" in output
+    assert "numpy popcount," in output
+
+
+def test_kernels_forced_numpy(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "numpy")
+    assert main(["kernels", "--csv"]) == 0
+    output = capsys.readouterr().out
+    assert "requested tier,numpy" in output
+    assert "active tier,numpy" in output
+
+
+def test_kernels_bench_times_both_tiers(capsys):
+    assert (
+        main(
+            [
+                "kernels",
+                "--bench",
+                "--users",
+                "64",
+                "--pairs",
+                "2000",
+                "--sketch-size",
+                "256",
+                "--csv",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "micro-timing" in output
+    assert "tiers bit-identical" in output
+    assert "\nnumpy," in output
+    if kernels.kernel_info()["native"]["available"]:
+        assert "\nnative," in output
+
+
+def test_kernels_bench_small_sketch(capsys):
+    """k=63 exercises the single-word row layout end to end."""
+    assert (
+        main(
+            ["kernels", "--bench", "--users", "32", "--pairs", "500", "--sketch-size", "63"]
+        )
+        == 0
+    )
+    assert "micro-timing" in capsys.readouterr().out

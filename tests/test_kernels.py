@@ -1,0 +1,330 @@
+"""Parity matrix for the kernel tiers (NumPy vs native C).
+
+Every fast path in this repo ships with a bit-identity gate against its
+reference implementation; the kernel tiers get the same treatment.  The
+matrix covers sketch sizes {63, 64, 1024, 1536}, empty pair lists, odd
+(non-word-aligned) row widths against a scalar popcount loop, string-id
+pools, end-to-end rankings, LSH candidate generation, and the strict
+``REPRO_KERNEL=native`` failure mode.  Native cases skip (never silently
+pass) when no compiler is available — CI runs this file under both
+``REPRO_KERNEL=numpy`` and ``REPRO_KERNEL=native`` so a host with a compiler
+can never quietly lose the fast tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.memory import MemoryBudget
+from repro.core.vos import VirtualOddSketch, packed_row_bytes, pair_xor_counts
+from repro.exceptions import ConfigurationError
+from repro.hashing.universal import _MERSENNE_P, UniversalHash, stable_hash64
+from repro.index import BandedSketchIndex, IndexConfig
+from repro.kernels import numpy_tier
+from repro.service.sharding import ShardedVOS
+from repro.similarity.search import top_k_similar_pairs
+from repro.streams.edge import Action, StreamElement
+
+SKETCH_SIZES = (63, 64, 1024, 1536)
+
+_NATIVE_AVAILABLE = None
+
+
+def native_available() -> bool:
+    global _NATIVE_AVAILABLE
+    if _NATIVE_AVAILABLE is None:
+        with kernels.use_tier("auto"):
+            _NATIVE_AVAILABLE = kernels.active_tier() == "native"
+    return _NATIVE_AVAILABLE
+
+
+def tiers() -> list[str]:
+    return ["numpy"] + (["native"] if native_available() else [])
+
+
+def _random_rows(rng, n_users: int, sketch_size: int) -> np.ndarray:
+    rows = rng.integers(
+        0, 256, size=(n_users, packed_row_bytes(sketch_size)), dtype=np.uint8
+    )
+    # Zero the padding bits past ``sketch_size`` like real packed rows have.
+    if sketch_size % 8:
+        rows[:, sketch_size // 8] &= (1 << (sketch_size % 8)) - 1
+    rows[:, (sketch_size + 7) // 8 :] = 0
+    return rows
+
+
+def _scalar_counts(rows: np.ndarray, index_a, index_b) -> np.ndarray:
+    """Pure-Python popcount reference, one pair at a time."""
+    out = np.empty(len(index_a), dtype=np.int64)
+    for t, (a, b) in enumerate(zip(index_a, index_b)):
+        xored = np.bitwise_xor(rows[a], rows[b]).tobytes()
+        out[t] = int.from_bytes(xored, "little").bit_count()
+    return out
+
+
+class TestPairCountParity:
+    @pytest.mark.parametrize("sketch_size", SKETCH_SIZES)
+    def test_tiers_match_scalar_reference(self, sketch_size):
+        rng = np.random.default_rng(sketch_size)
+        rows = _random_rows(rng, 120, sketch_size)
+        index_a = rng.integers(0, 120, size=3000).astype(np.int64)
+        index_b = rng.integers(0, 120, size=3000).astype(np.int64)
+        reference = _scalar_counts(rows, index_a[:200], index_b[:200])
+        results = {}
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                results[tier] = kernels.pair_counts(rows, index_a, index_b)
+            assert np.array_equal(results[tier][:200], reference), tier
+        if "native" in results:
+            assert np.array_equal(results["numpy"], results["native"])
+
+    @pytest.mark.parametrize("sketch_size", SKETCH_SIZES)
+    def test_empty_pair_list(self, sketch_size):
+        rng = np.random.default_rng(1)
+        rows = _random_rows(rng, 10, sketch_size)
+        empty = np.empty(0, dtype=np.int64)
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                counts = kernels.pair_counts(rows, empty, empty)
+            assert counts.shape == (0,) and counts.dtype == np.int64
+
+    def test_non_word_aligned_rows_match_scalar_loop(self):
+        """The byte-lane fallback for rows not padded to whole uint64 words.
+
+        ``packed_row_bytes`` always pads real sketch rows to word multiples,
+        but ``pair_xor_counts`` accepts arbitrary byte matrices; odd widths
+        must agree with a scalar popcount loop under every tier (the native
+        tier reads uint64 lanes, so dispatch must route these to NumPy).
+        """
+        rng = np.random.default_rng(9)
+        for row_bytes in (1, 5, 12, 191):
+            rows = rng.integers(0, 256, size=(40, row_bytes), dtype=np.uint8)
+            index_a = rng.integers(0, 40, size=400).astype(np.int64)
+            index_b = rng.integers(0, 40, size=400).astype(np.int64)
+            reference = _scalar_counts(rows, index_a, index_b)
+            for tier in tiers():
+                with kernels.use_tier(tier):
+                    counts = kernels.pair_counts(rows, index_a, index_b)
+                assert np.array_equal(counts, reference), (tier, row_bytes)
+
+    def test_block_boundaries_are_invisible(self, monkeypatch):
+        """Counts must not depend on how the sweep is blocked."""
+        rng = np.random.default_rng(3)
+        rows = _random_rows(rng, 50, 256)
+        index_a = rng.integers(0, 50, size=1000).astype(np.int64)
+        index_b = rng.integers(0, 50, size=1000).astype(np.int64)
+        with kernels.use_tier("numpy"):
+            baseline = kernels.pair_counts(rows, index_a, index_b)
+            monkeypatch.setenv("REPRO_PAIR_BLOCK_PAIRS", "7")
+            assert np.array_equal(kernels.pair_counts(rows, index_a, index_b), baseline)
+
+    def test_popcount_table_tier_matches(self, monkeypatch):
+        """numpy<2.0 byte-table path stays bit-identical inside the new tier."""
+        rng = np.random.default_rng(4)
+        rows = _random_rows(rng, 30, 1024)
+        index_a = rng.integers(0, 30, size=500).astype(np.int64)
+        index_b = rng.integers(0, 30, size=500).astype(np.int64)
+        with kernels.use_tier("numpy"):
+            baseline = kernels.pair_counts(rows, index_a, index_b)
+            monkeypatch.setattr(
+                numpy_tier, "_bitwise_count", numpy_tier._popcount_table
+            )
+            assert np.array_equal(kernels.pair_counts(rows, index_a, index_b), baseline)
+
+
+class TestBandSignatureParity:
+    @pytest.mark.parametrize("sketch_size", SKETCH_SIZES)
+    def test_tiers_match(self, sketch_size):
+        rng = np.random.default_rng(sketch_size + 1)
+        rows = _random_rows(rng, 80, sketch_size)
+        words = rows.view(np.uint64)
+        row_words = words.shape[1]
+        bands = max(1, min(6, row_words))
+        rows_per_band = row_words // bands
+        hashes = [
+            UniversalHash(
+                range_size=_MERSENNE_P, seed=stable_hash64(("index-band", 0, band))
+            )
+            for band in range(bands)
+        ] + [
+            UniversalHash(
+                range_size=_MERSENNE_P, seed=stable_hash64(("index-residual", 0))
+            )
+        ]
+        coeff_a = np.array([h._coefficients[0] for h in hashes], dtype=np.uint64)
+        coeff_b = np.array([h._coefficients[1] for h in hashes], dtype=np.uint64)
+        results = {}
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                results[tier] = kernels.band_signatures(
+                    words, bands, rows_per_band, coeff_a, coeff_b
+                )
+        signatures, set_bits = results["numpy"]
+        # Column hashes must agree with the scalar UniversalHash definition.
+        assert signatures.shape == (80, bands + 1)
+        assert (signatures < np.uint64(_MERSENNE_P)).all()
+        expected_bits = numpy_tier._popcount_table(
+            words[:, : bands * rows_per_band].reshape(80, bands, rows_per_band)
+        ).sum(axis=2, dtype=np.int64)
+        assert np.array_equal(set_bits, expected_bits)
+        if "native" in results:
+            assert np.array_equal(signatures, results["native"][0])
+            assert np.array_equal(set_bits, results["native"][1])
+
+    def test_empty_user_list(self):
+        words = np.empty((0, 4), dtype=np.uint64)
+        coeff = np.ones(3, dtype=np.uint64)
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                signatures, set_bits = kernels.band_signatures(words, 2, 2, coeff, coeff)
+            assert signatures.shape == (0, 3) and set_bits.shape == (0, 2)
+
+    def test_geometry_validation(self):
+        words = np.zeros((2, 4), dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            kernels.band_signatures(words, 5, 1, np.ones(6, np.uint64), np.ones(6, np.uint64))
+        with pytest.raises(ConfigurationError):
+            kernels.band_signatures(words, 2, 2, np.ones(2, np.uint64), np.ones(2, np.uint64))
+
+
+def _string_pool_sketch():
+    sketch = ShardedVOS.from_budget(
+        MemoryBudget(baseline_registers=24, num_users=400),
+        num_shards=3,
+        seed=13,
+    )
+    rng = np.random.default_rng(13)
+    elements = []
+    for user in range(60):
+        items = rng.choice(500, size=30, replace=False)
+        for item in items:
+            elements.append(StreamElement(f"user-{user:03d}", int(item), Action.INSERT))
+    sketch.process_batch(elements)
+    return sketch
+
+
+class TestEndToEndParity:
+    def test_rankings_bit_identical_across_tiers_string_ids(self):
+        """Full ranking parity on a string-id pool: same pairs, same scores."""
+        sketch = _string_pool_sketch()
+        rankings = {}
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                rankings[tier] = [
+                    (pair.user_a, pair.user_b, pair.jaccard, pair.common_items)
+                    for pair in top_k_similar_pairs(sketch, k=25)
+                ]
+        if "native" in rankings:
+            assert rankings["numpy"] == rankings["native"]
+        assert len(rankings["numpy"]) == 25
+
+    def test_pair_xor_counts_entrypoint_dispatches(self):
+        """The vos-level wrapper and the dispatch layer agree under each tier."""
+        rng = np.random.default_rng(8)
+        rows = _random_rows(rng, 64, 1536)
+        index_a = rng.integers(0, 64, size=800).astype(np.int64)
+        index_b = rng.integers(0, 64, size=800).astype(np.int64)
+        results = {}
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                results[tier] = pair_xor_counts(rows, index_a, index_b)
+        if "native" in results:
+            assert np.array_equal(results["numpy"], results["native"])
+
+    def test_lsh_candidates_identical_across_tiers(self):
+        """Band signatures drive bucketing: candidate sets must match exactly."""
+        sketch = _string_pool_sketch()
+        pool = sorted(sketch.users())
+        candidates = {}
+        for tier in tiers():
+            with kernels.use_tier(tier):
+                index = BandedSketchIndex(sketch, IndexConfig())
+                index.build()
+                index_a, index_b = index.candidate_pairs(pool)
+                candidates[tier] = (index_a.tolist(), index_b.tolist())
+        if "native" in candidates:
+            assert candidates["numpy"] == candidates["native"]
+
+
+class TestDispatchControls:
+    def test_auto_sized_blocks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAIR_BLOCK_PAIRS", raising=False)
+        narrow = kernels.pair_block_pairs(8)
+        wide = kernels.pair_block_pairs(192)
+        assert narrow > wide
+        assert narrow <= numpy_tier.MAX_BLOCK_PAIRS
+        assert wide >= numpy_tier.MIN_BLOCK_PAIRS
+        # Power-of-two blocks whose gather buffer stays near the target.
+        assert wide * 192 <= numpy_tier.TARGET_BLOCK_BYTES
+        monkeypatch.setenv("REPRO_PAIR_BLOCK_PAIRS", "12345")
+        assert kernels.pair_block_pairs(192) == 12345
+
+    def test_invalid_tier_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "cuda")
+        with pytest.raises(ConfigurationError):
+            kernels.requested_tier()
+
+    def test_strict_native_raises_without_compiler(self, monkeypatch):
+        """REPRO_KERNEL=native must fail loudly when the build is impossible."""
+        from repro.kernels import native as native_module
+
+        kernels.reset_kernels()
+        monkeypatch.setattr(native_module, "_find_compiler", lambda: None)
+        try:
+            with kernels.use_tier("native"):
+                with pytest.raises(ConfigurationError):
+                    kernels.active_tier()
+                info = kernels.kernel_info()
+                assert info["active"] is None
+                assert "native" in info["error"]
+        finally:
+            kernels.reset_kernels()
+
+    def test_kernel_info_shape(self):
+        info = kernels.kernel_info()
+        assert info["requested"] in ("auto", "numpy", "native")
+        assert info["active"] in ("numpy", "native")
+        assert isinstance(info["native"]["available"], bool)
+        assert info["numpy_popcount"] in ("bitwise_count", "byte_table")
+
+    def test_stats_expose_kernel_tier(self):
+        from repro.service import ServiceConfig, SimilarityService
+
+        service = SimilarityService.from_config(ServiceConfig(expected_users=50))
+        service.ingest(
+            [StreamElement(u, i, Action.INSERT) for u in (1, 2) for i in range(20)]
+        )
+        stats = service.stats()
+        assert stats["kernels"]["active"] in ("numpy", "native")
+
+    def test_obs_counters_per_tier(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        rng = np.random.default_rng(2)
+        rows = _random_rows(rng, 16, 64)
+        index = rng.integers(0, 16, size=64).astype(np.int64)
+        for tier in tiers():
+            counter = registry.counter(f"kernels.{tier}.pairs_scored", unit="pairs")
+            before = counter.value
+            with kernels.use_tier(tier):
+                kernels.pair_counts(rows, index, index)
+            assert counter.value == before + 64
+
+
+def test_native_tier_active_when_forced():
+    """Under REPRO_KERNEL=native the active tier must actually be native.
+
+    CI runs the suite with REPRO_KERNEL=native on compiler-equipped hosts;
+    strict mode raising on a broken toolchain (covered above) plus this check
+    guarantees the fast tier can never silently fall back there.
+    """
+    if not native_available():
+        pytest.skip("no C compiler: native tier unavailable on this host")
+    with kernels.use_tier("native"):
+        assert kernels.active_tier() == "native"
+        info = kernels.kernel_info()
+        assert info["native"]["available"] is True
+        assert info["native"]["library"]

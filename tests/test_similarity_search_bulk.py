@@ -184,13 +184,13 @@ class TestBulkEstimateParity:
         self, small_dynamic_stream_module, monkeypatch
     ):
         """The numpy<2.0 byte-table popcount must agree with np.bitwise_count."""
-        import repro.core.vos as vos_module
+        import repro.kernels.numpy_tier as numpy_tier
 
         if not hasattr(np, "bitwise_count"):
             pytest.skip("numpy < 2.0: the table IS the active implementation")
         rng = np.random.default_rng(5)
         words = rng.integers(0, 2**63, size=(40, 24), dtype=np.uint64)
-        table = vos_module._popcount_table(words).sum(axis=1, dtype=np.int64)
+        table = numpy_tier._popcount_table(words).sum(axis=1, dtype=np.int64)
         native = np.bitwise_count(words).sum(axis=1, dtype=np.int64)
         assert np.array_equal(table, native)
 
@@ -200,7 +200,12 @@ class TestBulkEstimateParity:
         pairs = list(combinations(users, 2))
         columns = ([a for a, _ in pairs], [b for _, b in pairs])
         native_result = sketch.estimate_jaccard_many(*columns)
-        monkeypatch.setattr(vos_module, "_bitwise_count", vos_module._popcount_table)
+        # The kernel dispatch lives in repro.kernels now; pin it to the NumPy
+        # tier and swap in the byte table so the fallback actually runs.
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        monkeypatch.setattr(
+            numpy_tier, "_bitwise_count", numpy_tier._popcount_table
+        )
         assert np.array_equal(sketch.estimate_jaccard_many(*columns), native_result)
 
 
