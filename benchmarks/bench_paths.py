@@ -1,0 +1,32 @@
+"""Where benchmark result files (``BENCH_*.json``) are written.
+
+Historically every benchmark wrote its JSON next to the repository root.
+That remains the default, but ``REPRO_BENCH_DIR`` redirects the whole suite —
+CI jobs point it at a scratch directory they upload as an artifact, and local
+runs can keep experiment records out of the working tree::
+
+    REPRO_BENCH_DIR=/tmp/bench PYTHONPATH=src python -m pytest benchmarks/
+
+The directory is created on first use.  Relative paths resolve against the
+current working directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_dir() -> Path:
+    """The directory results go to: ``$REPRO_BENCH_DIR`` or the repo root."""
+    override = os.environ.get("REPRO_BENCH_DIR", "").strip()
+    return Path(override).resolve() if override else _REPO_ROOT
+
+
+def results_path(name: str) -> Path:
+    """Absolute path for one result file, creating the directory if needed."""
+    directory = bench_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory / name

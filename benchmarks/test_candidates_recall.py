@@ -40,6 +40,8 @@ from repro.index import BandedSketchIndex
 from repro.similarity.search import top_k_similar_pairs
 from repro.streams.batch import ElementBatch
 
+from bench_paths import results_path
+
 POOL_USERS = int(os.environ.get("REPRO_CANDIDATES_BENCH_USERS", "20000"))
 SMOKE_MODE = POOL_USERS < 8000
 #: Growing pool sizes; the acceptance numbers are taken at the largest.
@@ -58,7 +60,7 @@ CANDIDATE_FRACTION_CEILING = 0.05
 #: Empirical growth exponent ceiling for candidate count vs pool size (the
 #: exhaustive enumeration sits at exactly 2.0).
 SUBQUADRATIC_EXPONENT_CEILING = 1.9
-RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+RESULTS_PATH = results_path(
     "BENCH_candidates_smoke.json" if SMOKE_MODE else "BENCH_candidates.json"
 )
 

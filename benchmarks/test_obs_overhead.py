@@ -41,6 +41,8 @@ from repro.streams.deletions import MassiveDeletionModel
 from repro.streams.generators import PowerLawBipartiteGenerator
 from repro.streams.stream import build_dynamic_stream
 
+from bench_paths import results_path
+
 STREAM_ELEMENTS = int(os.environ.get("REPRO_OBS_BENCH_ELEMENTS", "50000"))
 #: Relative throughput overhead allowed with metrics enabled (ISSUE: 5%).
 OVERHEAD_TOL = float(os.environ.get("REPRO_OBS_OVERHEAD_TOL", "0.05"))
@@ -50,7 +52,7 @@ REPEATS = int(os.environ.get("REPRO_OBS_BENCH_REPEATS", "5"))
 ATTEMPTS = 4
 NUM_SHARDS = 8
 BATCH_SIZE = 4096
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+RESULTS_PATH = results_path("BENCH_obs_overhead.json")
 
 
 @pytest.fixture(scope="module")

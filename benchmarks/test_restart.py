@@ -42,6 +42,8 @@ from repro.service import CheckpointPolicy, ServiceConfig, SimilarityService
 from repro.service.journal import default_journal_path
 from repro.streams.batch import ElementBatch
 
+from bench_paths import results_path
+
 POOL_USERS = int(os.environ.get("REPRO_RESTART_BENCH_USERS", "20000"))
 SMOKE_MODE = POOL_USERS < 8000
 ITEMS_PER_USER = 20
@@ -52,7 +54,7 @@ MUTATED_FRACTION = 0.01
 #: full snapshot rewrite, in bytes.
 DELTA_BYTE_FRACTION_CEILING = 0.15
 TOP_K = 50
-RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+RESULTS_PATH = results_path(
     "BENCH_restart_smoke.json" if SMOKE_MODE else "BENCH_restart.json"
 )
 

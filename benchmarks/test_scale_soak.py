@@ -54,6 +54,8 @@ from repro.kernels import kernel_info
 from repro.service.service import ServiceConfig, SimilarityService
 from repro.streams.batch import ElementBatch
 
+from bench_paths import results_path
+
 SOAK_USERS = int(os.environ.get("REPRO_SOAK_USERS", "10000"))
 SOAK_ELEMENTS = int(os.environ.get("REPRO_SOAK_ELEMENTS", "1000000"))
 MEMORY_BUDGET_MB = int(os.environ.get("REPRO_SOAK_MEMORY_MB", "12288"))
@@ -69,7 +71,7 @@ DELTA_ELEMENTS = max(10_000, SOAK_ELEMENTS // 100)
 POOL_USERS = 512
 POOL_QUERIES = 8 if SMOKE_MODE else 16
 TOPK_QUERIES = 16 if SMOKE_MODE else 32
-RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+RESULTS_PATH = results_path(
     "BENCH_scale_smoke.json" if SMOKE_MODE else "BENCH_scale.json"
 )
 

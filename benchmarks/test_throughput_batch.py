@@ -30,8 +30,10 @@ from repro.streams.deletions import MassiveDeletionModel
 from repro.streams.generators import PowerLawBipartiteGenerator
 from repro.streams.stream import build_dynamic_stream
 
+from bench_paths import results_path
+
 STREAM_ELEMENTS = 100_000
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+RESULTS_PATH = results_path("BENCH_throughput.json")
 
 
 @pytest.fixture(scope="module")

@@ -41,6 +41,8 @@ from repro.streams.generators import PowerLawBipartiteGenerator
 from repro.streams.io import iter_stream_batches, read_stream, write_stream
 from repro.streams.stream import build_dynamic_stream
 
+from bench_paths import results_path
+
 STREAM_ELEMENTS = int(os.environ.get("REPRO_INGEST_BENCH_ELEMENTS", "100000"))
 SMOKE_MODE = STREAM_ELEMENTS < 50_000
 NUM_SHARDS = 8
@@ -51,11 +53,11 @@ CPU_COUNT = os.cpu_count() or 1
 #: (the acceptance number lives in BENCH_ingest.json); the assertion floor is
 #: set below it so scheduler noise cannot flake CI.
 SPEEDUP_FLOOR = 5.0 if SMOKE_MODE else 15.0
-RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+RESULTS_PATH = results_path(
     "BENCH_ingest_smoke.json" if SMOKE_MODE else "BENCH_ingest.json"
 )
 #: Full metrics-registry dump captured during the timed runs (CI artifact).
-METRICS_PATH = Path(__file__).resolve().parent.parent / (
+METRICS_PATH = results_path(
     "BENCH_ingest_metrics_smoke.json" if SMOKE_MODE else "BENCH_ingest_metrics.json"
 )
 

@@ -39,6 +39,8 @@ from repro.streams.deletions import MassiveDeletionModel
 from repro.streams.generators import PowerLawBipartiteGenerator
 from repro.streams.stream import build_dynamic_stream
 
+from bench_paths import results_path
+
 STREAM_ELEMENTS = int(os.environ.get("REPRO_PROCS_BENCH_ELEMENTS", "100000"))
 SMOKE_MODE = STREAM_ELEMENTS < 50_000
 NUM_SHARDS = 8
@@ -50,7 +52,7 @@ CPU_COUNT = os.cpu_count() or 1
 #: merge-back (all serial costs the workers cannot parallelize) plus
 #: scheduler noise cannot flake CI.
 SCALING_FLOOR = 1.7
-RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+RESULTS_PATH = results_path(
     "BENCH_ingest_procs_smoke.json" if SMOKE_MODE else "BENCH_ingest_procs.json"
 )
 

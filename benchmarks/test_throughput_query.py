@@ -47,6 +47,8 @@ from repro.streams.deletions import MassiveDeletionModel
 from repro.streams.generators import PowerLawBipartiteGenerator
 from repro.streams.stream import build_dynamic_stream
 
+from bench_paths import results_path
+
 POOL_USERS = int(os.environ.get("REPRO_QUERY_BENCH_USERS", "2000"))
 #: CI smoke mode uses a much smaller pool where fixed numpy overheads weigh
 #: more, so the speedup floor is relaxed there; the full-size floor is the
@@ -63,11 +65,11 @@ TOP_K = 100
 NATIVE_SPEEDUP_FLOOR = 1.5
 # Smoke runs record to a separate file so a shrunken-pool run can never
 # clobber the repository's accumulated full-pool performance record.
-RESULTS_PATH = Path(__file__).resolve().parent.parent / (
+RESULTS_PATH = results_path(
     "BENCH_query_smoke.json" if SMOKE_MODE else "BENCH_query.json"
 )
 #: Full metrics-registry dump captured during the timed runs (CI artifact).
-METRICS_PATH = Path(__file__).resolve().parent.parent / (
+METRICS_PATH = results_path(
     "BENCH_query_metrics_smoke.json" if SMOKE_MODE else "BENCH_query_metrics.json"
 )
 

@@ -18,11 +18,20 @@ The example:
 Run with::
 
     python examples/friend_suggestion.py
+
+The same workload can run against a live serving daemon instead of an
+in-process sketch: start one (``repro serve --snapshot state.vos``), then
+point the example at it — friendship events stream in over
+``ingest_batch`` requests (one epoch swap at the end) and the suggestion
+scores come back through ``estimate_many``::
+
+    python examples/friend_suggestion.py --connect 127.0.0.1:7437
 """
 
 from __future__ import annotations
 
 import random
+import sys
 
 from repro import VirtualOddSketch
 from repro.baselines.exact import ExactSimilarityTracker
@@ -72,19 +81,61 @@ def build_friendship_events(seed: int = 13):
     return events
 
 
-def main() -> None:
+def _ingest_remote(connect: str, events) -> "object":
+    """Stream friendship events into a serving daemon; returns the client.
+
+    A regular-graph edge ``(a, b)`` is two bipartite elements — person ``a``
+    gains neighbour ``b`` and vice versa — exactly what
+    :class:`~repro.streams.regular.RegularGraphSimilarity` does in process.
+    Batches ride over ``ingest_batch`` with ``publish=False`` so readers see
+    one epoch swap at the end instead of one per batch.
+    """
+    from repro.cli import _parse_connect
+    from repro.server import ServingClient
+    from repro.streams import Action, StreamElement
+
+    client = ServingClient(*_parse_connect(connect))
+    elements = []
+    for a, b, is_insert in events:
+        action = Action.INSERT if is_insert else Action.DELETE
+        elements.append(StreamElement(a, b, action))
+        elements.append(StreamElement(b, a, action))
+    batch_size = 8192
+    for start in range(0, len(elements), batch_size):
+        batch = elements[start : start + batch_size]
+        last = start + batch_size >= len(elements)
+        report = client.ingest_batch(batch, publish=last)
+    print(
+        f"streamed {len(elements)} elements into {connect} "
+        f"(daemon epoch {report['epoch']}, repro {client.server_version})"
+    )
+    return client
+
+
+def main(argv=()) -> None:
+    connect = None
+    arguments = list(argv)
+    if "--connect" in arguments:
+        connect = arguments[arguments.index("--connect") + 1]
     events = build_friendship_events()
     num_people = NUM_COMMUNITIES * COMMUNITY_SIZE
 
-    budget = MemoryBudget(baseline_registers=24, num_users=num_people)
-    sketched = RegularGraphSimilarity(VirtualOddSketch.from_budget(budget, seed=4))
+    client = None
+    sketched = None
+    if connect is None:
+        budget = MemoryBudget(baseline_registers=24, num_users=num_people)
+        sketched = RegularGraphSimilarity(VirtualOddSketch.from_budget(budget, seed=4))
+    else:
+        client = _ingest_remote(connect, events)
     exact = RegularGraphSimilarity(ExactSimilarityTracker())
     for a, b, is_insert in events:
         if is_insert:
-            sketched.add_edge(a, b)
+            if sketched is not None:
+                sketched.add_edge(a, b)
             exact.add_edge(a, b)
         else:
-            sketched.remove_edge(a, b)
+            if sketched is not None:
+                sketched.remove_edge(a, b)
             exact.remove_edge(a, b)
     print(f"friendship graph: {num_people} people, {exact.live_edge_count} live friendships "
           f"after {len(events)} events")
@@ -97,10 +148,19 @@ def main() -> None:
             for person in range(num_people)
             if person != target and person not in friends
         ]
-        scored = [
-            (sketched.estimate_common_neighbours(target, person), person)
-            for person in candidates
-        ]
+        if client is not None:
+            estimates = client.estimate_many(
+                [(target, person) for person in candidates]
+            )
+            scored = [
+                (estimate.common_items, person)
+                for estimate, person in zip(estimates, candidates)
+            ]
+        else:
+            scored = [
+                (sketched.estimate_common_neighbours(target, person), person)
+                for person in candidates
+            ]
         scored.sort(reverse=True)
         rows = []
         for score, person in scored[:NUM_SUGGESTIONS]:
@@ -119,7 +179,9 @@ def main() -> None:
             ["suggested person", "common friends (VOS)", "common friends (exact)", "community"],
             rows,
         ))
+    if client is not None:
+        client.close()
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

@@ -9,13 +9,26 @@ on the bit-identical NumPy tier when no compiler exists — so this file
 declares no extension modules on purpose.
 """
 
+import re
 from pathlib import Path
 
 from setuptools import find_packages, setup
 
+
+def _read_version() -> str:
+    """Parse ``src/repro/_version.py`` without importing the package."""
+    text = (Path(__file__).parent / "src" / "repro" / "_version.py").read_text(
+        encoding="utf-8"
+    )
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/_version.py")
+    return match.group(1)
+
+
 setup(
     name="repro-vos",
-    version="0.8.0",
+    version=_read_version(),
     description=(
         "Virtual Odd Sketch: user-pair similarity over fully dynamic graph "
         "streams (ICDE 2019 reproduction, grown to service scale)"

@@ -25,6 +25,7 @@ Quickstart
 >>> _ = engine.consume(stream)
 """
 
+from repro._version import __version__
 from repro.baselines import (
     BBitMinHash,
     ConsistentWeightedSampler,
@@ -54,8 +55,6 @@ from repro.streams import (
     build_dynamic_stream,
     load_dataset,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "VirtualOddSketch",

@@ -1,0 +1,9 @@
+"""Single source of truth for the package version.
+
+``setup.py`` parses this file (no import — the package's dependencies may not
+be installed at build time), the CLI's ``--version`` flag prints it, and the
+serving protocol handshake (:mod:`repro.server.protocol`) carries it so a
+client/daemon version mismatch fails loudly instead of mis-decoding frames.
+"""
+
+__version__ = "0.9.0"

@@ -28,6 +28,10 @@ Service commands (the :mod:`repro.service` subsystem)::
     repro metrics dump --snapshot state.vos --stream more.vosstream --out metrics.json
     repro metrics reset
     repro kernels --bench
+    repro serve --snapshot state.vos --port 7437 --serve-workers 4
+    repro query --connect 127.0.0.1:7437 -k 10
+    repro query --connect 127.0.0.1:7437 --user 17 -k 10 --index lsh
+    repro query --connect 127.0.0.1:7437 --stats
 
 ``ingest`` reads a stream file — the plain-text format (``<action> <user>
 <item>`` per line) or the binary columnar ``.vosstream`` format, auto-detected
@@ -62,6 +66,14 @@ zeroes every metric.  The global ``--log-level`` flag turns on structured
 logging — journal replay and checkpoint events carry shard ids and journal
 sequence numbers as ``key=value`` context.
 
+``serve`` loads a snapshot and runs the long-lived serving daemon
+(:mod:`repro.server`): queries are answered from epoch-versioned immutable
+snapshots while ``ingest_batch`` requests land, SIGTERM/ctrl-c drains
+in-flight requests and writes a final journal checkpoint.  ``query`` is the
+matching client — it answers the same ``topk``/``pairs`` questions over a
+live daemon connection instead of a snapshot file, bit-identically to the
+in-process service.
+
 ``kernels`` reports which scoring kernel tier is active (the native
 hardware-popcount C kernels or the NumPy fallback — see :mod:`repro.kernels`),
 including the probe/compile status behind that choice; ``--bench`` micro-times
@@ -74,11 +86,13 @@ results can be diffed against EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro._version import __version__
 from repro.analysis.bias import measure_sampling_bias
 from repro.core.memory import MemoryBudget
 from repro.evaluation.reporting import (
@@ -99,6 +113,7 @@ from repro.obs import (
     render_json,
     render_prometheus,
 )
+from repro.server import DEFAULT_PORT, ServingClient, ServingDaemon
 from repro.service import ServiceConfig, SimilarityService
 from repro.service.journal import default_journal_path, journal_info
 from repro.service.snapshot import snapshot_info
@@ -805,6 +820,119 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving daemon over a snapshot until SIGTERM/ctrl-c drains it."""
+    try:
+        service = SimilarityService.load(
+            args.snapshot, index_config=_index_config_from_args(args)
+        )
+        daemon = ServingDaemon(
+            service, host=args.host, port=args.port, workers=args.serve_workers
+        )
+        host, port = daemon.start()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_shutdown())
+    print(
+        f"# serving {args.snapshot} on {host}:{port} "
+        f"({args.serve_workers} workers; SIGTERM/ctrl-c to drain)",
+        flush=True,
+    )
+    daemon.wait()
+    checkpoint = daemon.final_checkpoint or {}
+    epochs = daemon.epochs.stats()
+    registry_snapshot = get_registry().snapshot()
+    requests = registry_snapshot["counters"].get("server.requests", {}).get("value", 0)
+    rows = [
+        ["snapshot", str(args.snapshot)],
+        ["requests served", requests],
+        ["epochs published", epochs["published"]],
+        ["epochs retired", epochs["retired"]],
+        ["final epoch", epochs["current"]],
+        ["final checkpoint", checkpoint.get("kind", "none")],
+        ["checkpoint id", checkpoint.get("checkpoint_id", "")],
+    ]
+    headers = ["field", "value"]
+    print("# serve drained cleanly")
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
+def _parse_connect(value: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` connect string (port optional)."""
+    host, _, port = value.rpartition(":")
+    if not host:
+        return value, DEFAULT_PORT
+    try:
+        return host, int(port)
+    except ValueError:
+        raise DatasetError(
+            f"--connect expects HOST or HOST:PORT, got {value!r}"
+        ) from None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Answer topk/pairs/stats questions over a live daemon connection."""
+    try:
+        host, port = _parse_connect(args.connect)
+        with ServingClient(host, port) as client:
+            if args.stats:
+                stats = client.stats()
+                server = stats["server"]
+                rows = [
+                    ["server", f"{host}:{port}"],
+                    ["version", server["version"]],
+                    ["epoch", server["epochs"]["current"]],
+                    ["epochs published", server["epochs"]["published"]],
+                    ["epochs retired", server["epochs"]["retired"]],
+                    ["inflight requests", server["inflight"]],
+                    ["workers", server["workers"]],
+                    ["users", stats["users"]],
+                    ["elements ingested", stats["elements_ingested"]],
+                    ["memory bits", stats["memory_bits"]],
+                ]
+                headers = ["field", "value"]
+                print(f"# daemon stats at epoch {server['epochs']['current']}")
+            elif args.user is not None:
+                neighbours = client.nearest(
+                    args.user,
+                    k=args.k,
+                    minimum_cardinality=args.min_cardinality,
+                    index=args.index,
+                )
+                rows = [
+                    [pair.user_b, pair.jaccard, pair.common_items]
+                    for pair in neighbours
+                ]
+                headers = ["user", "jaccard", "common items"]
+                print(
+                    f"# top-{args.k} users most similar to user {args.user} "
+                    f"(daemon epoch {client.epoch})"
+                )
+            else:
+                pairs = client.top_k_pairs(
+                    k=args.k,
+                    minimum_cardinality=args.min_cardinality,
+                    prefilter_threshold=args.prefilter,
+                    candidates="lsh" if args.index == "lsh" else "all",
+                )
+                rows = [
+                    [pair.user_a, pair.user_b, pair.jaccard, pair.common_items]
+                    for pair in pairs
+                ]
+                headers = ["user a", "user b", "jaccard", "common items"]
+                print(
+                    f"# top-{args.k} most similar pairs (daemon epoch {client.epoch})"
+                )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    return 0
+
+
 def _cmd_bias(args: argparse.Namespace) -> int:
     rows = []
     methods = ("MinHash", "OPH", "RP", "VOS")
@@ -825,6 +953,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the VOS paper's experiments (ICDE 2019).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     parser.add_argument(
         "--log-level",
@@ -1106,6 +1240,71 @@ def build_parser() -> argparse.ArgumentParser:
         "reset", help="zero every metric in this process"
     )
     reset_parser.set_defaults(handler=_cmd_metrics_reset)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the serving daemon over a snapshot (epoch-versioned reads)",
+    )
+    serve_parser.add_argument(
+        "--snapshot", required=True, help="snapshot file to serve (journal replayed)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: localhost)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port (default: {DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=4,
+        help="request worker threads",
+    )
+    _add_index_options(serve_parser)
+    serve_parser.add_argument("--csv", action="store_true")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    query_parser = subparsers.add_parser(
+        "query", help="query a running serving daemon (see `repro serve`)"
+    )
+    query_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="daemon address, e.g. 127.0.0.1:7437",
+    )
+    query_parser.add_argument(
+        "--user",
+        type=int,
+        default=None,
+        help="nearest-neighbour query for this user (omit for top-k pairs)",
+    )
+    query_parser.add_argument("-k", type=int, default=10, dest="k", help="results")
+    query_parser.add_argument(
+        "--min-cardinality", type=int, default=1, help="ignore smaller users"
+    )
+    query_parser.add_argument(
+        "--prefilter",
+        type=float,
+        default=0.0,
+        help="cardinality pre-filter threshold for pair queries",
+    )
+    query_parser.add_argument(
+        "--index",
+        choices=("none", "lsh"),
+        default="none",
+        help="route candidate generation through the daemon's banding index",
+    )
+    query_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print daemon + service stats instead of running a query",
+    )
+    query_parser.add_argument("--csv", action="store_true")
+    query_parser.set_defaults(handler=_cmd_query)
 
     kernels_parser = subparsers.add_parser(
         "kernels",

@@ -26,6 +26,7 @@ closed-form estimators in :mod:`repro.core.estimators`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 
@@ -228,6 +229,12 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
         self._sketch_cache_version = -1
         self._sketch_cache_hits = 0
         self._sketch_cache_misses = 0
+        # Guards the LRU bookkeeping only (lookups, insertions, eviction,
+        # hit/miss counters) so concurrent readers — the serving daemon runs
+        # many query threads against one published epoch — never interleave a
+        # ``move_to_end`` with another thread's eviction.  The expensive
+        # gather itself runs outside the lock.
+        self._sketch_cache_lock = threading.Lock()
 
     # -- construction helpers --------------------------------------------------------
 
@@ -381,35 +388,40 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
             if user not in self._cardinalities:
                 raise UnknownUserError(user)
         version = self._array.version
-        if version != self._sketch_cache_version:
-            self._sketch_cache.clear()
-            self._sketch_cache_version = version
         row_bytes = packed_row_bytes(self.virtual_sketch_size)
         packed = np.zeros((len(users), row_bytes), dtype=np.uint8)
         missing: list[int] = []
         cache = self._sketch_cache
-        for row, user in enumerate(users):
-            cached = cache.get(user) if self._sketch_cache_size else None
-            if cached is None:
-                missing.append(row)
-            else:
-                cache.move_to_end(user)
-                self._sketch_cache_hits += 1
-                packed[row] = cached
+        with self._sketch_cache_lock:
+            if version != self._sketch_cache_version:
+                cache.clear()
+                self._sketch_cache_version = version
+            for row, user in enumerate(users):
+                cached = cache.get(user) if self._sketch_cache_size else None
+                if cached is None:
+                    missing.append(row)
+                else:
+                    cache.move_to_end(user)
+                    self._sketch_cache_hits += 1
+                    packed[row] = cached
         if missing:
-            self._sketch_cache_misses += len(missing)
             missing_users = [users[row] for row in missing]
             fresh = self._gather_packed(missing_users)
             packed[missing] = fresh
-            if self._sketch_cache_size:
-                for offset, user in enumerate(missing_users):
-                    # Copy the row out of the batch matrix: a cached view
-                    # would pin the whole gather result in memory for as long
-                    # as any one of its rows survives in the cache.
-                    cache[user] = fresh[offset].copy()
-                    cache.move_to_end(user)
-                while len(cache) > self._sketch_cache_size:
-                    cache.popitem(last=False)
+            with self._sketch_cache_lock:
+                self._sketch_cache_misses += len(missing)
+                # Only populate while the version still matches: an ingest
+                # racing this gather bumped the version, so these rows may
+                # describe a mix of old and new bits.
+                if self._sketch_cache_size and self._sketch_cache_version == version:
+                    for offset, user in enumerate(missing_users):
+                        # Copy the row out of the batch matrix: a cached view
+                        # would pin the whole gather result in memory for as
+                        # long as any one of its rows survives in the cache.
+                        cache[user] = fresh[offset].copy()
+                        cache.move_to_end(user)
+                    while len(cache) > self._sketch_cache_size:
+                        cache.popitem(last=False)
         registry = get_registry()
         if registry.enabled:
             hits = len(users) - len(missing)

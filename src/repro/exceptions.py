@@ -74,3 +74,27 @@ class SnapshotError(ReproError):
     versions, payload corruption (checksum mismatch) and sketch state that the
     snapshot format cannot represent (e.g. non-integer user identifiers).
     """
+
+
+class ProtocolError(ReproError):
+    """A serving-protocol frame or handshake could not be honoured.
+
+    Raised for corrupt frames (length/CRC mismatch, truncated reads, frames
+    over the size ceiling), malformed request/response payloads, and
+    client/daemon handshake mismatches — a client built at one protocol or
+    package version refuses to talk to a daemon at another instead of
+    silently mis-decoding frames.
+    """
+
+
+class ServerError(ReproError):
+    """A serving daemon answered a request with an error response.
+
+    Carries the exception type name the daemon raised remotely in
+    ``remote_type`` so callers can branch on it (e.g. ``UnknownUserError``)
+    without the server leaking stack frames over the wire.
+    """
+
+    def __init__(self, message: str, *, remote_type: str = "ReproError") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type

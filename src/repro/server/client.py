@@ -1,0 +1,181 @@
+"""Client for the serving daemon: typed calls over the framed JSON protocol.
+
+:class:`ServingClient` opens one TCP connection, validates the daemon's hello
+frame (protocol *and* package version must match exactly — see
+:func:`repro.server.protocol.check_hello`), then issues request/response
+frames.  Results are decoded back into the same value types the in-process
+:class:`~repro.service.service.SimilarityService` returns
+(:class:`~repro.similarity.search.ScoredPair`,
+:class:`~repro.baselines.base.PairEstimate`), so daemon answers compare
+``==`` with in-process answers — including string user ids.
+
+A server-side failure arrives as an error envelope and is re-raised here as
+:class:`~repro.exceptions.ServerError` carrying the remote exception type;
+transport/framing trouble raises
+:class:`~repro.exceptions.ProtocolError`.  The client is a context manager::
+
+    with ServingClient("127.0.0.1", 7437) as client:
+        pairs = client.top_k_pairs(k=5)
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Iterable
+
+from repro.baselines.base import PairEstimate
+from repro.exceptions import ProtocolError, ServerError
+from repro.server import protocol
+from repro.similarity.search import ScoredPair
+from repro.streams.edge import StreamElement, UserId
+
+
+class ServingClient:
+    """One connection to a :class:`~repro.server.daemon.ServingDaemon`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = protocol.DEFAULT_PORT, *,
+        timeout: float = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            hello = protocol.check_hello(protocol.recv_frame(self._sock))
+        except BaseException:
+            self._sock.close()
+            raise
+        #: The daemon's package version (equal to ours by handshake contract).
+        self.server_version: str = hello["version"]
+        #: The epoch current when we connected / last answered a request.
+        self.epoch: int = hello["epoch"]
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def _call(self, op: str, **params) -> dict:
+        request = {"op": op, **{k: v for k, v in params.items() if v is not None}}
+        protocol.send_frame(self._sock, request)
+        response = protocol.recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError(
+                f"server closed the connection while answering {op!r}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("message", f"request {op!r} failed"),
+                remote_type=error.get("type", "ReproError"),
+            )
+        if "epoch" in response:
+            self.epoch = response["epoch"]
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- read ops --------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Round-trip liveness probe; returns the daemon's epoch and version."""
+        return self._call("ping")
+
+    def top_k_pairs(
+        self,
+        *,
+        k: int = 10,
+        users: Iterable[UserId] | None = None,
+        minimum_cardinality: int = 1,
+        prefilter_threshold: float = 0.0,
+        candidates: str = "all",
+    ) -> list[ScoredPair]:
+        """Remote :meth:`SimilarityService.top_k_pairs` (bit-identical)."""
+        response = self._call(
+            "top_k_pairs",
+            k=k,
+            users=list(users) if users is not None else None,
+            minimum_cardinality=minimum_cardinality,
+            prefilter_threshold=prefilter_threshold,
+            candidates=candidates,
+        )
+        return protocol.decode_scored_pairs(response["pairs"])
+
+    def nearest(
+        self,
+        user: UserId,
+        *,
+        k: int = 10,
+        candidates: Iterable[UserId] | None = None,
+        minimum_cardinality: int = 1,
+        index: str = "none",
+    ) -> list[ScoredPair]:
+        """Remote :meth:`SimilarityService.top_k` (bit-identical)."""
+        response = self._call(
+            "nearest",
+            user=user,
+            k=k,
+            candidates=list(candidates) if candidates is not None else None,
+            minimum_cardinality=minimum_cardinality,
+            index=index,
+        )
+        return protocol.decode_scored_pairs(response["pairs"])
+
+    # Alias matching the service-side method name.
+    top_k = nearest
+
+    def estimate_many(
+        self, pairs: Iterable[tuple[UserId, UserId]]
+    ) -> list[PairEstimate]:
+        """Remote :meth:`SimilarityService.estimate_many` (bit-identical)."""
+        response = self._call(
+            "estimate_many", pairs=[[a, b] for a, b in pairs]
+        )
+        return protocol.decode_estimates(response["estimates"])
+
+    def estimate(self, user_a: UserId, user_b: UserId) -> PairEstimate:
+        """Remote single-pair estimate."""
+        return self.estimate_many([(user_a, user_b)])[0]
+
+    def stats(self) -> dict:
+        """Service stats plus the daemon's ``server`` section."""
+        return self._call("stats")["stats"]
+
+    def metrics(self) -> dict:
+        """The daemon process's metrics-registry snapshot."""
+        return self._call("metrics")["metrics"]
+
+    # -- write / lifecycle ops -------------------------------------------------------
+
+    def ingest_batch(
+        self, elements: Iterable[StreamElement], *, publish: bool = True
+    ) -> dict:
+        """Ingest elements into the daemon's writer; publish a new epoch.
+
+        With ``publish=False`` the writer absorbs the elements but readers
+        keep the current epoch (batch several calls, then publish once via a
+        final ``publish=True`` call).  Returns the ingest report fields plus
+        the epoch readers see afterwards.
+        """
+        response = self._call(
+            "ingest_batch",
+            elements=protocol.encode_elements(list(elements)),
+            publish=publish,
+        )
+        response.pop("ok", None)
+        return response
+
+    def snapshot(self, path: str | None = None) -> dict:
+        """Checkpoint the daemon's writer to disk (its bound path by default)."""
+        response = self._call("snapshot", path=path)
+        return {
+            "checkpoint_id": response["checkpoint_id"],
+            "path": response["path"],
+        }
+
+    def shutdown_server(self) -> dict:
+        """Ask the daemon to drain and stop (the response still arrives)."""
+        return self._call("shutdown")

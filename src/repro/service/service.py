@@ -47,7 +47,9 @@ from repro.service.journal import (
 )
 from repro.service.sharding import ShardedVOS
 from repro.service.snapshot import (
+    dumps_snapshot,
     load_snapshot_state,
+    loads_snapshot_state,
     new_checkpoint_id,
     register_snapshot_section,
     save_snapshot,
@@ -281,6 +283,16 @@ class SimilarityService:
     def elements_ingested(self) -> int:
         """Total stream elements this service instance has consumed."""
         return self._elements_ingested
+
+    @property
+    def snapshot_path(self) -> Path | None:
+        """The snapshot file this service is bound to (``save``/``load``), if any."""
+        return self._snapshot_path
+
+    @property
+    def index_config(self) -> IndexConfig:
+        """The banding-index configuration queries with ``candidates="lsh"`` use."""
+        return self._index_config
 
     def estimate(self, user_a: UserId, user_b: UserId) -> PairEstimate:
         """Both similarity estimates for one user pair."""
@@ -604,6 +616,57 @@ class SimilarityService:
             "bytes": bytes_written,
             "journal_bytes": journal.size_bytes,
         }
+
+    def dumps_state(self, *, include_index: bool | None = None) -> bytes:
+        """Serialize the service's sketch (and optionally index) to bytes.
+
+        The in-memory counterpart of :meth:`save`: the same snapshot format,
+        no file, no journal rotation, no change to the service's persistence
+        binding.  The serving daemon's epoch publisher uses it to freeze a
+        consistent copy of the writer's state for lock-free concurrent reads
+        (see :mod:`repro.server.epochs`).  ``include_index`` follows
+        :meth:`save`'s semantics: ``None`` ships the banding index's
+        signature tables whenever the index is already built.
+        """
+        extras: dict[str, object] = {}
+        if include_index is None:
+            include_index = self._index is not None and self._index.is_built
+        if include_index:
+            extras[INDEX_SNAPSHOT_SECTION] = self.index().export_state()
+        return dumps_snapshot(
+            self._sketch, extras=extras or None, checkpoint_id=new_checkpoint_id()
+        )
+
+    @classmethod
+    def from_state_bytes(
+        cls,
+        data: bytes,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        index_config: IndexConfig | None = None,
+        elements_ingested: int = 0,
+        batches_ingested: int = 0,
+    ) -> "SimilarityService":
+        """Rebuild a service from :meth:`dumps_state` bytes.
+
+        The restored service has no snapshot/journal binding (it is a frozen
+        read copy, not a resumed persistence lineage).  A persisted
+        ``index/banding`` section is adopted, so the copy answers its first
+        ``lsh`` query without a signature rebuild.  ``elements_ingested`` /
+        ``batches_ingested`` carry the source service's ingest counters so
+        the copy's :meth:`stats` reflect the stream position it was frozen
+        at — the epoch-consistency fingerprint concurrent-read tests assert.
+        """
+        state = loads_snapshot_state(data)
+        service = cls(state.sketch, batch_size=batch_size, index_config=index_config)
+        service._elements_ingested = elements_ingested
+        service._batches_ingested = batches_ingested
+        index_state = state.extras.get(INDEX_SNAPSHOT_SECTION)
+        if index_state is not None:
+            index = BandedSketchIndex(state.sketch, service._index_config)
+            if index.restore_state(index_state):
+                service._index = index
+        return service
 
     def compact(self) -> str:
         """Fold the journal into a fresh full snapshot and reset it.

@@ -550,3 +550,62 @@ class TestSnapshotCommands:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_is_single_sourced(self):
+        """setup.py, repro.__version__ and the wire handshake must agree."""
+        import re
+        from pathlib import Path
+
+        from repro import __version__
+        from repro.server.protocol import hello_payload
+
+        setup_text = (
+            Path(__file__).resolve().parent.parent / "setup.py"
+        ).read_text(encoding="utf-8")
+        assert '_version.py' in setup_text  # setup.py parses the same file
+        assert re.search(r"version=_read_version\(\)", setup_text)
+        assert hello_payload(epoch=1)["version"] == __version__
+
+
+class TestServeQueryParsers:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--snapshot", "s.vos"])
+        assert args.handler is not None
+        assert args.host == "127.0.0.1"
+        assert args.port == 7437
+        assert args.serve_workers == 4
+
+    def test_query_parser_modes(self):
+        parser = build_parser()
+        pairs = parser.parse_args(["query", "--connect", "127.0.0.1:7437", "-k", "5"])
+        assert pairs.user is None and pairs.k == 5
+        user = parser.parse_args(
+            ["query", "--connect", "localhost:1234", "--user", "7", "--index", "lsh"]
+        )
+        assert user.user == 7 and user.index == "lsh"
+        stats = parser.parse_args(["query", "--connect", "h:1", "--stats"])
+        assert stats.stats is True
+
+    def test_query_against_nothing_exits_2(self, capsys):
+        code = main(["query", "--connect", "127.0.0.1:1", "-k", "3"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_connect_string_parsing(self):
+        from repro.cli import _parse_connect
+        from repro.exceptions import DatasetError
+
+        assert _parse_connect("10.0.0.2:9000") == ("10.0.0.2", 9000)
+        assert _parse_connect("myhost") == ("myhost", 7437)
+        with pytest.raises(DatasetError):
+            _parse_connect("host:notaport")
