@@ -14,6 +14,11 @@ TCP connection:
   and the epoch swap pause (the publish critical section concurrent readers
   can see) is read from the daemon's metrics registry and must stay
   microscopic relative to request latency.
+* **Publish latency sweep** — identical daemons in ``cow`` and ``full``
+  epoch mode absorb the same small batches at several user-pool tiers; the
+  per-publish build latency (daemon-side ``publish_log``) lands in the JSON
+  split by mode and user count.  Incremental COW publishing must be at least
+  5x faster at p50 than the full-state freeze at the largest tier.
 
 ``REPRO_SERVE_BENCH_USERS`` shrinks the pool (CI smoke mode writes
 ``BENCH_serve_smoke.json`` so a shrunken run never clobbers the full-size
@@ -61,18 +66,19 @@ REQUEST_PAIRS = 256
 #: Reader threads during the live-swap phase.
 SWAP_READERS = 4
 SWAP_ROUNDS = 3 if SMOKE_MODE else 6
+#: Publishes timed per epoch mode at each sweep tier.
+SWEEP_PUBLISHES = 12 if SMOKE_MODE else 16
 
 
-@pytest.fixture(scope="module")
-def service() -> SimilarityService:
+def _build_service(num_users: int) -> SimilarityService:
     generator = PowerLawBipartiteGenerator(
-        num_users=POOL_USERS,
-        num_items=POOL_USERS * 4,
-        num_edges=POOL_USERS * 12,
+        num_users=num_users,
+        num_items=num_users * 4,
+        num_edges=num_users * 12,
         seed=1009,
     )
     stream = build_dynamic_stream(generator.generate_edges(), None, name="serve-bench")
-    budget = MemoryBudget(baseline_registers=24, num_users=POOL_USERS)
+    budget = MemoryBudget(baseline_registers=24, num_users=num_users)
     parameters = vos_parameters_for_budget(budget)
     sketch = VirtualOddSketch(
         shared_array_bits=parameters.shared_array_bits,
@@ -82,6 +88,11 @@ def service() -> SimilarityService:
     built = SimilarityService(sketch)
     built.ingest(stream)
     return built
+
+
+@pytest.fixture(scope="module")
+def service() -> SimilarityService:
+    return _build_service(POOL_USERS)
 
 
 @pytest.fixture(scope="module")
@@ -228,20 +239,77 @@ def test_live_ingest_swaps_under_reader_traffic(daemon, client, service, measure
     }
 
 
+def _sweep_tiers() -> list[int]:
+    return sorted({max(100, POOL_USERS // 5), POOL_USERS})
+
+
+def test_publish_latency_sweep(measurements):
+    """Time cow vs full publishes over the same batches at each user tier.
+
+    Both daemons absorb identical small batches; per-publish build latency is
+    read from the daemon-side ``publish_log`` (no wire time included), so the
+    comparison isolates exactly what the COW path claims to make cheap: the
+    epoch build.  The 5x acceptance floor applies at the largest tier, where
+    the full freeze is most expensive.
+    """
+    from repro.streams import Action, StreamElement
+
+    sweep: dict[str, dict] = {}
+    for tier in _sweep_tiers():
+        tier_record: dict[str, object] = {}
+        for mode in ("cow", "full"):
+            writer = _build_service(tier)
+            with ServingDaemon(writer, workers=2, epoch_mode=mode) as running:
+                with ServingClient(*running.address) as mine:
+                    for round_index in range(SWEEP_PUBLISHES):
+                        base = 30_000_000 + round_index * 50
+                        batch = [
+                            StreamElement(base + offset, base + offset + item, Action.INSERT)
+                            for offset in range(4)
+                            for item in range(10)
+                        ]
+                        report = mine.ingest_batch(batch)
+                        assert report["publish_mode"] == mode
+                log = [
+                    entry for entry in running.publish_log if entry["mode"] == mode
+                ]
+            assert len(log) == SWEEP_PUBLISHES
+            seconds = [entry["seconds"] for entry in log]
+            tier_record[mode] = {
+                "publishes": len(seconds),
+                "publish_p50_ms": float(np.percentile(seconds, 50) * 1e3),
+                "publish_p99_ms": float(np.percentile(seconds, 99) * 1e3),
+                "publish_max_ms": float(max(seconds) * 1e3),
+                "delta_words_p50": float(
+                    np.percentile([entry["delta_words"] for entry in log], 50)
+                ),
+            }
+        cow_p50 = tier_record["cow"]["publish_p50_ms"]
+        full_p50 = tier_record["full"]["publish_p50_ms"]
+        tier_record["cow_speedup_p50"] = full_p50 / cow_p50 if cow_p50 else float("inf")
+        sweep[str(tier)] = tier_record
+    measurements["publish_sweep"] = sweep
+    largest = str(max(_sweep_tiers()))
+    assert sweep[largest]["cow_speedup_p50"] >= 5.0, sweep[largest]
+
+
 def test_write_serve_json(daemon, measurements):
     """Record the serving figures (runs last; depends on the tests above)."""
     assert "top_k_pairs" in measurements and "epoch_swap" in measurements
+    assert "publish_sweep" in measurements
     payload = {
         "pool_users": POOL_USERS,
         "smoke_mode": SMOKE_MODE,
         "request_pool_users": REQUEST_POOL,
         "request_pairs": REQUEST_PAIRS,
         "workers": 4,
+        "epoch_mode": daemon.epoch_mode,
         "latency": {
             "top_k_pairs": measurements["top_k_pairs"],
             "estimate_many": measurements["estimate_many"],
         },
         "epoch_swap": measurements["epoch_swap"],
+        "publish_sweep": measurements["publish_sweep"],
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     assert json.loads(RESULTS_PATH.read_text())["pool_users"] == POOL_USERS

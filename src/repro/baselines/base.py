@@ -135,6 +135,10 @@ class SimilaritySketch(abc.ABC):
         # read and clear it; sketches that are never persisted just accumulate
         # a set no larger than their user population.
         self._dirty_counters: set[UserId] = set()
+        # The same signal on an independent channel for the serving daemon's
+        # incremental epoch publishes, so a journal checkpoint between two
+        # publishes cannot swallow counter changes the next epoch needs.
+        self._epoch_dirty_counters: set[UserId] = set()
 
     # -- stream consumption --------------------------------------------------------
 
@@ -148,6 +152,7 @@ class SimilaritySketch(abc.ABC):
             self._cardinalities[user] = max(0, self._cardinalities.get(user, 0) - 1)
             self._process_deletion(element)
         self._dirty_counters.add(user)
+        self._epoch_dirty_counters.add(user)
 
     def process_stream(self, elements: Iterable[StreamElement]) -> None:
         """Consume every element of an iterable (convenience wrapper)."""
@@ -212,6 +217,7 @@ class SimilaritySketch(abc.ABC):
         for user, value in zip(users_list, finals.tolist()):
             self._cardinalities[user] = value
         self._dirty_counters.update(users_list)
+        self._epoch_dirty_counters.update(users_list)
 
     @abc.abstractmethod
     def _process_insertion(self, element: StreamElement) -> None:
@@ -244,6 +250,14 @@ class SimilaritySketch(abc.ABC):
     def clear_dirty_counters(self) -> None:
         """Mark every counter clean (their state has just been persisted)."""
         self._dirty_counters.clear()
+
+    def epoch_dirty_counter_users(self) -> set[UserId]:
+        """Users whose counter changed since the last epoch publish."""
+        return set(self._epoch_dirty_counters)
+
+    def clear_epoch_dirty_counters(self) -> None:
+        """Mark the epoch counter channel clean (a publish delta was taken)."""
+        self._epoch_dirty_counters.clear()
 
     @abc.abstractmethod
     def estimate_common_items(self, user_a: UserId, user_b: UserId) -> float:

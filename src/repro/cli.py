@@ -32,6 +32,7 @@ Service commands (the :mod:`repro.service` subsystem)::
     repro query --connect 127.0.0.1:7437 -k 10
     repro query --connect 127.0.0.1:7437 --user 17 -k 10 --index lsh
     repro query --connect 127.0.0.1:7437 --stats
+    repro query --connect 127.0.0.1:7437 --stats --user 17 --repeat 50
 
 ``ingest`` reads a stream file — the plain-text format (``<action> <user>
 <item>`` per line) or the binary columnar ``.vosstream`` format, auto-detected
@@ -827,7 +828,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.snapshot, index_config=_index_config_from_args(args)
         )
         daemon = ServingDaemon(
-            service, host=args.host, port=args.port, workers=args.serve_workers
+            service,
+            host=args.host,
+            port=args.port,
+            workers=args.serve_workers,
+            epoch_mode=args.epoch_mode,
         )
         host, port = daemon.start()
     except ReproError as error:
@@ -837,7 +842,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signum, lambda *_: daemon.request_shutdown())
     print(
         f"# serving {args.snapshot} on {host}:{port} "
-        f"({args.serve_workers} workers; SIGTERM/ctrl-c to drain)",
+        f"({args.serve_workers} workers, {daemon.epoch_mode} epochs; "
+        f"SIGTERM/ctrl-c to drain)",
         flush=True,
     )
     daemon.wait()
@@ -848,7 +854,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rows = [
         ["snapshot", str(args.snapshot)],
         ["requests served", requests],
+        ["epoch mode", daemon.epoch_mode],
         ["epochs published", epochs["published"]],
+        ["noop publishes", epochs["noops"]],
         ["epochs retired", epochs["retired"]],
         ["final epoch", epochs["current"]],
         ["final checkpoint", checkpoint.get("kind", "none")],
@@ -874,7 +882,17 @@ def _parse_connect(value: str) -> tuple[str, int]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    """Answer topk/pairs/stats questions over a live daemon connection."""
+    """Answer topk/pairs/stats questions over a live daemon connection.
+
+    Everything requested in one invocation — ``--stats`` and a query — runs
+    over the *same* socket (one handshake, no reconnect between requests).
+    ``--repeat N`` re-runs the query N times on that connection and prints a
+    round-trip latency summary, so publish/epoch-swap pauses are observable
+    from the client side.
+    """
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 2
     try:
         host, port = _parse_connect(args.connect)
         with ServingClient(host, port) as client:
@@ -885,7 +903,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     ["server", f"{host}:{port}"],
                     ["version", server["version"]],
                     ["epoch", server["epochs"]["current"]],
+                    ["epoch mode", server.get("publish_mode", "full")],
                     ["epochs published", server["epochs"]["published"]],
+                    ["noop publishes", server["epochs"].get("noops", 0)],
                     ["epochs retired", server["epochs"]["retired"]],
                     ["inflight requests", server["inflight"]],
                     ["workers", server["workers"]],
@@ -895,16 +915,34 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 ]
                 headers = ["field", "value"]
                 print(f"# daemon stats at epoch {server['epochs']['current']}")
-            elif args.user is not None:
-                neighbours = client.nearest(
-                    args.user,
-                    k=args.k,
-                    minimum_cardinality=args.min_cardinality,
-                    index=args.index,
+                print(
+                    render_csv(headers, rows)
+                    if args.csv
+                    else render_table(headers, rows)
                 )
+            if args.stats and args.user is None:
+                return 0
+            latencies = []
+            for _ in range(args.repeat):
+                started = time.perf_counter()
+                if args.user is not None:
+                    result = client.nearest(
+                        args.user,
+                        k=args.k,
+                        minimum_cardinality=args.min_cardinality,
+                        index=args.index,
+                    )
+                else:
+                    result = client.top_k_pairs(
+                        k=args.k,
+                        minimum_cardinality=args.min_cardinality,
+                        prefilter_threshold=args.prefilter,
+                        candidates="lsh" if args.index == "lsh" else "all",
+                    )
+                latencies.append(time.perf_counter() - started)
+            if args.user is not None:
                 rows = [
-                    [pair.user_b, pair.jaccard, pair.common_items]
-                    for pair in neighbours
+                    [pair.user_b, pair.jaccard, pair.common_items] for pair in result
                 ]
                 headers = ["user", "jaccard", "common items"]
                 print(
@@ -912,15 +950,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     f"(daemon epoch {client.epoch})"
                 )
             else:
-                pairs = client.top_k_pairs(
-                    k=args.k,
-                    minimum_cardinality=args.min_cardinality,
-                    prefilter_threshold=args.prefilter,
-                    candidates="lsh" if args.index == "lsh" else "all",
-                )
                 rows = [
                     [pair.user_a, pair.user_b, pair.jaccard, pair.common_items]
-                    for pair in pairs
+                    for pair in result
                 ]
                 headers = ["user a", "user b", "jaccard", "common items"]
                 print(
@@ -930,6 +962,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_csv(headers, rows) if args.csv else render_table(headers, rows))
+    if args.repeat > 1:
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2]
+        p99 = ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
+        print(
+            f"# latency over {args.repeat} round-trips: "
+            f"p50 {p50 * 1e3:.2f}ms p99 {p99 * 1e3:.2f}ms "
+            f"min {ordered[0] * 1e3:.2f}ms max {ordered[-1] * 1e3:.2f}ms"
+        )
     return 0
 
 
@@ -1263,6 +1304,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="request worker threads",
     )
+    serve_parser.add_argument(
+        "--epoch-mode",
+        choices=("cow", "full"),
+        default=None,
+        help=(
+            "how publishes build epochs: cow = copy-on-write dirty-word deltas, "
+            "full = whole-state freeze (default: $REPRO_EPOCH_MODE or cow)"
+        ),
+    )
     _add_index_options(serve_parser)
     serve_parser.add_argument("--csv", action="store_true")
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -1301,7 +1351,17 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--stats",
         action="store_true",
-        help="print daemon + service stats instead of running a query",
+        help=(
+            "print daemon + service stats; combined with --user, both run "
+            "over the same connection"
+        ),
+    )
+    query_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the query N times on one connection and report p50/p99 latency",
     )
     query_parser.add_argument("--csv", action="store_true")
     query_parser.set_defaults(handler=_cmd_query)

@@ -44,6 +44,20 @@ class SharedBitArray:
         self.num_bits = num_bits
         self._bits = PackedBitArray(num_bits)
 
+    @classmethod
+    def from_packed_bits(cls, bits: PackedBitArray) -> "SharedBitArray":
+        """Wrap an existing :class:`PackedBitArray` without copying.
+
+        The copy-on-write epoch path builds its overlay bits directly (a
+        private mapping of the shared arena patched with the publish delta)
+        and injects them here so the frozen sketch view reads them through
+        the normal ``A`` interface.
+        """
+        array = cls.__new__(cls)
+        array.num_bits = len(bits)
+        array._bits = bits
+        return array
+
     def __len__(self) -> int:
         return self.num_bits
 
@@ -119,6 +133,28 @@ class SharedBitArray:
     def clear_dirty(self) -> None:
         """Mark the array clean (its state has just been persisted)."""
         self._bits.clear_dirty()
+
+    @property
+    def epoch_dirty_word_count(self) -> int:
+        """Words mutated since the last :meth:`clear_epoch_dirty`."""
+        return self._bits.epoch_dirty_word_count
+
+    def epoch_dirty_words(self) -> "np.ndarray":
+        """Sorted word indices mutated since the last epoch publish.
+
+        Tracked independently of :meth:`dirty_words`: the serving daemon's
+        incremental publishes clear this channel while journal checkpoints
+        clear the persistence channel, so neither starves the other.
+        """
+        return self._bits.epoch_dirty_words()
+
+    def clear_epoch_dirty(self) -> None:
+        """Mark the epoch channel clean (a publish delta was just taken)."""
+        self._bits.clear_epoch_dirty()
+
+    def bits_buffer(self) -> "np.ndarray":
+        """Raw byte-per-bit backing store (no copy; arena materialization)."""
+        return self._bits.bits_buffer()
 
     def to_packed_bytes(self) -> bytes:
         """Serialize the array 8 bits per byte (used by snapshots)."""

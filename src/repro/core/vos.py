@@ -260,6 +260,53 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
             sketch_cache_size=sketch_cache_size,
         )
 
+    @classmethod
+    def cow_view(
+        cls,
+        source: "VirtualOddSketch",
+        array: SharedBitArray,
+        cardinalities,
+    ) -> "VirtualOddSketch":
+        """A frozen read view over ``array``, sharing ``source``'s hash state.
+
+        The serving daemon's incremental epoch publisher calls this once per
+        publish: ``array`` wraps a private copy-on-write overlay of the shared
+        arena (already patched with the publish delta) and ``cardinalities``
+        is any read-only mapping of exact per-user counters.  Construction
+        must cost O(1) in the corpus size, so instead of rebuilding the
+        ``k``-hash user family (tens of milliseconds at service scale) the
+        view shares ``source``'s hash objects and position cache by
+        reference — positions are a deterministic function of (user, seed),
+        so writer and views always agree on them.  The view gets its own
+        packed-row LRU: row bytes differ per overlay.
+
+        The view is a full :class:`VirtualOddSketch` for the read API but
+        must never ingest; epoch services are frozen by contract.
+        """
+        if len(array) != source.shared_array_bits:
+            raise ConfigurationError(
+                f"cow_view array holds {len(array)} bits, "
+                f"expected {source.shared_array_bits}"
+            )
+        view = cls.__new__(cls)
+        SimilaritySketch.__init__(view)
+        view._cardinalities = cardinalities
+        view.shared_array_bits = source.shared_array_bits
+        view.virtual_sketch_size = source.virtual_sketch_size
+        view.seed = source.seed
+        view._array = array
+        view._item_hash = source._item_hash
+        view._user_hashes = source._user_hashes
+        view._cache_positions = source._cache_positions
+        view._position_cache = source._position_cache
+        view._sketch_cache_size = source._sketch_cache_size
+        view._sketch_cache = OrderedDict()
+        view._sketch_cache_version = -1
+        view._sketch_cache_hits = 0
+        view._sketch_cache_misses = 0
+        view._sketch_cache_lock = threading.Lock()
+        return view
+
     # -- position handling -------------------------------------------------------------
 
     def _positions(self, user: UserId) -> np.ndarray:
@@ -560,6 +607,22 @@ class VirtualOddSketch(VectorizedPairQueries, SimilaritySketch):
         return {
             "dirty_words": self._array.dirty_word_count,
             "dirty_counters": len(self._dirty_counters),
+        }
+
+    def clear_epoch_dirty(self) -> None:
+        """Mark the epoch channel clean (a publish delta was just taken).
+
+        Independent of :meth:`clear_dirty`: the journal and the serving
+        daemon's incremental publishes each consume their own channel.
+        """
+        self._array.clear_epoch_dirty()
+        self.clear_epoch_dirty_counters()
+
+    def epoch_dirty_info(self) -> dict[str, int]:
+        """State mutated since the last epoch publish: words and counters."""
+        return {
+            "dirty_words": self._array.epoch_dirty_word_count,
+            "dirty_counters": len(self._epoch_dirty_counters),
         }
 
     # -- accounting ------------------------------------------------------------------------------

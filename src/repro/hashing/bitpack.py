@@ -42,7 +42,7 @@ class PackedBitArray:
     0.125
     """
 
-    __slots__ = ("_bits", "_ones", "_version", "_dirty_words")
+    __slots__ = ("_bits", "_ones", "_version", "_dirty_words", "_epoch_dirty")
 
     #: Bits per dirty-tracking word.  Matches the ``uint64`` lanes of the
     #: packed representation, so one dirty word maps to exactly 8 bytes of
@@ -55,7 +55,49 @@ class PackedBitArray:
         self._bits = np.zeros(size, dtype=np.uint8)
         self._ones = 0
         self._version = 0
-        self._dirty_words = np.zeros(self.num_words, dtype=bool)
+        # Two independent dirty-word channels ride the same mutation paths:
+        # ``_dirty_words`` feeds persistence (journal delta checkpoints) and
+        # ``_epoch_dirty`` feeds incremental epoch publishing in the serving
+        # daemon.  Each consumer clears only its own channel, so a journal
+        # checkpoint never shrinks the next epoch delta and vice versa.
+        # ``None`` means clean — the bitmaps are allocated on first mutation,
+        # so frozen copy-on-write views carry no bitmap memory at all.
+        self._dirty_words = None
+        self._epoch_dirty = None
+
+    @classmethod
+    def from_byte_buffer(cls, bits: np.ndarray, *, ones_count: int | None = None) -> "PackedBitArray":
+        """Wrap an existing byte-per-bit ``uint8`` buffer without copying.
+
+        The copy-on-write epoch path maps a shared arena file privately
+        (``mmap.ACCESS_COPY``) and hands the mapping here; subsequent
+        ``apply_packed_words`` patches then touch only the dirtied pages.
+        ``ones_count`` skips the O(n) popcount when the caller already knows
+        it — downstream verification compares it against shipped counts.
+        """
+        if not isinstance(bits, np.ndarray) or bits.dtype != np.uint8 or bits.ndim != 1:
+            raise ConfigurationError("from_byte_buffer expects a 1-d uint8 array")
+        if bits.size == 0:
+            raise ConfigurationError("bit array size must be positive, got 0")
+        array = cls.__new__(cls)
+        array._bits = bits
+        array._ones = int(bits.sum(dtype=np.int64)) if ones_count is None else int(ones_count)
+        array._version = 0
+        array._dirty_words = None
+        array._epoch_dirty = None
+        return array
+
+    def _mark_words_dirty(self, words) -> None:
+        if self._dirty_words is None:
+            self._dirty_words = np.zeros(self.num_words, dtype=bool)
+        self._dirty_words[words] = True
+        if self._epoch_dirty is None:
+            self._epoch_dirty = np.zeros(self.num_words, dtype=bool)
+        self._epoch_dirty[words] = True
+
+    def _mark_all_dirty(self) -> None:
+        self._dirty_words = np.ones(self.num_words, dtype=bool)
+        self._epoch_dirty = np.ones(self.num_words, dtype=bool)
 
     def __len__(self) -> int:
         return int(self._bits.shape[0])
@@ -96,6 +138,8 @@ class PackedBitArray:
     @property
     def dirty_word_count(self) -> int:
         """Number of words mutated since the last :meth:`clear_dirty`."""
+        if self._dirty_words is None:
+            return 0
         return int(np.count_nonzero(self._dirty_words))
 
     def dirty_words(self) -> np.ndarray:
@@ -105,11 +149,40 @@ class PackedBitArray:
         checkpoint records instead of rewriting the whole array; the bitmap
         piggybacks on the same mutation paths that bump :attr:`version`.
         """
+        if self._dirty_words is None:
+            return np.empty(0, dtype=np.int64)
         return np.flatnonzero(self._dirty_words).astype(np.int64)
 
     def clear_dirty(self) -> None:
-        """Mark the whole array clean (called after its state is persisted)."""
-        self._dirty_words[:] = False
+        """Mark the persistence channel clean (called after state is persisted).
+
+        Leaves the epoch channel untouched: a journal checkpoint between two
+        epoch publishes must not shrink the next publish's delta.
+        """
+        self._dirty_words = None
+
+    @property
+    def epoch_dirty_word_count(self) -> int:
+        """Number of words mutated since the last :meth:`clear_epoch_dirty`."""
+        if self._epoch_dirty is None:
+            return 0
+        return int(np.count_nonzero(self._epoch_dirty))
+
+    def epoch_dirty_words(self) -> np.ndarray:
+        """Sorted indices of words mutated since the last :meth:`clear_epoch_dirty`.
+
+        This is the serving daemon's publish delta: the words a copy-on-write
+        epoch overlay must patch.  It is tracked independently of
+        :meth:`dirty_words` so journal checkpoints and epoch publishes can
+        each clear their own channel without starving the other.
+        """
+        if self._epoch_dirty is None:
+            return np.empty(0, dtype=np.int64)
+        return np.flatnonzero(self._epoch_dirty).astype(np.int64)
+
+    def clear_epoch_dirty(self) -> None:
+        """Mark the epoch channel clean (called after a delta is published)."""
+        self._epoch_dirty = None
 
     def packed_words(self, word_indices) -> bytes:
         """The packed bytes of the listed 64-bit words (8 bytes per word).
@@ -168,7 +241,7 @@ class PackedBitArray:
         self._bits[flat_positions] = flat_fresh
         self._ones += int(flat_fresh.sum(dtype=np.int64)) - before
         self._version += 1
-        self._dirty_words[words] = True
+        self._mark_words_dirty(words)
 
     def set(self, index: int, value: int) -> None:
         """Set bit ``index`` to ``value`` (0 or 1), updating the popcount."""
@@ -178,7 +251,7 @@ class PackedBitArray:
             self._bits[index] = value
             self._ones += value - old
             self._version += 1
-            self._dirty_words[index // self.WORD_BITS] = True
+            self._mark_words_dirty(index // self.WORD_BITS)
 
     def flip(self, index: int) -> int:
         """Xor bit ``index`` with 1 and return its new value."""
@@ -186,7 +259,7 @@ class PackedBitArray:
         self._bits[index] = new
         self._ones += 1 if new else -1
         self._version += 1
-        self._dirty_words[index // self.WORD_BITS] = True
+        self._mark_words_dirty(index // self.WORD_BITS)
         return new
 
     def xor_value(self, index: int, value: int) -> int:
@@ -236,7 +309,7 @@ class PackedBitArray:
         self._version += 1
         # Fancy-index assignment tolerates duplicate word indices, so no
         # dedup pass is needed on the per-batch hot path.
-        self._dirty_words[odd // self.WORD_BITS] = True
+        self._mark_words_dirty(odd // self.WORD_BITS)
         return int(odd.size)
 
     def to_list(self) -> list[int]:
@@ -248,7 +321,16 @@ class PackedBitArray:
         self._bits[:] = 0
         self._ones = 0
         self._version += 1
-        self._dirty_words[:] = True
+        self._mark_all_dirty()
+
+    def bits_buffer(self) -> np.ndarray:
+        """The raw byte-per-bit backing store (no copy).
+
+        Exposed for the serving arena, which writes these bytes to an
+        mmap-backed file once and then patches private per-epoch overlays.
+        Treat the returned array as read-only unless you own the instance.
+        """
+        return self._bits
 
     def to_packed_bytes(self) -> bytes:
         """Serialize the bits 8-per-byte (``ceil(len/8)`` bytes, big-endian bit order)."""
@@ -269,7 +351,7 @@ class PackedBitArray:
         self._bits = bits
         self._ones = int(bits.sum(dtype=np.int64))
         self._version += 1
-        self._dirty_words[:] = True
+        self._mark_all_dirty()
 
     def memory_bits(self) -> int:
         """Memory this array accounts for under the paper's cost model (1 bit/position)."""

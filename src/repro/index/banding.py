@@ -618,6 +618,66 @@ class BandedSketchIndex:
         self._restored += len(tables) - len(stale & set(range(len(tables))))
         return True
 
+    def carry_forward(
+        self, sketch, *, stale_shards: Sequence[int] = ()
+    ) -> "BandedSketchIndex | None":
+        """Clone this index for a frozen successor sketch, reusing clean tables.
+
+        The serving daemon's incremental epoch publisher calls this so epoch
+        ``N+1``'s lazy LSH build does not recompute signatures for shards the
+        publish did not touch: clean shards' tables are adopted **by
+        reference** — users, ordinals and signature matrices are immutable
+        once their owning epoch is frozen, so sharing them across epochs is
+        safe — while ``stale_shards`` get empty tables whose next ``sync()``
+        rebuilds just them.  Must only be called on an index whose sketch is
+        frozen (a published epoch's): the writer's live index mutates its
+        tables in place on incremental appends, which would corrupt a
+        by-reference clone.  Returns ``None`` when no tables exist yet or the
+        successor's layout differs; callers then fall back to a lazy build.
+        """
+        if not self._shard_signatures or not self._bands:
+            return None
+        shards = sketch.row_shards()
+        if len(shards) != len(self._shard_signatures):
+            return None
+        clone = BandedSketchIndex(sketch, self._config)
+        if clone._seed != self._seed:
+            return None
+        bands = self._bands
+        stale = set(stale_shards)
+        hashes = self._band_hashes(bands)
+        residual = UniversalHash(
+            range_size=_MERSENNE_P,
+            seed=stable_hash64(("index-residual", self._seed)),
+        )
+        tables: list[_ShardSignatures] = []
+        tuning: list[tuple[int, int]] = []
+        carried = 0
+        for index, (shard, source) in enumerate(zip(shards, self._shard_signatures)):
+            table = _ShardSignatures(
+                shard,
+                hashes,
+                residual,
+                self._config.rows_per_band,
+                self._config.min_band_bits,
+            )
+            if index not in stale:
+                table.users = source.users
+                table.ordinal = source.ordinal
+                table.signatures = source.signatures
+                table.valid = source.valid
+                table._version = shard.shared_array.version
+                carried += 1
+            tables.append(table)
+            # len(_cardinalities) == len(users()) without building the user
+            # set: publish cost must stay O(delta), not O(corpus).
+            tuning.append((shard.shared_array.version, len(shard._cardinalities)))
+        clone._bands = bands
+        clone._shard_signatures = tables
+        clone._tuning_state = tuple(tuning)
+        clone._restored = carried
+        return clone
+
     def export_append(self, shard_index: int, users: Sequence[UserId]) -> dict | None:
         """Signature rows for ``users`` of one shard, for journal delta records.
 

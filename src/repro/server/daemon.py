@@ -37,14 +37,17 @@ shutdown checkpoint counter — all in the process registry
 from __future__ import annotations
 
 import logging
+import os
 import socket
 import threading
 import time
+from collections import deque
 
 from repro._version import __version__
 from repro.exceptions import ConfigurationError, ProtocolError, ReproError
 from repro.obs import get_registry, kv
 from repro.server import protocol
+from repro.server.cow import CowEpochPublisher
 from repro.server.epochs import EpochManager
 from repro.service.service import SimilarityService
 
@@ -52,6 +55,12 @@ logger = logging.getLogger(__name__)
 
 #: How often blocking accept/recv waits wake up to check the stop flag.
 _POLL_SECONDS = 0.2
+
+#: Valid epoch publishing modes (see :mod:`repro.server.cow`).
+EPOCH_MODES = ("cow", "full")
+
+#: How many recent publishes :attr:`ServingDaemon.publish_log` retains.
+_PUBLISH_LOG_SIZE = 4096
 
 
 class ServingDaemon:
@@ -70,6 +79,12 @@ class ServingDaemon:
     backlog:
         Maximum live connections (and listen backlog); beyond it new
         connections are shed at accept instead of queueing indefinitely.
+    epoch_mode:
+        How publishes build the next epoch: ``"cow"`` (default) copies only
+        the words the batch dirtied onto a shared mmap arena
+        (:class:`~repro.server.cow.CowEpochPublisher`), ``"full"`` serializes
+        and revives the whole writer state.  ``None`` reads the
+        ``REPRO_EPOCH_MODE`` environment variable, falling back to ``"cow"``.
     """
 
     def __init__(
@@ -80,9 +95,21 @@ class ServingDaemon:
         port: int = 0,
         workers: int = 4,
         backlog: int = 64,
+        epoch_mode: str | None = None,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError(f"workers must be positive, got {workers}")
+        if epoch_mode is None:
+            epoch_mode = os.environ.get("REPRO_EPOCH_MODE", "cow").strip().lower()
+        if epoch_mode not in EPOCH_MODES:
+            raise ConfigurationError(
+                f"epoch_mode must be one of {EPOCH_MODES}, got {epoch_mode!r}"
+            )
+        self._epoch_mode = epoch_mode
+        self._publisher: CowEpochPublisher | None = None
+        #: Recent publish records ``{"epoch", "mode", "seconds", "delta_words"}``
+        #: — bounded; read by benchmarks to split latency by publish mode.
+        self.publish_log: deque[dict] = deque(maxlen=_PUBLISH_LOG_SIZE)
         self._writer = service
         self._host = host
         self._port = port
@@ -141,11 +168,21 @@ class ServingDaemon:
         """What the shutdown checkpoint wrote (``None`` before drain)."""
         return self._final_checkpoint
 
+    @property
+    def epoch_mode(self) -> str:
+        """How this daemon builds epochs: ``"cow"`` or ``"full"``."""
+        return self._epoch_mode
+
     def start(self) -> tuple[str, int]:
         """Publish epoch 1, bind the listener, start threads; returns address."""
         if self._started:
             return self.address
-        self._epochs = EpochManager(self._freeze())
+        if self._epoch_mode == "cow":
+            self._publisher = CowEpochPublisher(self._writer)
+            self._epochs = EpochManager(self._publisher.materialize())
+        else:
+            self._epochs = EpochManager(self._freeze())
+            self._writer.clear_epoch_dirty()
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self._host, self._port))
@@ -221,6 +258,8 @@ class ServingDaemon:
                 if thread is not threading.current_thread():
                     thread.join()
             self._final_checkpoint = self._checkpoint_on_shutdown()
+            if self._publisher is not None:
+                self._publisher.close()
             self._drained.set()
             logger.info("serve drain complete %s", kv(**(self._final_checkpoint or {})))
 
@@ -249,7 +288,6 @@ class ServingDaemon:
     def _freeze(self) -> SimilarityService:
         """A frozen, immutable read copy of the writer's current state."""
         registry = get_registry()
-        started = time.perf_counter()
         state = self._writer.dumps_state()
         frozen = SimilarityService.from_state_bytes(
             state,
@@ -257,9 +295,48 @@ class ServingDaemon:
             elements_ingested=self._writer.elements_ingested,
         )
         if registry.enabled:
-            registry.observe("server.epoch.publish", time.perf_counter() - started)
             registry.set_gauge("server.epoch.state_bytes", len(state), unit="bytes")
         return frozen
+
+    def _publish_epoch(self) -> tuple[int, str]:
+        """Publish the writer's state as a new epoch (caller holds the write lock).
+
+        Returns ``(epoch_id, publish_mode)``.  When the batch left zero dirty
+        words *and* zero dirty counters the publish is a no-op: readers keep
+        the current epoch, nothing is serialized or copied, and only the
+        ``server.epoch.noop`` counter moves.
+        """
+        info = self._writer.epoch_dirty_info()
+        delta_words = info["dirty_words"]
+        if delta_words == 0 and info["dirty_counters"] == 0:
+            return self.epochs.note_noop(), "noop"
+        registry = get_registry()
+        started = time.perf_counter()
+        if self._publisher is not None:
+            current = self.epochs.current
+            frozen = self._publisher.publish_delta(
+                self._writer.freeze_delta(),
+                previous_service=current.service,
+                previous_index_lock=current.index_lock,
+            )
+            mode = "cow"
+        else:
+            frozen = self._freeze()
+            self._writer.clear_epoch_dirty()
+            mode = "full"
+        epoch = self.epochs.publish(frozen, mode=mode, delta_words=delta_words)
+        seconds = time.perf_counter() - started
+        if registry.enabled:
+            registry.observe("server.epoch.publish", seconds)
+        self.publish_log.append(
+            {
+                "epoch": epoch,
+                "mode": mode,
+                "seconds": seconds,
+                "delta_words": delta_words,
+            }
+        )
+        return epoch, mode
 
     # -- connection handling ---------------------------------------------------------
 
@@ -487,14 +564,14 @@ class ServingDaemon:
         publish = bool(request.get("publish", True))
         with self._write_lock:
             report = self._writer.ingest(elements)
-            epoch = (
-                self.epochs.publish(self._freeze())
-                if publish
-                else self.epochs.current_epoch
-            )
+            if publish:
+                epoch, publish_mode = self._publish_epoch()
+            else:
+                epoch, publish_mode = self.epochs.current_epoch, "deferred"
         return {
             "epoch": epoch,
             "published": publish,
+            "publish_mode": publish_mode,
             "elements": report.elements,
             "batches": report.batches,
             "seconds": report.seconds,
@@ -520,14 +597,18 @@ class ServingDaemon:
         """The ``server`` section of ``stats`` responses."""
         with self._inflight_lock:
             inflight = self._inflight
-        return {
+        stats = {
             "version": __version__,
             "address": list(self.address),
             "workers": self._workers,
             "inflight": inflight,
             "connections": len(self._conn_threads),
+            "publish_mode": self._epoch_mode,
             "epochs": self.epochs.stats(),
         }
+        if self._publisher is not None:
+            stats["cow"] = self._publisher.stats()
+        return stats
 
 
 def _error_response(error: Exception) -> dict:

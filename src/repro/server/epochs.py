@@ -60,6 +60,8 @@ class EpochManager:
         self._live: dict[int, Epoch] = {1: self._current}
         self._published = 1
         self._retired = 0
+        self._noops = 0
+        self._published_by_mode: dict[str, int] = {}
         registry = get_registry()
         if registry.enabled:
             registry.set_gauge("server.epoch.current", 1, unit="epoch")
@@ -69,6 +71,12 @@ class EpochManager:
         """The epoch id new readers pin right now."""
         with self._lock:
             return self._current.epoch_id
+
+    @property
+    def current(self) -> Epoch:
+        """The current :class:`Epoch` object (unpinned — prefer :meth:`pin`)."""
+        with self._lock:
+            return self._current
 
     @property
     def live_epochs(self) -> int:
@@ -110,11 +118,20 @@ class EpochManager:
         if registry.enabled:
             registry.inc("server.epoch.retired", 1, unit="epochs")
 
-    def publish(self, service: SimilarityService) -> int:
+    def publish(
+        self,
+        service: SimilarityService,
+        *,
+        mode: str = "full",
+        delta_words: int | None = None,
+    ) -> int:
         """Atomically make ``service`` the new current epoch; returns its id.
 
         The superseded epoch is retired immediately when no reader holds it,
         otherwise it lingers until its last reader releases (``pin`` exit).
+        ``mode`` records how the snapshot was built (``"full"`` freeze or
+        ``"cow"`` incremental overlay) and ``delta_words`` the number of
+        64-bit words the publish actually copied (COW mode only).
         """
         registry = get_registry()
         started = time.perf_counter()
@@ -124,6 +141,7 @@ class EpochManager:
             self._current = epoch
             self._live[epoch.epoch_id] = epoch
             self._published += 1
+            self._published_by_mode[mode] = self._published_by_mode.get(mode, 0) + 1
             if previous.readers == 0:
                 self._retire_locked(previous)
         pause_seconds = time.perf_counter() - started
@@ -131,7 +149,25 @@ class EpochManager:
             registry.inc("server.epoch.swaps", 1, unit="swaps")
             registry.observe("server.epoch.swap_pause", pause_seconds)
             registry.set_gauge("server.epoch.current", epoch.epoch_id, unit="epoch")
+            if delta_words is not None:
+                registry.observe("server.epoch.delta_words", float(delta_words))
         return epoch.epoch_id
+
+    def note_noop(self) -> int:
+        """Record a publish that was short-circuited (zero dirty words).
+
+        No epoch is created — readers keep the current one — but the event is
+        counted so ``stats()`` and the ``server.epoch.noop`` metric expose how
+        often ingest batches cancelled out.  Returns the (unchanged) current
+        epoch id.
+        """
+        with self._lock:
+            self._noops += 1
+            epoch_id = self._current.epoch_id
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("server.epoch.noop", 1, unit="publishes")
+        return epoch_id
 
     def stats(self) -> dict:
         """Epoch lifecycle counters for ``stats()``/observability."""
@@ -139,6 +175,8 @@ class EpochManager:
             return {
                 "current": self._current.epoch_id,
                 "published": self._published,
+                "published_by_mode": dict(self._published_by_mode),
+                "noops": self._noops,
                 "retired": self._retired,
                 "live": [
                     {"epoch": epoch.epoch_id, "readers": epoch.readers}

@@ -500,6 +500,11 @@ class ProcessShardIngestor:
             for user, card in zip(delta["counter_users"], delta["counter_counts"]):
                 shard._cardinalities[user] = card
                 shard._dirty_counters.add(user)
+                # apply_packed_words above marks the word epoch channel; the
+                # counter epoch channel needs the same explicit marking so a
+                # serving daemon over process-pool ingest publishes exact
+                # deltas.
+                shard._epoch_dirty_counters.add(user)
             if shard.shared_array.ones_count != delta["ones_count"]:
                 raise WorkerProcessError(
                     f"worker {worker} delta leaves shard {shard_index} with "

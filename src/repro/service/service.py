@@ -637,6 +637,57 @@ class SimilarityService:
             self._sketch, extras=extras or None, checkpoint_id=new_checkpoint_id()
         )
 
+    def epoch_dirty_info(self) -> dict[str, int]:
+        """State mutated since the last epoch publish (words and counters).
+
+        Non-destructive: the serving daemon reads this to short-circuit no-op
+        publishes before deciding whether to take a :meth:`freeze_delta`.
+        """
+        return self._sketch.epoch_dirty_info()
+
+    def clear_epoch_dirty(self) -> None:
+        """Mark the epoch channel clean (used by full-freeze publishes)."""
+        self._sketch.clear_epoch_dirty()
+
+    def freeze_delta(self) -> dict:
+        """Collect the publish delta: every shard's epoch-dirty words and counters.
+
+        The incremental counterpart of :meth:`dumps_state` for the serving
+        daemon's copy-on-write epoch publisher: instead of serializing O(state)
+        bytes, it ships only the 64-bit words and cardinality counters mutated
+        since the last publish, in the same ``packed_words`` wire shape the
+        journal uses, plus each shard's exact popcount and user count so the
+        publisher can verify the patched overlay against the writer.  Reading
+        the delta clears the *epoch* dirty channel only — the journal's
+        persistence channel is untouched, so interleaved ``save_delta`` calls
+        still ship everything they need.
+        """
+        shards = []
+        for shard_index, shard in enumerate(self._sketch.row_shards()):
+            words = shard.shared_array.epoch_dirty_words()
+            dirty_users = sorted(
+                shard.epoch_dirty_counter_users(), key=user_sort_key
+            )
+            shards.append(
+                {
+                    "shard": shard_index,
+                    "words": words,
+                    "word_data": shard.shared_array.packed_words(words),
+                    "counter_users": dirty_users,
+                    "counter_counts": [
+                        shard._cardinalities.get(user, 0) for user in dirty_users
+                    ],
+                    "ones_count": shard.shared_array.ones_count,
+                    "num_users": len(shard._cardinalities),
+                }
+            )
+            shard.clear_epoch_dirty()
+        return {
+            "shards": shards,
+            "elements_ingested": self._elements_ingested,
+            "batches_ingested": self._batches_ingested,
+        }
+
     @classmethod
     def from_state_bytes(
         cls,

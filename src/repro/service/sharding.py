@@ -116,6 +116,35 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
     # -- construction helpers --------------------------------------------------------
 
     @classmethod
+    def from_shards(
+        cls, shards: Sequence[VirtualOddSketch], *, seed: int
+    ) -> "ShardedVOS":
+        """Wrap existing shard sketches without allocating new arrays.
+
+        The copy-on-write epoch publisher assembles each frozen epoch from
+        per-shard views (unchanged shards carried over by reference, dirty
+        shards re-wrapped around a patched overlay) and injects them here, so
+        building a published ``ShardedVOS`` costs O(num_shards), not
+        O(state).  ``seed`` must be the writer's seed: it derives the user
+        router, which must route exactly as the writer routed at ingest.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ConfigurationError("from_shards requires at least one shard")
+        first = shards[0]
+        wrapper = cls.__new__(cls)
+        SimilaritySketch.__init__(wrapper)
+        wrapper.num_shards = len(shards)
+        wrapper.shard_array_bits = first.shared_array_bits
+        wrapper.virtual_sketch_size = first.virtual_sketch_size
+        wrapper.seed = seed
+        wrapper._shards = shards
+        wrapper._router = UniversalHash(
+            range_size=len(shards), seed=stable_hash64(("vos-shard-router", seed))
+        )
+        return wrapper
+
+    @classmethod
     def from_budget(
         cls,
         budget: MemoryBudget,
@@ -393,6 +422,19 @@ class ShardedVOS(VectorizedPairQueries, SimilaritySketch):
         totals = {"dirty_words": 0, "dirty_counters": 0}
         for shard in self._shards:
             for key, value in shard.dirty_info().items():
+                totals[key] += value
+        return totals
+
+    def clear_epoch_dirty(self) -> None:
+        """Mark every shard's epoch channel clean (a publish delta was taken)."""
+        for shard in self._shards:
+            shard.clear_epoch_dirty()
+
+    def epoch_dirty_info(self) -> dict[str, int]:
+        """State mutated since the last epoch publish, summed over shards."""
+        totals = {"dirty_words": 0, "dirty_counters": 0}
+        for shard in self._shards:
+            for key, value in shard.epoch_dirty_info().items():
                 totals[key] += value
         return totals
 

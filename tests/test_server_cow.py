@@ -1,0 +1,235 @@
+"""Copy-on-write epoch publishing: parity, noops, dirty tracking, isolation.
+
+The acceptance bar for :mod:`repro.server.cow`: a daemon publishing COW
+dirty-word overlays must answer every query bit-identically (``==``) to a
+daemon doing full-state freezes over the *same* ingest history — including
+delete-heavy batches that cancel inserts and users that are re-inserted
+after deletion.  No-op publishes (zero dirty words) must short-circuit
+without serializing anything, pinned readers must keep their overlay across
+later publishes, and the epoch dirty channel must stay independent of the
+journal's persistence channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.vos import VirtualOddSketch
+from repro.obs import get_registry
+from repro.server import CowEpochPublisher, ServingClient, ServingDaemon
+from repro.server.cow import LayeredCounts
+from repro.service import ServiceConfig
+from repro.service.service import SimilarityService
+from repro.streams import Action, StreamElement
+
+
+def _inserts(users, items) -> list[StreamElement]:
+    return [StreamElement(u, i, Action.INSERT) for u in users for i in items]
+
+
+def _deletes(users, items) -> list[StreamElement]:
+    return [StreamElement(u, i, Action.DELETE) for u in users for i in items]
+
+
+def _sharded_service(seed: int = 19) -> SimilarityService:
+    return SimilarityService.from_config(
+        ServiceConfig(expected_users=300, num_shards=4, seed=seed)
+    )
+
+
+def _plain_service(seed: int = 19) -> SimilarityService:
+    sketch = VirtualOddSketch(
+        shared_array_bits=1 << 14, virtual_sketch_size=256, seed=seed
+    )
+    return SimilarityService(sketch)
+
+
+#: Ingest rounds covering the hard cases: plain growth, a delete-heavy batch
+#: that cancels earlier inserts exactly, and users re-inserted after deletion.
+ROUNDS = [
+    _inserts(range(30), range(12)),
+    _inserts(range(25, 45), range(8, 20)),
+    _deletes(range(10), range(12)),  # cancels round 1 exactly for users 0..9
+    _inserts(range(5), range(12)) + _inserts(range(5), range(40, 44)),  # re-insert
+    _deletes(range(40, 45), range(8, 14)) + _inserts(range(60, 70), range(6)),
+]
+
+
+class TestCowFullParity:
+    @pytest.mark.parametrize("build", [_sharded_service, _plain_service])
+    def test_daemons_answer_bit_identically(self, build):
+        with ServingDaemon(build(), workers=2, epoch_mode="cow") as cow_daemon:
+            with ServingDaemon(build(), workers=2, epoch_mode="full") as full_daemon:
+                with ServingClient(*cow_daemon.address) as cow:
+                    with ServingClient(*full_daemon.address) as full:
+                        for batch in ROUNDS:
+                            c = cow.ingest_batch(batch)
+                            f = full.ingest_batch(batch)
+                            assert c["epoch"] == f["epoch"]
+                            assert c["publish_mode"] == "cow"
+                            assert f["publish_mode"] == "full"
+                            assert cow.top_k_pairs(k=15) == full.top_k_pairs(k=15)
+                            assert cow.nearest(3, k=8) == full.nearest(3, k=8)
+                            probes = [(0, 1), (3, 27), (12, 25), (8, 9)]
+                            assert cow.estimate_many(probes) == full.estimate_many(
+                                probes
+                            )
+                        # LSH candidate generation sees identical signatures too.
+                        assert cow.top_k_pairs(k=10, candidates="lsh") == (
+                            full.top_k_pairs(k=10, candidates="lsh")
+                        )
+                        cow_stats = cow.stats()
+                        full_stats = full.stats()
+                        assert cow_stats["users"] == full_stats["users"]
+                        assert cow_stats["server"]["publish_mode"] == "cow"
+                        assert full_stats["server"]["publish_mode"] == "full"
+
+    def test_publisher_matches_full_freeze_after_rebase(self):
+        writer = _sharded_service(seed=5)
+        writer.ingest(ROUNDS[0])
+        publisher = CowEpochPublisher(writer, rebase_fraction=0.0)  # rebase always
+        publisher.materialize()
+        frozen = None
+        for batch in ROUNDS[1:]:
+            writer.ingest(batch)
+            frozen = publisher.publish_delta(writer.freeze_delta())
+        reference = SimilarityService.from_state_bytes(
+            writer.dumps_state(),
+            index_config=writer.index_config,
+            elements_ingested=writer.elements_ingested,
+        )
+        assert frozen.top_k_pairs(k=20) == reference.top_k_pairs(k=20)
+        assert publisher.stats()["rebases"] >= 1
+        publisher.close()
+
+
+class TestNoopPublish:
+    def test_empty_batch_short_circuits(self):
+        service = _sharded_service(seed=7)
+        service.ingest(ROUNDS[0])
+        with ServingDaemon(service, workers=2, epoch_mode="cow") as daemon:
+            registry = get_registry()
+            before = registry.snapshot()
+            publishes_before = (
+                before["histograms"]
+                .get("server.epoch.publish", {})
+                .get("count", 0)
+            )
+            with ServingClient(*daemon.address) as client:
+                response = client.ingest_batch([])
+                assert response["epoch"] == 1  # readers keep their epoch
+                assert response["published"] is True
+                assert response["publish_mode"] == "noop"
+                stats = client.stats()["server"]["epochs"]
+                assert stats["noops"] == 1
+                assert stats["published"] == 1
+            after = registry.snapshot()
+            # Nothing was serialized, copied, or revived: the publish-latency
+            # histogram did not record an observation, only the noop counter.
+            publishes_after = (
+                after["histograms"].get("server.epoch.publish", {}).get("count", 0)
+            )
+            assert publishes_after == publishes_before
+            assert daemon.epochs.stats()["noops"] == 1
+            assert len(daemon.publish_log) == 0
+
+    def test_cancelling_batch_still_publishes(self):
+        # Insert+delete of the same items nets to zero bit flips, but the
+        # dirty superset guarantee means the words are marked — the publish
+        # must run (and stay correct), not silently no-op.
+        service = _plain_service(seed=9)
+        service.ingest(ROUNDS[0])
+        with ServingDaemon(service, workers=2, epoch_mode="cow") as daemon:
+            with ServingClient(*daemon.address) as client:
+                batch = _inserts([99], range(5)) + _deletes([99], range(5))
+                response = client.ingest_batch(batch)
+                assert response["publish_mode"] == "cow"
+                assert response["epoch"] == 2
+
+
+class TestEpochDirtyTracking:
+    def test_dirty_words_cover_changed_words_under_xor_bulk(self):
+        """Cancelled and re-inserted users produce dirty sets ⊇ changed words."""
+        service = _sharded_service(seed=13)
+        service.ingest(ROUNDS[0])
+        service.clear_epoch_dirty()
+        shards = list(service._sketch.row_shards())
+        before = [shard.shared_array.bits_buffer().copy() for shard in shards]
+        counts_before = [dict(shard._cardinalities) for shard in shards]
+        # Delete-heavy batch: exact cancellation for users 0..9, then re-insert.
+        service.ingest(ROUNDS[2])
+        service.ingest(ROUNDS[3])
+        for shard, old_bits, old_counts in zip(shards, before, counts_before):
+            new_bits = shard.shared_array.bits_buffer()
+            # The buffer is byte-per-bit, so bit index // 64 is the word.
+            changed = {
+                int(bit) // 64 for bit in np.flatnonzero(old_bits != new_bits)
+            }
+            dirty = {int(word) for word in shard.shared_array.epoch_dirty_words()}
+            assert changed <= dirty
+            changed_counters = {
+                user
+                for user in set(old_counts) | set(shard._cardinalities)
+                if old_counts.get(user) != shard._cardinalities.get(user)
+            }
+            assert changed_counters <= set(shard.epoch_dirty_counter_users())
+
+    def test_freeze_delta_leaves_journal_channel_intact(self, tmp_path):
+        """Epoch publishes must not eat the words the journal still has to ship."""
+        service = _sharded_service(seed=17)
+        service.ingest(ROUNDS[0])
+        snapshot = tmp_path / "state.vos"
+        service.save(snapshot)
+        service.ingest(ROUNDS[1])
+        service.ingest(ROUNDS[2])
+        persistence_dirty = service._sketch.dirty_info()["dirty_words"]
+        assert persistence_dirty > 0
+        delta = service.freeze_delta()  # clears the *epoch* channel only
+        assert sum(entry["words"].size for entry in delta["shards"]) > 0
+        assert service._sketch.dirty_info()["dirty_words"] == persistence_dirty
+        assert service.epoch_dirty_info()["dirty_words"] == 0
+        service.save_delta()
+        revived = SimilarityService.load(snapshot)
+        assert revived.top_k_pairs(k=20) == service.top_k_pairs(k=20)
+
+    def test_clear_epoch_dirty_is_independent_of_clear_dirty(self):
+        service = _plain_service(seed=21)
+        service.ingest(ROUNDS[0])
+        info = service.epoch_dirty_info()
+        assert info["dirty_words"] > 0 and info["dirty_counters"] > 0
+        service._sketch.clear_dirty()  # journal checkpoint path
+        info = service.epoch_dirty_info()
+        assert info["dirty_words"] > 0 and info["dirty_counters"] > 0
+        service.clear_epoch_dirty()
+        assert service.epoch_dirty_info() == {"dirty_words": 0, "dirty_counters": 0}
+
+
+class TestReaderIsolation:
+    def test_pinned_reader_keeps_old_overlay_across_publishes(self):
+        service = _sharded_service(seed=23)
+        service.ingest(ROUNDS[0])
+        with ServingDaemon(service, workers=2, epoch_mode="cow") as daemon:
+            with daemon.epochs.pin() as pinned:
+                old_pairs = pinned.service.top_k_pairs(k=10)
+                old_users = pinned.service.stats()["users"]
+                with ServingClient(*daemon.address) as client:
+                    client.ingest_batch(ROUNDS[1])
+                    client.ingest_batch(ROUNDS[2])
+                    assert client.epoch >= 3
+                # The pinned epoch still answers from its own overlay.
+                assert pinned.service.top_k_pairs(k=10) == old_pairs
+                assert pinned.service.stats()["users"] == old_users
+                assert not pinned.retired
+            assert daemon.epochs.live_epochs == 1  # released epoch drained
+
+
+class TestLayeredCounts:
+    def test_mapping_semantics(self):
+        base = {"a": 3, "b": 1}
+        layered = LayeredCounts(base, {"b": 5, "c": 2})
+        assert layered["a"] == 3 and layered["b"] == 5 and layered["c"] == 2
+        assert layered.get("missing") is None
+        assert len(layered) == 3
+        assert sorted(layered) == ["a", "b", "c"]
+        assert dict(layered) == {"a": 3, "b": 5, "c": 2}
